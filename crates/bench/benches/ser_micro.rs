@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks: per-serializer encode/decode on JSBS
+//! media-content records — the engine behind Figure 7.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mheap::{ClassPath, HeapConfig, LayoutSpec, Vm};
+use serlab::jsbs::{build_dataset, define_jsbs_classes, jsbs_class_names};
+use serlab::schema::standard_entrants;
+use serlab::{JavaSerializer, KryoRegistry, KryoSerializer, SchemaRegistry, Serializer};
+use simnet::{NodeId, Profile};
+use skyway::{ShuffleController, SkywaySerializer, TypeDirectory};
+
+const N_RECORDS: usize = 200;
+
+fn entrants(dir: &Arc<TypeDirectory>) -> Vec<Box<dyn Serializer>> {
+    let kreg = {
+        let r = KryoRegistry::new();
+        r.register_all(jsbs_class_names()).unwrap();
+        Arc::new(r)
+    };
+    let sreg = SchemaRegistry::new(jsbs_class_names());
+    let mut v: Vec<Box<dyn Serializer>> = vec![
+        Box::new(SkywaySerializer::new(
+            Arc::clone(dir),
+            NodeId(0),
+            Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        )),
+        Box::new(KryoSerializer::manual(kreg)),
+        Box::new(JavaSerializer::new()),
+    ];
+    // A representative schema entrant (the fastest baseline family).
+    let colfer = standard_entrants(&sreg).into_iter().next().unwrap();
+    v.push(Box::new(colfer));
+    v
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let cp = ClassPath::new();
+    define_jsbs_classes(&cp);
+    let mut vm =
+        Vm::new("bench", &HeapConfig::default().with_capacity(128 << 20), Arc::clone(&cp)).unwrap();
+    let dir = Arc::new(TypeDirectory::new(1, NodeId(0)));
+    dir.bootstrap_driver(&vm).unwrap();
+    let handles = build_dataset(&mut vm, N_RECORDS).unwrap();
+    let roots: Vec<_> = handles.iter().map(|h| vm.resolve(*h).unwrap()).collect();
+
+    let mut g = c.benchmark_group("serialize_200_jsbs_records");
+    for s in entrants(&dir) {
+        g.bench_function(s.name().to_owned(), |b| {
+            b.iter(|| {
+                let mut p = Profile::new();
+                s.serialize(&mut vm, &roots, &mut p).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_deserialize(c: &mut Criterion) {
+    let cp = ClassPath::new();
+    define_jsbs_classes(&cp);
+    let mut vm =
+        Vm::new("bench", &HeapConfig::default().with_capacity(128 << 20), Arc::clone(&cp)).unwrap();
+    let dir = Arc::new(TypeDirectory::new(1, NodeId(0)));
+    dir.bootstrap_driver(&vm).unwrap();
+    let handles = build_dataset(&mut vm, N_RECORDS).unwrap();
+    let roots: Vec<_> = handles.iter().map(|h| vm.resolve(*h).unwrap()).collect();
+
+    let mut g = c.benchmark_group("deserialize_200_jsbs_records");
+    for s in entrants(&dir) {
+        let mut p = Profile::new();
+        let bytes = s.serialize(&mut vm, &roots, &mut p).unwrap();
+        g.bench_function(s.name().to_owned(), |b| {
+            b.iter_batched(
+                || {
+                    Vm::new(
+                        "recv",
+                        &HeapConfig::default().with_capacity(128 << 20),
+                        Arc::clone(&cp),
+                    )
+                    .unwrap()
+                },
+                |mut recv| {
+                    let mut p = Profile::new();
+                    s.deserialize(&mut recv, &bytes, &mut p).unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serialize, bench_deserialize
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark of a full sparklite shuffle round under each
+//! serializer — the engine behind the Figure 8(a) runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparklite::classes::{hash64, new_edge, read_edge};
+use sparklite::engine::{SerializerKind, SparkCluster, SparkConfig};
+
+const EDGES_PER_WORKER: usize = 2_000;
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shuffle_6000_edge_records");
+    for kind in SerializerKind::ALL {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut sc = SparkCluster::new(&SparkConfig {
+                    n_workers: 3,
+                    serializer: kind,
+                    heap_bytes: 96 << 20,
+                    ..SparkConfig::default()
+                })
+                .unwrap();
+                let seeds: Vec<Vec<i64>> = (0..3)
+                    .map(|w| (0..EDGES_PER_WORKER as i64).map(|i| i * 3 + w).collect())
+                    .collect();
+                let ds = sc
+                    .create_dataset(seeds, |vm, &v| new_edge(vm, v, v + 1))
+                    .unwrap();
+                let shuffled = sc
+                    .shuffle(ds, |vm, r| Ok(hash64(read_edge(vm, r)?.1 as u64)))
+                    .unwrap();
+                let n = sc.count(&shuffled).unwrap();
+                assert_eq!(n, 3 * EDGES_PER_WORKER as u64);
+                sc.release(shuffled).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shuffle
+}
+criterion_main!(benches);

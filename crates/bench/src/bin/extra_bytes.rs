@@ -1,0 +1,93 @@
+//! **E11 — §1/§5.1/§5.2 extra-bytes analysis**: how many more bytes Skyway
+//! sends than the S/D libraries, and what those extra bytes are made of.
+//!
+//! The paper reports: ~50 % more bytes than existing serializers on JSBS,
+//! ~77 % more than Kryo on Spark (about the same as the Java serializer),
+//! with the extra bytes composed of headers 51 %, padding 34 %, pointers
+//! 15 % — and argues the trade-off is right because the extra network time
+//! is tiny next to the saved CPU time.
+
+use std::sync::Arc;
+
+use mheap::{ClassPath, HeapConfig, LayoutSpec, Vm};
+use serlab::jsbs::{build_dataset, define_jsbs_classes, jsbs_class_names};
+use serlab::{serialize_profiled, JavaSerializer, KryoRegistry, KryoSerializer};
+use simnet::{NodeId, Profile, SimConfig};
+use skyway::{ShuffleController, SkywaySerializer, TypeDirectory};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_objects: usize = args
+        .iter()
+        .position(|a| a == "--objects")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+
+    let cp = ClassPath::new();
+    define_jsbs_classes(&cp);
+    let mut vm = Vm::new("sender", &HeapConfig::default().with_capacity(512 << 20), Arc::clone(&cp))
+        .expect("vm");
+    let dir = Arc::new(TypeDirectory::new(1, NodeId(0)));
+    dir.bootstrap_driver(&vm).expect("bootstrap");
+    let handles = build_dataset(&mut vm, n_objects).expect("dataset");
+    let roots: Vec<_> = handles.iter().map(|h| vm.resolve(*h).unwrap()).collect();
+
+    let kreg = {
+        let r = KryoRegistry::new();
+        r.register_all(jsbs_class_names()).expect("registry");
+        Arc::new(r)
+    };
+    let kryo = KryoSerializer::manual(kreg);
+    let java = JavaSerializer::new();
+    let sky = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::SKYWAY,
+    );
+
+    let mut p = Profile::new();
+    let kryo_bytes = serialize_profiled(&kryo, &mut vm, &roots, &mut p).expect("kryo").len();
+    let java_bytes = serialize_profiled(&java, &mut vm, &roots, &mut p).expect("java").len();
+    let sky_bytes = serialize_profiled(&sky, &mut vm, &roots, &mut p).expect("sky").len();
+    let stats = sky.last_send_stats();
+
+    println!("Extra-bytes analysis over {n_objects} JSBS records");
+    println!("\n{:<10} {:>14} {:>14}", "serializer", "bytes", "vs kryo");
+    for (name, b) in [("kryo", kryo_bytes), ("java", java_bytes), ("skyway", sky_bytes)] {
+        println!("{:<10} {:>14} {:>13.0}%", name, b, (b as f64 / kryo_bytes as f64 - 1.0) * 100.0);
+    }
+
+    let extra = sky_bytes.saturating_sub(kryo_bytes) as f64;
+    println!("\ncomposition of Skyway's stream (paper's extra-byte culprits):");
+    for (name, v) in [
+        ("object headers", stats.header_bytes),
+        ("padding", stats.padding_bytes),
+        ("pointers", stats.pointer_bytes),
+        ("primitive data", stats.data_bytes),
+        ("top marks", stats.marker_bytes),
+    ] {
+        println!(
+            "  {:<16} {:>12} B  ({:>4.1}% of stream)",
+            name,
+            v,
+            100.0 * v as f64 / stats.total_bytes as f64
+        );
+    }
+    let overhead = stats.header_bytes + stats.padding_bytes + stats.marker_bytes;
+    println!(
+        "\nheaders+padding vs pointers within overhead: {:.0}% / {:.0}% (paper: 51%+34% vs 15%)",
+        100.0 * (stats.header_bytes + stats.padding_bytes) as f64 / (overhead + stats.pointer_bytes) as f64,
+        100.0 * stats.pointer_bytes as f64 / (overhead + stats.pointer_bytes) as f64
+    );
+
+    // The §1 trade-off: extra network time vs saved CPU time at 1000 Mb/s.
+    let sim = SimConfig::default();
+    let extra_net_ms = extra * 1e3 / sim.net_bandwidth_bps as f64;
+    println!(
+        "\nextra bytes over kryo: {:.0} B → {:.2} ms extra network time at 1000 Mb/s",
+        extra, extra_net_ms
+    );
+    println!("(compare against the S/D CPU time eliminated — see fig7 output)");
+}

@@ -1,0 +1,58 @@
+//! **E1/E2 — Figure 3**: Spark S/D cost breakdown (motivation, §2.2).
+//!
+//! Runs TriangleCounting over the synthetic-LiveJournal graph on 3 workers
+//! under the Kryo and Java serializers, printing (a) the five-component
+//! time breakdown and (b) the local/remote bytes shuffled.
+//!
+//! Expected shape: S/D takes ≳30 % of total time under both serializers,
+//! and Java's remote bytes far exceed Kryo's (type strings).
+
+use simnet::{BreakdownRow, Category};
+use skyway_bench::{print_breakdown, print_bytes, run_cell_with_gc, RunOpts, Workload};
+use sparklite::engine::SerializerKind;
+use sparklite::graphgen::GraphKind;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    println!("Figure 3: TriangleCounting over synthetic LiveJournal (scale 1/{})", opts.scale_divisor);
+
+    let mut rows = Vec::new();
+    let mut profiles = Vec::new();
+    for kind in [SerializerKind::Kryo, SerializerKind::Java] {
+        let (p, gc_ns) = run_cell_with_gc(kind, Workload::Tc, GraphKind::LiveJournal, &opts);
+        rows.push(BreakdownRow::from_profile(kind.label(), &p));
+        profiles.push((kind, p, gc_ns));
+    }
+
+    print_breakdown("Fig 3(a): performance breakdown", &rows);
+    print_bytes("Fig 3(b): bytes shuffled", &rows);
+    skyway_bench::write_json("fig3", &rows);
+
+    println!("\nS/D share of total execution time (paper: >30% for both):");
+    for (kind, p, _) in &profiles {
+        println!(
+            "  {:<6} ser {:>5.1}%  deser {:>5.1}%  (S/D total {:>5.1}%)",
+            kind.label(),
+            100.0 * p.ns(Category::Ser) as f64 / p.total_ns() as f64,
+            100.0 * p.ns(Category::Deser) as f64 / p.total_ns() as f64,
+            100.0 * p.sd_fraction()
+        );
+    }
+    println!("\nGC share (paper: <2%, not shown in the figure):");
+    for (kind, p, gc_ns) in &profiles {
+        println!(
+            "  {:<6} {:>5.2}% of total",
+            kind.label(),
+            100.0 * *gc_ns as f64 / p.total_ns() as f64
+        );
+    }
+    println!("\nS/D function invocations:");
+    for (kind, p, _) in &profiles {
+        println!(
+            "  {:<6} ser calls {:>10}  deser calls {:>10}",
+            kind.label(),
+            p.ser_invocations,
+            p.deser_invocations
+        );
+    }
+}

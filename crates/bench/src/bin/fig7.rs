@@ -1,0 +1,172 @@
+//! **E4 — Figure 7**: the JSBS serializer ranking (§5.1).
+//!
+//! Each entrant serializes a media-content dataset, broadcasts the bytes to
+//! the four other nodes of a five-node cluster (network time modeled from
+//! real byte counts at 1000 Mb/s), and deserializes on each receiver.
+//! Entrants are printed fastest-first as in the paper's figure.
+//!
+//! Expected shape: skyway first, the schema-compiled family (colfer)
+//! closest behind, kryo-manual ≈2× slower than skyway, java last by a wide
+//! margin.
+
+use std::sync::Arc;
+
+use mheap::{ClassPath, HeapConfig, Vm};
+use serlab::jsbs::{build_dataset, define_jsbs_classes, jsbs_class_names};
+use serlab::schema::standard_entrants;
+use serlab::{
+    deserialize_profiled, serialize_profiled, JavaSerializer, KryoRegistry, KryoSerializer,
+    SchemaRegistry, Serializer,
+};
+use simnet::{Category, NodeId, Profile, SimConfig};
+use skyway::{ShuffleController, SkywaySerializer, TypeDirectory};
+
+#[derive(serde::Serialize)]
+struct Entry {
+    name: String,
+    ser_ms: f64,
+    deser_ms: f64,
+    net_ms: f64,
+    bytes: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_objects: usize = args
+        .iter()
+        .position(|a| a == "--objects")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let receivers = 4usize; // five-node cluster, broadcast to the other four
+    let sim = SimConfig::default();
+
+    let cp = ClassPath::new();
+    define_jsbs_classes(&cp);
+    let heap = HeapConfig::default().with_capacity(256 << 20);
+
+    println!("Figure 7: JSBS — {n_objects} media-content records, 5-node broadcast");
+
+    // Assemble the entrants.
+    let kreg = {
+        let r = KryoRegistry::new();
+        r.register_all(jsbs_class_names()).expect("registry");
+        Arc::new(r)
+    };
+    let sreg = SchemaRegistry::new(jsbs_class_names());
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+
+    let mut entrants: Vec<Box<dyn Serializer>> = Vec::new();
+    entrants.push(Box::new(SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::new(ShuffleController::new()),
+        mheap::LayoutSpec::SKYWAY,
+    )));
+    for s in standard_entrants(&sreg) {
+        entrants.push(Box::new(s));
+    }
+    entrants.push(Box::new(KryoSerializer::manual(Arc::clone(&kreg))));
+    entrants.push(Box::new(KryoSerializer::opt(Arc::clone(&kreg))));
+    entrants.push(Box::new(KryoSerializer::flat(Arc::clone(&kreg))));
+    entrants.push(Box::new(JavaSerializer::new()));
+
+    let mut results = Vec::new();
+    for s in &entrants {
+        // Fresh VMs per entrant keep heap states comparable; best-of-3
+        // measurements shed scheduler noise.
+        let mut sender = Vm::new("sender", &heap, Arc::clone(&cp)).expect("vm");
+        dir.bootstrap_driver(&sender).expect("bootstrap");
+        let handles = build_dataset(&mut sender, n_objects).expect("dataset");
+        let roots: Vec<_> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+
+        let mut ser_ns = u64::MAX;
+        let mut bytes = Vec::new();
+        for _ in 0..3 {
+            let mut p = Profile::new();
+            bytes = serialize_profiled(s.as_ref(), &mut sender, &roots, &mut p)
+                .unwrap_or_else(|e| panic!("{} serialize: {e}", s.name()));
+            ser_ns = ser_ns.min(p.ns(Category::Ser));
+        }
+        let mut deser_ns = 0u64;
+        for r in 0..receivers {
+            let mut best = u64::MAX;
+            for _ in 0..3 {
+                let mut receiver =
+                    Vm::new(format!("recv-{r}"), &heap, Arc::clone(&cp)).expect("vm");
+                dir.worker_startup(NodeId(1)).expect("startup");
+                let mut pr = Profile::new();
+                let rebuilt = deserialize_profiled(s.as_ref(), &mut receiver, &bytes, &mut pr)
+                    .unwrap_or_else(|e| panic!("{} deserialize: {e}", s.name()));
+                assert_eq!(rebuilt.len(), n_objects, "{} lost records", s.name());
+                best = best.min(pr.ns(Category::Deser));
+            }
+            deser_ns += best;
+        }
+        let net_ns = receivers as u64
+            * (sim.net_latency_ns + bytes.len() as u64 * 1_000_000_000 / sim.net_bandwidth_bps);
+        results.push(Entry {
+            name: s.name().to_owned(),
+            ser_ms: ser_ns as f64 / 1e6,
+            deser_ms: deser_ns as f64 / 1e6,
+            net_ms: net_ns as f64 / 1e6,
+            bytes: bytes.len(),
+        });
+    }
+
+    results.sort_by(|a, b| {
+        (a.ser_ms + a.deser_ms + a.net_ms)
+            .partial_cmp(&(b.ser_ms + b.deser_ms + b.net_ms))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    println!(
+        "\n{:<26} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "serializer", "ser ms", "deser ms", "net ms", "total ms", "bytes"
+    );
+    for e in &results {
+        println!(
+            "{:<26} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>12}",
+            e.name,
+            e.ser_ms,
+            e.deser_ms,
+            e.net_ms,
+            e.ser_ms + e.deser_ms + e.net_ms,
+            e.bytes
+        );
+    }
+
+    skyway_bench::write_json("fig7", &results);
+
+    let total = |n: &str| {
+        results
+            .iter()
+            .find(|e| e.name == n)
+            .map(|e| e.ser_ms + e.deser_ms + e.net_ms)
+            .unwrap_or(f64::NAN)
+    };
+    let cpu = |n: &str| {
+        results
+            .iter()
+            .find(|e| e.name == n)
+            .map(|e| e.ser_ms + e.deser_ms)
+            .unwrap_or(f64::NAN)
+    };
+    // The table above is raw measured CPU; the headline also reports the
+    // calibrated totals (the same JVM-vs-Rust S/D factor the engine
+    // experiments use, see SimConfig::sd_cpu_scale).
+    let scale = sim.sd_cpu_scale;
+    let calibrated = |n: &str| cpu(n) * scale + (total(n) - cpu(n));
+    println!(
+        "\nspeedups over skyway (paper: kryo-manual 2.2x, java 67.3x):\n  raw totals:        kryo-manual {:.1}x   java {:.1}x   colfer {:.2}x\n  CPU only:          kryo-manual {:.1}x   java {:.1}x   colfer {:.2}x\n  calibrated totals: kryo-manual {:.1}x   java {:.1}x   colfer {:.2}x   (S/D cpu x{scale})",
+        total("kryo-manual") / total("skyway"),
+        total("java") / total("skyway"),
+        total("colfer") / total("skyway"),
+        cpu("kryo-manual") / cpu("skyway"),
+        cpu("java") / cpu("skyway"),
+        cpu("colfer") / cpu("skyway"),
+        calibrated("kryo-manual") / calibrated("skyway"),
+        calibrated("java") / calibrated("skyway"),
+        calibrated("colfer") / calibrated("skyway"),
+    );
+}

@@ -1,0 +1,68 @@
+//! **E5/E6 — Figure 8(a) + Table 2**: Spark under the Java serializer,
+//! Kryo, and Skyway across {WC, PR, CC, TC} × {LJ, OR, UK, TW}.
+//!
+//! Prints the per-run five-component breakdowns (the stacked bars of
+//! Fig. 8(a)) and the Table 2 summary: per-metric ranges and geometric
+//! means normalized to the Java-serializer baseline.
+//!
+//! Expected shape: Skyway < Kryo < Java overall (paper: 36 % / 16 % mean
+//! speedups); Skyway's deserialization is the big win; Skyway's byte Size
+//! ≈ Java's and well above Kryo's.
+
+use simnet::BreakdownRow;
+use skyway_bench::{
+    normalize, print_breakdown, print_bytes, print_summary_header, print_summary_row, run_cell,
+    Normalized, RunOpts, Workload,
+};
+use sparklite::engine::SerializerKind;
+use sparklite::graphgen::GraphKind;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    println!(
+        "Figure 8(a): 4 workloads x 4 graphs x 3 serializers (scale 1/{}, {} PR iters)",
+        opts.scale_divisor, opts.pr_iters
+    );
+
+    let mut kryo_norms: Vec<Normalized> = Vec::new();
+    let mut sky_norms: Vec<Normalized> = Vec::new();
+    let mut all_rows: Vec<(String, Vec<BreakdownRow>)> = Vec::new();
+
+    for g in GraphKind::ALL {
+        for wl in Workload::ALL {
+            let mut rows = Vec::new();
+            let java = run_cell(SerializerKind::Java, wl, g, &opts);
+            rows.push(BreakdownRow::from_profile("java", &java));
+            let kryo = run_cell(SerializerKind::Kryo, wl, g, &opts);
+            rows.push(BreakdownRow::from_profile("kryo", &kryo));
+            let sky = run_cell(SerializerKind::Skyway, wl, g, &opts);
+            rows.push(BreakdownRow::from_profile("skyway", &sky));
+
+            let title = format!("{}-{}", g.label(), wl.label());
+            print_breakdown(&title, &rows);
+            print_bytes(&format!("{title} bytes"), &rows);
+            all_rows.push((title, rows));
+
+            kryo_norms.push(normalize(&kryo, &java));
+            sky_norms.push(normalize(&sky, &java));
+        }
+    }
+
+    skyway_bench::write_json("fig8a", &all_rows);
+    print_summary_header("Table 2: normalized to the Java serializer — range (geomean)");
+    print_summary_row("Kryo", &kryo_norms);
+    print_summary_row("Skyway", &sky_norms);
+
+    let overall_sky = skyway_bench::geomean(&sky_norms.iter().map(|n| n.overall).collect::<Vec<_>>());
+    let overall_kryo =
+        skyway_bench::geomean(&kryo_norms.iter().map(|n| n.overall).collect::<Vec<_>>());
+    println!(
+        "\nmean speedup over java: skyway {:.0}% (paper 36%), kryo {:.0}% (paper 24%)",
+        (1.0 - overall_sky) * 100.0,
+        (1.0 - overall_kryo) * 100.0
+    );
+    println!(
+        "skyway vs kryo: {:.0}% faster (paper 16%)",
+        (1.0 - overall_sky / overall_kryo) * 100.0
+    );
+}

@@ -1,0 +1,73 @@
+//! **E7/E8/E9 — Figure 8(b) + Tables 3 & 4**: Flink queries QA–QE under
+//! Flink's built-in serializers vs Skyway.
+//!
+//! Expected shape: Skyway improves overall time (paper: ~19 % mean), with
+//! a smaller deserialization win than on Spark because Flink deserializes
+//! lazily (paper: Flink Des is only ~8.7 % of run time vs Ser ~23.5 %).
+
+use flinklite::engine::{boot, FlinkConfig, FlinkSerializer};
+use flinklite::queries::{run_query, QueryId};
+use flinklite::tpchgen::generate;
+use simnet::BreakdownRow;
+use skyway_bench::{normalize, print_breakdown, print_summary_header, print_summary_row, Normalized};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale_units: usize = args
+        .iter()
+        .position(|a| a == "--scale-units")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let db = generate(scale_units, 42);
+    println!(
+        "Figure 8(b): TPC-H-derived queries, {} total rows (scale-units {scale_units})",
+        db.total_rows()
+    );
+
+    println!("\nTable 3: query descriptions");
+    for q in QueryId::ALL {
+        println!("  {}  {}", q.label(), q.description());
+    }
+
+    let mut norms: Vec<Normalized> = Vec::new();
+    let mut all_rows: Vec<(String, Vec<BreakdownRow>)> = Vec::new();
+    for q in QueryId::ALL {
+        let mut rows = Vec::new();
+        let mut profiles = Vec::new();
+        for ser in FlinkSerializer::ALL {
+            // Median of three runs sheds scheduler noise on these
+            // tens-of-milliseconds queries.
+            let mut runs = Vec::new();
+            for _ in 0..3 {
+                let mut sc = boot(
+                    &FlinkConfig {
+                        serializer: ser,
+                        heap_bytes: 256 << 20,
+                        ..FlinkConfig::default()
+                    },
+                    q.schema(),
+                )
+                .expect("boot");
+                run_query(&mut sc, &db, q).expect("query");
+                runs.push(sc.aggregate_profile());
+            }
+            runs.sort_by_key(simnet::Profile::total_ns);
+            let p = runs[1];
+            rows.push(BreakdownRow::from_profile(ser.label(), &p));
+            profiles.push(p);
+        }
+        print_breakdown(q.label(), &rows);
+        all_rows.push((q.label().to_owned(), rows));
+        norms.push(normalize(&profiles[1], &profiles[0]));
+    }
+    skyway_bench::write_json("fig8b", &all_rows);
+
+    print_summary_header("Table 4: Skyway normalized to Flink's built-in serializer");
+    print_summary_row("Skyway", &norms);
+    let overall = skyway_bench::geomean(&norms.iter().map(|n| n.overall).collect::<Vec<_>>());
+    println!(
+        "\nmean improvement over built-in: {:.0}% (paper 19%)",
+        (1.0 - overall) * 100.0
+    );
+}

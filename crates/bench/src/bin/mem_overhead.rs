@@ -1,0 +1,76 @@
+//! **E10 — §5.2 memory overhead**: the cost of the extra `baddr` header
+//! word.
+//!
+//! Runs each Spark workload twice under the Kryo serializer — once on heaps
+//! with the Skyway object format (3-word header) and once on stock-format
+//! heaps (2-word header) — and compares the peak heap consumption across
+//! the workers, the same methodology as the paper's periodic `pmap`
+//! sampling. The paper reports 2.1 %–21.8 % (average 15.4 %).
+
+use mheap::LayoutSpec;
+use skyway_bench::{geomean, wordcount_lines, RunOpts, Workload};
+use sparklite::engine::{SerializerKind, SparkCluster, SparkConfig};
+use sparklite::graphgen::{generate, GraphKind};
+use sparklite::workloads::{
+    run_connected_components, run_pagerank, run_triangle_count, run_wordcount,
+};
+
+fn peak_for(spec: LayoutSpec, wl: Workload, opts: &RunOpts) -> u64 {
+    let graph = generate(GraphKind::LiveJournal, opts.scale_divisor, opts.seed);
+    let mut sc = SparkCluster::new(&SparkConfig {
+        n_workers: opts.n_workers,
+        serializer: SerializerKind::Kryo,
+        heap_bytes: opts.heap_bytes,
+        spec,
+        ..SparkConfig::default()
+    })
+    .expect("cluster");
+    match wl {
+        Workload::Wc => {
+            run_wordcount(&mut sc, wordcount_lines(&graph, opts.n_workers)).expect("wc");
+        }
+        Workload::Pr => {
+            run_pagerank(&mut sc, &graph, opts.pr_iters, 10).expect("pr");
+        }
+        Workload::Cc => {
+            run_connected_components(&mut sc, &graph, opts.cc_iters).expect("cc");
+        }
+        Workload::Tc => {
+            run_triangle_count(&mut sc, &graph).expect("tc");
+        }
+    }
+    sc.worker_nodes()
+        .into_iter()
+        .map(|n| sc.vm(n).heap().peak_used())
+        .sum()
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    println!(
+        "Memory overhead of the baddr header word (synthetic LJ, scale 1/{})",
+        opts.scale_divisor
+    );
+    println!(
+        "{:<6} {:>16} {:>16} {:>10}",
+        "run", "stock peak B", "skyway peak B", "overhead"
+    );
+    let mut ratios = Vec::new();
+    for wl in Workload::ALL {
+        let stock = peak_for(LayoutSpec::STOCK, wl, &opts);
+        let sky = peak_for(LayoutSpec::SKYWAY, wl, &opts);
+        let overhead = sky as f64 / stock as f64;
+        ratios.push(overhead);
+        println!(
+            "{:<6} {:>16} {:>16} {:>9.1}%",
+            wl.label(),
+            stock,
+            sky,
+            (overhead - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\naverage overhead: {:.1}% (paper: 2.1%–21.8%, average 15.4%)",
+        (geomean(&ratios) - 1.0) * 100.0
+    );
+}

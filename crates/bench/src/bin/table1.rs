@@ -1,0 +1,26 @@
+//! **E3 — Table 1**: the graph inputs, paper scale and generated scale.
+
+use skyway_bench::RunOpts;
+use sparklite::graphgen::{generate, GraphKind};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    println!("Table 1: graph inputs (synthetic, scale divisor 1/{})", opts.scale_divisor);
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>12}  {}",
+        "Graph", "paper #edges", "paper #verts", "gen #edges", "gen #verts", "Description"
+    );
+    for kind in GraphKind::ALL {
+        let (pe, pv) = kind.paper_scale();
+        let g = generate(kind, opts.scale_divisor, opts.seed);
+        println!(
+            "{:<14} {:>14} {:>14} {:>12} {:>12}  {}",
+            kind.name(),
+            pe,
+            pv,
+            g.n_edges(),
+            g.n_vertices,
+            kind.description()
+        );
+    }
+}

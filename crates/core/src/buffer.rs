@@ -1,0 +1,315 @@
+//! Output buffers: native (non-heap) memory that objects are cloned into,
+//! flushed in chunks to a sink (paper §3.2, §4.2).
+//!
+//! Output buffers live *outside* the managed heap so the GC cannot reclaim
+//! objects mid-transfer. Relative ("logical") addresses assigned during
+//! relativization are gapless and keep growing across flushes —
+//! `flushed_bytes` converts between the logical space and the physical
+//! buffer. The byte stream cut into chunks at flush points *is* the logical
+//! space; objects never span a chunk boundary (the flush happens when the
+//! next object does not fit).
+
+use crate::{Error, Result};
+
+/// Marker word: the next object in the stream is a top-level (root) object
+/// (§4.2 "Root Object Recognition").
+pub const TOP_MARK: u64 = 0xffff_ffff_ffff_fff0;
+
+/// Marker word: the following word is the logical address (+1) of an
+/// already-transferred root — the paper's "backward reference" for a root
+/// that was copied earlier in the same shuffle phase.
+pub const TOP_REF: u64 = 0xffff_ffff_ffff_fff1;
+
+/// Default chunk size (1 MiB).
+pub const DEFAULT_CHUNK: usize = 1 << 20;
+
+/// An output buffer bound to one destination/stream.
+#[derive(Debug)]
+pub struct OutputBuffer {
+    data: Vec<u8>,
+    chunk_limit: usize,
+    /// Bytes already flushed out of the physical buffer (the paper's
+    /// `ob.flushedBytes`).
+    pub flushed_bytes: u64,
+    /// Next logical allocation address (the paper's `ob.allocableAddr`).
+    pub allocable_addr: u64,
+    chunks: Vec<Vec<u8>>,
+}
+
+impl OutputBuffer {
+    /// Creates a buffer with the given flush threshold.
+    pub fn new(chunk_limit: usize) -> Self {
+        OutputBuffer {
+            data: Vec::with_capacity(chunk_limit.min(DEFAULT_CHUNK)),
+            chunk_limit: chunk_limit.max(64),
+            flushed_bytes: 0,
+            allocable_addr: 0,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Logical bytes produced so far (flushed + pending).
+    pub fn total_bytes(&self) -> u64 {
+        self.flushed_bytes + self.data.len() as u64
+    }
+
+    /// Assigns logical space for an object of `size` bytes *without*
+    /// consuming physical buffer space — this is the address-assignment of
+    /// Algorithm 2 line 21/24. The physical bytes are reserved later by
+    /// [`OutputBuffer::place`] when the object is popped from the gray
+    /// queue, which is what lets earlier objects finish their reference
+    /// patching before a flush cuts the stream.
+    pub fn assign(&mut self, size: u64) -> u64 {
+        let at = self.allocable_addr;
+        self.allocable_addr += size;
+        at
+    }
+
+    /// Reserves the physical bytes for a previously assigned logical
+    /// address. Placements must happen in logical order (the gray queue is
+    /// FIFO, so they do); if the object does not fit in the current chunk,
+    /// the pending data is flushed first.
+    ///
+    /// # Errors
+    /// [`Error::OutOfOrderPlacement`] if `logical` is not the next pending
+    /// position.
+    pub fn place(&mut self, logical: u64, size: u64) -> Result<()> {
+        if self.data.len() + size as usize > self.chunk_limit && !self.data.is_empty() {
+            self.flush();
+        }
+        if logical != self.flushed_bytes + self.data.len() as u64 {
+            return Err(Error::OutOfOrderPlacement {
+                logical,
+                expected: self.flushed_bytes + self.data.len() as u64,
+            });
+        }
+        self.data.resize(self.data.len() + size as usize, 0);
+        Ok(())
+    }
+
+    /// Assigns *and* places in one step (markers, which are emitted
+    /// immediately).
+    ///
+    /// # Errors
+    /// As [`OutputBuffer::place`].
+    pub fn emit(&mut self, size: u64) -> Result<u64> {
+        let at = self.assign(size);
+        self.place(at, size)?;
+        Ok(at)
+    }
+
+    /// Cuts the pending data into a chunk (no-op when empty).
+    pub fn flush(&mut self) {
+        if self.data.is_empty() {
+            return;
+        }
+        self.flushed_bytes += self.data.len() as u64;
+        self.chunks.push(std::mem::take(&mut self.data));
+    }
+
+    /// Finishes the stream, returning all chunks.
+    pub fn finish(mut self) -> Vec<Vec<u8>> {
+        self.flush();
+        self.chunks
+    }
+
+    /// Chunks flushed so far (streaming consumers may drain these early).
+    pub fn take_ready_chunks(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.chunks)
+    }
+
+    fn phys(&self, logical: u64, len: usize) -> Result<usize> {
+        let start = logical
+            .checked_sub(self.flushed_bytes)
+            .ok_or(Error::BufferUnderflow { logical, flushed: self.flushed_bytes })? as usize;
+        if start + len > self.data.len() {
+            return Err(Error::BufferUnderflow { logical, flushed: self.flushed_bytes });
+        }
+        Ok(start)
+    }
+
+    /// Writes an 8-byte word at a logical address (must not be flushed yet).
+    ///
+    /// # Errors
+    /// [`Error::BufferUnderflow`] if the address was already flushed.
+    pub fn write_word(&mut self, logical: u64, val: u64) -> Result<()> {
+        let p = self.phys(logical, 8)?;
+        self.data[p..p + 8].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a 4-byte value at a logical address.
+    ///
+    /// # Errors
+    /// [`Error::BufferUnderflow`].
+    pub fn write_u32(&mut self, logical: u64, val: u32) -> Result<()> {
+        let p = self.phys(logical, 4)?;
+        self.data[p..p + 4].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes raw bytes at a logical address.
+    ///
+    /// # Errors
+    /// [`Error::BufferUnderflow`].
+    pub fn write_bytes(&mut self, logical: u64, bytes: &[u8]) -> Result<()> {
+        let p = self.phys(logical, bytes.len())?;
+        self.data[p..p + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Mutable slice at a logical address (for direct heap→buffer copies).
+    ///
+    /// # Errors
+    /// [`Error::BufferUnderflow`].
+    pub fn slice_mut(&mut self, logical: u64, len: usize) -> Result<&mut [u8]> {
+        let p = self.phys(logical, len)?;
+        Ok(&mut self.data[p..p + len])
+    }
+}
+
+/// Frames a finished stream of chunks into one self-describing byte blob
+/// (what a Spark shuffle file or a socket payload carries).
+///
+/// Layout: `magic "SKYW" | version u8 | flags u8 | chunk_count u32 |`
+/// then per chunk `len u32 | bytes`.
+pub fn frame_chunks(chunks: &[Vec<u8>], flags: u8) -> Vec<u8> {
+    let total: usize = chunks.iter().map(|c| c.len() + 4).sum();
+    let mut out = Vec::with_capacity(total + 10);
+    out.extend_from_slice(b"SKYW");
+    out.push(1); // version
+    out.push(flags);
+    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    for c in chunks {
+        out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+/// Parses a framed blob back into chunks (borrowed slices).
+///
+/// # Errors
+/// [`Error::BadFrame`] for wrong magic/version/truncation.
+pub fn parse_frames(blob: &[u8]) -> Result<(u8, Vec<&[u8]>)> {
+    if blob.len() < 10 || &blob[0..4] != b"SKYW" {
+        return Err(Error::BadFrame("missing SKYW magic".into()));
+    }
+    if blob[4] != 1 {
+        return Err(Error::BadFrame(format!("unsupported version {}", blob[4])));
+    }
+    let flags = blob[5];
+    let n = u32::from_le_bytes(blob[6..10].try_into().expect("len 4")) as usize;
+    let mut chunks = Vec::with_capacity(n);
+    let mut pos = 10;
+    for _ in 0..n {
+        if pos + 4 > blob.len() {
+            return Err(Error::BadFrame("truncated chunk header".into()));
+        }
+        let len = u32::from_le_bytes(blob[pos..pos + 4].try_into().expect("len 4")) as usize;
+        pos += 4;
+        if pos + len > blob.len() {
+            return Err(Error::BadFrame("truncated chunk body".into()));
+        }
+        chunks.push(&blob[pos..pos + len]);
+        pos += len;
+    }
+    Ok((flags, chunks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_space_is_gapless_across_flushes() {
+        let mut b = OutputBuffer::new(64);
+        let a1 = b.emit(48).unwrap();
+        let a2 = b.emit(48).unwrap(); // doesn't fit with a1 → flush first
+        let a3 = b.emit(8).unwrap();
+        assert_eq!(a1, 0);
+        assert_eq!(a2, 48);
+        assert_eq!(a3, 96);
+        let chunks = b.finish();
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        assert_eq!(total, 104);
+        // First chunk holds only the first object (flush-at-boundary).
+        assert_eq!(chunks[0].len(), 48);
+    }
+
+    #[test]
+    fn assignment_does_not_consume_physical_space() {
+        let mut b = OutputBuffer::new(64);
+        let a1 = b.assign(32);
+        let a2 = b.assign(32);
+        assert_eq!((a1, a2), (0, 32));
+        // Place in order; no flush needed (64 bytes fits exactly).
+        b.place(a1, 32).unwrap();
+        b.place(a2, 32).unwrap();
+        assert_eq!(b.finish().len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_placement_errors() {
+        let mut b = OutputBuffer::new(64);
+        let _a1 = b.assign(16);
+        let a2 = b.assign(16);
+        assert!(matches!(b.place(a2, 16), Err(Error::OutOfOrderPlacement { .. })));
+    }
+
+    #[test]
+    fn writes_after_flush_fail() {
+        let mut b = OutputBuffer::new(64);
+        let a1 = b.emit(48).unwrap();
+        b.write_word(a1, 42).unwrap();
+        let _a2 = b.emit(48).unwrap(); // flushes chunk 1
+        assert!(matches!(b.write_word(a1, 7), Err(Error::BufferUnderflow { .. })));
+    }
+
+    #[test]
+    fn oversized_object_gets_its_own_chunk() {
+        let mut b = OutputBuffer::new(64);
+        b.emit(8).unwrap();
+        let big = b.emit(500).unwrap();
+        assert_eq!(big, 8);
+        let chunks = b.finish();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].len(), 500);
+    }
+
+    #[test]
+    fn word_roundtrip_via_frames() {
+        let mut b = OutputBuffer::new(1024);
+        let a = b.emit(16).unwrap();
+        b.write_word(a, 0x1122_3344_5566_7788).unwrap();
+        b.write_word(a + 8, TOP_MARK).unwrap();
+        let chunks = b.finish();
+        let blob = frame_chunks(&chunks, 3);
+        let (flags, parsed) = parse_frames(&blob).unwrap();
+        assert_eq!(flags, 3);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(
+            u64::from_le_bytes(parsed[0][0..8].try_into().unwrap()),
+            0x1122_3344_5566_7788
+        );
+        assert_eq!(u64::from_le_bytes(parsed[0][8..16].try_into().unwrap()), TOP_MARK);
+    }
+
+    #[test]
+    fn bad_frames_rejected() {
+        assert!(parse_frames(b"nope").is_err());
+        assert!(parse_frames(b"SKYW\x02\x00\x00\x00\x00\x00").is_err());
+        let blob = frame_chunks(&[vec![1, 2, 3]], 0);
+        assert!(parse_frames(&blob[..blob.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn empty_stream_frames_cleanly() {
+        let b = OutputBuffer::new(64);
+        let chunks = b.finish();
+        assert!(chunks.is_empty());
+        let blob = frame_chunks(&chunks, 0);
+        let (_, parsed) = parse_frames(&blob).unwrap();
+        assert!(parsed.is_empty());
+    }
+}

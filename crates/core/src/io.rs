@@ -1,0 +1,237 @@
+//! Carrier streams (paper §3.3): `SkywayFileOutputStream` /
+//! `SkywayFileInputStream` and `SkywaySocketOutputStream` /
+//! `SkywaySocketInputStream` — "one can easily program with Skyway in the
+//! same way as programming with the Java serializer".
+//!
+//! These wrap the format-level [`crate::stream`] classes with a carrier:
+//! the simulated per-node disk (shuffle spill files) or the simulated
+//! network (socket-style links). Chunks are streamed to the carrier as the
+//! output buffer flushes, so transfer overlaps with traversal just as §3.2
+//! describes.
+
+use mheap::layout::Addr;
+use mheap::Vm;
+use simnet::{Cluster, NodeId};
+
+use crate::buffer::{frame_chunks, parse_frames};
+use crate::registry::TypeDirectory;
+use crate::sender::{GraphSender, SendConfig, SendStats};
+use crate::stream::{ShuffleController, UpdateRegistry};
+use crate::{Error, Result};
+
+fn spec_flags(spec: mheap::LayoutSpec) -> u8 {
+    (u8::from(spec.with_baddr)) | (u8::from(spec.array_len_size == 4) << 1)
+}
+
+/// Writes object graphs into a named file on a node's simulated disk.
+///
+/// The counterpart of `SkywayFileOutputStream`: construct, call
+/// [`SkywayFileOutputStream::write_object`] for every root, then
+/// [`SkywayFileOutputStream::close`] to commit the file (charging write-I/O
+/// on the owning node).
+pub struct SkywayFileOutputStream<'a> {
+    sender: GraphSender<'a>,
+    node: NodeId,
+    name: String,
+}
+
+impl<'a> std::fmt::Debug for SkywayFileOutputStream<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkywayFileOutputStream")
+            .field("node", &self.node)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl<'a> SkywayFileOutputStream<'a> {
+    /// Opens a file stream on `node`'s disk.
+    ///
+    /// # Errors
+    /// [`Error::NeedsBaddr`] as for any sender.
+    pub fn create(
+        vm: &'a Vm,
+        dir: &'a TypeDirectory,
+        node: NodeId,
+        controller: &ShuffleController,
+        cfg: SendConfig,
+        name: impl Into<String>,
+    ) -> Result<Self> {
+        let sender = GraphSender::new(vm, dir, node, controller.sid(), controller.next_stream(), cfg)?;
+        Ok(SkywayFileOutputStream { sender, node, name: name.into() })
+    }
+
+    /// Transfers one object graph (drop-in `writeObject`).
+    ///
+    /// # Errors
+    /// Heap/registry errors.
+    pub fn write_object(&mut self, root: Addr) -> Result<()> {
+        self.sender.write_root(root)
+    }
+
+    /// Commits the file to the node's disk, charging write-I/O time, and
+    /// returns the send statistics.
+    ///
+    /// # Errors
+    /// Cluster errors.
+    pub fn close(self, cluster: &mut Cluster) -> Result<SendStats> {
+        let spec_byte = spec_flags(self.sender.receiver_spec());
+        let out = self.sender.finish();
+        let blob = frame_chunks(&out.chunks, spec_byte);
+        cluster.disk_write(self.node, self.name, blob).map_err(Error::Cluster)?;
+        Ok(out.stats)
+    }
+}
+
+/// Reads object graphs from a named file on a node's simulated disk —
+/// the counterpart of `SkywayFileInputStream`.
+#[derive(Debug)]
+pub struct SkywayFileInputStream;
+
+impl SkywayFileInputStream {
+    /// Reads and absolutizes a Skyway file, charging read-I/O time, and
+    /// returns the root objects (callers must root them before further
+    /// allocation).
+    ///
+    /// # Errors
+    /// Missing-file, corrupt-stream, and heap errors.
+    pub fn open_and_read(
+        vm: &mut Vm,
+        dir: &TypeDirectory,
+        node: NodeId,
+        cluster: &mut Cluster,
+        name: &str,
+        hooks: Option<&UpdateRegistry>,
+    ) -> Result<Vec<Addr>> {
+        let blob = cluster.disk_read(node, name).map_err(Error::Cluster)?;
+        read_blob(vm, dir, node, &blob, hooks)
+    }
+}
+
+/// Sends object graphs over a simulated socket link, streaming each chunk
+/// as it flushes — the counterpart of `SkywaySocketOutputStream`.
+pub struct SkywaySocketOutputStream<'a> {
+    sender: GraphSender<'a>,
+    src: NodeId,
+    dst: NodeId,
+}
+
+impl<'a> std::fmt::Debug for SkywaySocketOutputStream<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkywaySocketOutputStream")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .finish()
+    }
+}
+
+impl<'a> SkywaySocketOutputStream<'a> {
+    /// Connects a socket stream from `src` to `dst`.
+    ///
+    /// # Errors
+    /// [`Error::NeedsBaddr`] as for any sender.
+    pub fn connect(
+        vm: &'a Vm,
+        dir: &'a TypeDirectory,
+        src: NodeId,
+        dst: NodeId,
+        controller: &ShuffleController,
+        cfg: SendConfig,
+    ) -> Result<Self> {
+        let sender = GraphSender::new(vm, dir, src, controller.sid(), controller.next_stream(), cfg)?;
+        Ok(SkywaySocketOutputStream { sender, src, dst })
+    }
+
+    /// Transfers one object graph, streaming any chunks that flushed while
+    /// traversing (transfer overlaps computation, §3.2).
+    ///
+    /// # Errors
+    /// Heap/registry/cluster errors.
+    pub fn write_object(&mut self, root: Addr, cluster: &mut Cluster) -> Result<()> {
+        self.sender.write_root(root)?;
+        for chunk in self.sender.take_ready_chunks() {
+            cluster.net_send(self.src, self.dst, frame_chunk_msg(&chunk)).map_err(Error::Cluster)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the tail and sends the end-of-stream marker.
+    ///
+    /// # Errors
+    /// Cluster errors.
+    pub fn close(self, cluster: &mut Cluster) -> Result<SendStats> {
+        let out = self.sender.finish();
+        for chunk in &out.chunks {
+            cluster.net_send(self.src, self.dst, frame_chunk_msg(chunk)).map_err(Error::Cluster)?;
+        }
+        cluster.net_send(self.src, self.dst, vec![0u8]).map_err(Error::Cluster)?; // EOS
+        Ok(out.stats)
+    }
+}
+
+fn frame_chunk_msg(chunk: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(chunk.len() + 1);
+    m.push(1u8); // CHUNK
+    m.extend_from_slice(chunk);
+    m
+}
+
+/// Receives a socket stream — the counterpart of `SkywaySocketInputStream`.
+#[derive(Debug)]
+pub struct SkywaySocketInputStream;
+
+impl SkywaySocketInputStream {
+    /// Drains queued messages from `src` until the end-of-stream marker,
+    /// placing each chunk into an input buffer as it arrives, then
+    /// absolutizes. Returns the roots.
+    ///
+    /// # Errors
+    /// Transport, corrupt-stream, and heap errors.
+    pub fn read_all(
+        vm: &mut Vm,
+        dir: &TypeDirectory,
+        node: NodeId,
+        src: NodeId,
+        cluster: &mut Cluster,
+        hooks: Option<&UpdateRegistry>,
+    ) -> Result<Vec<Addr>> {
+        let mut rx = crate::receiver::GraphReceiver::new(vm, dir, node);
+        loop {
+            let msg = cluster.net_recv(node, src).map_err(Error::Cluster)?;
+            match msg.first() {
+                Some(1) => rx.push_chunk(&msg[1..])?,
+                Some(0) => break,
+                _ => return Err(Error::BadFrame("bad socket message".into())),
+            }
+        }
+        let (roots, _) = rx.finish(hooks)?;
+        Ok(roots)
+    }
+}
+
+/// Shared blob-reading path (file carrier).
+fn read_blob(
+    vm: &mut Vm,
+    dir: &TypeDirectory,
+    node: NodeId,
+    blob: &[u8],
+    hooks: Option<&UpdateRegistry>,
+) -> Result<Vec<Addr>> {
+    let (flags, chunks) = parse_frames(blob)?;
+    let wire = mheap::LayoutSpec {
+        with_baddr: flags & 1 != 0,
+        array_len_size: if flags & 2 != 0 { 4 } else { 8 },
+    };
+    if wire != vm.spec() {
+        return Err(Error::SpecMismatch {
+            wire: format!("{wire:?}"),
+            local: format!("{:?}", vm.spec()),
+        });
+    }
+    let mut rx = crate::receiver::GraphReceiver::new(vm, dir, node);
+    for c in chunks {
+        rx.push_chunk(c)?;
+    }
+    let (roots, _) = rx.finish(hooks)?;
+    Ok(roots)
+}

@@ -1,0 +1,310 @@
+//! Receiving an object graph (paper §4.3).
+//!
+//! Each received chunk becomes one *input buffer* region allocated directly
+//! in the receiving heap's old generation — transferred data is written
+//! into the heap and usable right away. Because the sender's logical byte
+//! stream is gapless and objects never span a flush boundary, the receiver
+//! only needs a (logical start → heap base) map per chunk; a single linear
+//! scan then **absolutizes** the buffer:
+//!
+//! * the `tID` in each klass slot is replaced by the local klass pointer
+//!   (loading the class on demand when this node never saw it);
+//! * every relativized reference becomes an absolute heap address;
+//! * top marks identify the root objects without re-traversal;
+//! * card-table entries covering the buffers are dirtied so the collector
+//!   accounts for the new pointers.
+
+use std::collections::HashMap;
+
+use mheap::layout::mark;
+use mheap::{Addr, KlassId, KlassKind, Vm, FILLER_WORD};
+use simnet::NodeId;
+
+use crate::buffer::{TOP_MARK, TOP_REF};
+use crate::registry::TypeDirectory;
+use crate::stream::UpdateRegistry;
+use crate::{Error, Result};
+
+#[derive(Debug, Clone, Copy)]
+struct ChunkMap {
+    logical_start: u64,
+    base: Addr,
+    len: u64,
+}
+
+/// Per-tID facts precomputed once per class so the linear absolutization
+/// scan runs at memory speed.
+#[derive(Debug, Clone)]
+struct TidFacts {
+    klass_word: u64,
+    kind: KlassKind,
+    instance_size: u64,
+    elem_size: u64,
+    /// Reference-field offsets (instances).
+    ref_offsets: Vec<u64>,
+    hooked: Option<usize>,
+}
+
+/// Receive statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReceiveStats {
+    /// Objects absolutized.
+    pub objects: u64,
+    /// Bytes placed into the heap (markers included).
+    pub bytes: u64,
+    /// Chunks (old-generation input-buffer regions).
+    pub chunks: u64,
+    /// Classes loaded on demand during absolutization.
+    pub classes_loaded: u64,
+}
+
+/// The receiver side of one stream: accumulates chunks, then absolutizes.
+pub struct GraphReceiver<'a> {
+    vm: &'a mut Vm,
+    dir: &'a TypeDirectory,
+    node: NodeId,
+    chunks: Vec<ChunkMap>,
+    next_logical: u64,
+    tid_cache: HashMap<u32, KlassId>,
+    facts_cache: HashMap<u32, TidFacts>,
+    stats: ReceiveStats,
+}
+
+impl<'a> std::fmt::Debug for GraphReceiver<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphReceiver")
+            .field("node", &self.node)
+            .field("chunks", &self.chunks.len())
+            .field("bytes", &self.next_logical)
+            .finish()
+    }
+}
+
+impl<'a> GraphReceiver<'a> {
+    /// Starts receiving a stream into `vm` on `node`.
+    pub fn new(vm: &'a mut Vm, dir: &'a TypeDirectory, node: NodeId) -> Self {
+        GraphReceiver {
+            vm,
+            dir,
+            node,
+            chunks: Vec::new(),
+            next_logical: 0,
+            tid_cache: HashMap::new(),
+            facts_cache: HashMap::new(),
+            stats: ReceiveStats::default(),
+        }
+    }
+
+    fn facts_for_tid(&mut self, tid: u32, hooks: Option<&UpdateRegistry>) -> Result<&TidFacts> {
+        if !self.facts_cache.contains_key(&tid) {
+            let kid = self.klass_for_tid(tid)?;
+            let k = self.vm.klasses().get(kid).map_err(Error::Heap)?;
+            let facts = TidFacts {
+                klass_word: u64::from(kid.0),
+                kind: k.kind,
+                instance_size: k.instance_size,
+                elem_size: match k.kind {
+                    KlassKind::Instance => 0,
+                    _ => u64::from(k.elem_size().map_err(Error::Heap)?),
+                },
+                ref_offsets: k
+                    .fields
+                    .iter()
+                    .filter(|f| matches!(f.ty, mheap::FieldType::Ref))
+                    .map(|f| f.offset)
+                    .collect(),
+                hooked: hooks.and_then(|h| h.hook_index(&k.name)),
+            };
+            self.facts_cache.insert(tid, facts);
+        }
+        Ok(&self.facts_cache[&tid])
+    }
+
+    /// Places one received chunk into a fresh old-generation input buffer.
+    /// Chunks must arrive in stream order (they do: links are FIFO).
+    ///
+    /// # Errors
+    /// [`mheap::Error::OldGenFull`] (wrapped) when the heap cannot host the
+    /// buffer; alignment errors for corrupt chunks.
+    pub fn push_chunk(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.len() % 8 != 0 {
+            return Err(Error::BadFrame(format!("chunk length {} not 8-aligned", bytes.len())));
+        }
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let base = self.vm.heap_mut().alloc_raw_old(bytes.len() as u64).map_err(Error::Heap)?;
+        self.vm.heap().arena().write_bytes(base.0, bytes).map_err(Error::Heap)?;
+        self.chunks.push(ChunkMap {
+            logical_start: self.next_logical,
+            base,
+            len: bytes.len() as u64,
+        });
+        self.next_logical += bytes.len() as u64;
+        self.stats.chunks += 1;
+        self.stats.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Translates a logical stream offset to an absolute heap address.
+    fn translate(&self, logical: u64) -> Result<Addr> {
+        // Binary search over sorted, contiguous chunk ranges.
+        let idx = self
+            .chunks
+            .partition_point(|c| c.logical_start + c.len <= logical)
+            .min(self.chunks.len().saturating_sub(1));
+        let c = self.chunks.get(idx).ok_or(Error::DanglingRelativeAddr(logical))?;
+        if logical < c.logical_start || logical >= c.logical_start + c.len {
+            return Err(Error::DanglingRelativeAddr(logical));
+        }
+        Ok(Addr(c.base.0 + (logical - c.logical_start)))
+    }
+
+    fn absolutize_slot(&mut self, obj: Addr, off: u64) -> Result<()> {
+        let v = self.vm.heap().arena().load_word(obj.0 + off).map_err(Error::Heap)?;
+        let abs = if v == 0 { Addr::NULL } else { self.translate(v - 1)? };
+        self.vm.heap().arena().store_word(obj.0 + off, abs.0).map_err(Error::Heap)
+    }
+
+    fn klass_for_tid(&mut self, tid: u32) -> Result<KlassId> {
+        if let Some(&k) = self.tid_cache.get(&tid) {
+            return Ok(k);
+        }
+        let name = self.dir.name_for_tid(self.node, tid)?;
+        let loaded_before = self.vm.klasses().len();
+        let kid = self.vm.load_class(&name).map_err(Error::Heap)?;
+        if self.vm.klasses().len() > loaded_before {
+            self.stats.classes_loaded += 1;
+        }
+        // Make sure the local klass knows its tid too (it may serve as a
+        // sender later).
+        let k = self.vm.klasses().get(kid).map_err(Error::Heap)?;
+        self.dir.tid_for(self.node, &k)?;
+        self.tid_cache.insert(tid, kid);
+        Ok(kid)
+    }
+
+    /// The single linear absolutization pass. Returns the root objects in
+    /// arrival order, plus statistics.
+    ///
+    /// The returned roots are *not yet GC roots*: callers must register
+    /// them (handles) before any further allocation on this VM.
+    ///
+    /// # Errors
+    /// Corrupt-stream and heap errors.
+    pub fn finish(mut self, hooks: Option<&UpdateRegistry>) -> Result<(Vec<Addr>, ReceiveStats)> {
+        let spec = self.vm.spec();
+        let mut roots: Vec<Addr> = Vec::new();
+        let mut pending_hooks: Vec<(Addr, usize)> = Vec::new();
+        let mut next_is_root = false;
+        let chunk_list = self.chunks.clone();
+        for c in &chunk_list {
+            let mut at = c.base.0;
+            let end = c.base.0 + c.len;
+            while at < end {
+                let w = self.vm.heap().arena().load_word(at).map_err(Error::Heap)?;
+                if w == TOP_MARK {
+                    next_is_root = true;
+                    self.vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
+                    at += 8;
+                    continue;
+                }
+                if w == TOP_REF {
+                    let l = self.vm.heap().arena().load_word(at + 8).map_err(Error::Heap)?;
+                    if l == 0 {
+                        return Err(Error::BadFrame("null top reference".into()));
+                    }
+                    roots.push(self.translate(l - 1)?);
+                    self.vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
+                    self.vm
+                        .heap()
+                        .arena()
+                        .store_word(at + 8, FILLER_WORD)
+                        .map_err(Error::Heap)?;
+                    at += 16;
+                    continue;
+                }
+                if w == FILLER_WORD {
+                    at += 8;
+                    continue;
+                }
+                // An object: resolve its type, then absolutize.
+                let obj = Addr(at);
+                let tid_word =
+                    self.vm.heap().arena().load_word(at + spec.klass_off()).map_err(Error::Heap)?;
+                if tid_word > u64::from(u32::MAX) {
+                    return Err(Error::BadFrame(format!("implausible tID {tid_word:#x}")));
+                }
+                let facts = self.facts_for_tid(tid_word as u32, hooks)?.clone();
+                self.vm
+                    .heap()
+                    .arena()
+                    .store_word(at + spec.klass_off(), facts.klass_word)
+                    .map_err(Error::Heap)?;
+                // Mark words arrive sanitized; a forwarding bit here means
+                // the stream is corrupt (this is untrusted input, so it is
+                // a validation error, not an assertion).
+                if mark::is_forwarded(
+                    self.vm.heap().arena().load_word(at).map_err(Error::Heap)?,
+                ) {
+                    return Err(Error::BadFrame(format!(
+                        "object at logical {at:#x} carries a forwarding mark"
+                    )));
+                }
+                let size = match facts.kind {
+                    KlassKind::Instance => facts.instance_size,
+                    _ => {
+                        let len = self.vm.array_len(obj).map_err(Error::Heap)?;
+                        // Checked arithmetic: a corrupted length must not
+                        // overflow into a bogus small size.
+                        let body = len
+                            .checked_mul(facts.elem_size)
+                            .and_then(|b| b.checked_add(spec.array_header()))
+                            .filter(|&b| b <= c.len)
+                            .ok_or_else(|| {
+                                Error::BadFrame(format!("implausible array length {len}"))
+                            })?;
+                        mheap::layout::align8(body)
+                    }
+                };
+                if size == 0 || at + size > end {
+                    return Err(Error::BadFrame("object spans chunk boundary".into()));
+                }
+                // Absolutize reference slots.
+                match facts.kind {
+                    KlassKind::RefArray => {
+                        let len = self.vm.array_len(obj).map_err(Error::Heap)?;
+                        let base = spec.array_header();
+                        for i in 0..len {
+                            self.absolutize_slot(obj, base + i * 8)?;
+                        }
+                    }
+                    KlassKind::Instance => {
+                        for i in 0..facts.ref_offsets.len() {
+                            self.absolutize_slot(obj, self.facts_cache[&(tid_word as u32)].ref_offsets[i])?;
+                        }
+                    }
+                    KlassKind::PrimArray(_) => {}
+                }
+                if next_is_root {
+                    roots.push(obj);
+                    next_is_root = false;
+                }
+                if let Some(hook_idx) = facts.hooked {
+                    pending_hooks.push((obj, hook_idx));
+                }
+                self.stats.objects += 1;
+                at += size;
+            }
+            // New pointers now live in the old generation: tell the GC.
+            self.vm.heap_mut().dirty_card_range(c.base, c.len);
+        }
+        // Post-transfer field updates (§3.3 registerUpdate).
+        if let Some(h) = hooks {
+            for (obj, idx) in pending_hooks {
+                h.apply(self.vm, obj, idx)?;
+            }
+        }
+        Ok((roots, self.stats))
+    }
+}

@@ -1,0 +1,489 @@
+//! Sending an object graph (paper §4.2, Algorithm 2).
+//!
+//! A GC-like breadth-first traversal discovers every object reachable from
+//! the roots, clones each object — format preserved — into a
+//! per-destination output buffer, and performs the three lightweight
+//! adjustments the paper defines:
+//!
+//! 1. the klass word is replaced by the global type id (`tID`);
+//! 2. the mark word is sanitized (GC/lock bits reset, **identity hashcode
+//!    preserved**);
+//! 3. every reference field is *relativized* to the referee's logical
+//!    position in the output buffer, recorded through the `baddr` header
+//!    word tagged with the shuffle-phase id (`sID`) and stream id.
+//!
+//! Visited-tracking normally rides in the `baddr` word (one atomic CAS per
+//! object); when the heap has no `baddr` word, or another thread already
+//! claimed the object, a thread-local hash table takes over (§4.2 "Support
+//! for Threads"). Heterogeneous clusters are handled here too: if the
+//! receiver's object format differs, the clone is written *in the
+//! receiver's format*, so only the sender pays (§3.1).
+
+use std::collections::{HashMap, VecDeque};
+
+use mheap::layout::{baddr, mark};
+use mheap::{Addr, KlassKind, LayoutSpec, Vm};
+use simnet::NodeId;
+
+use crate::buffer::{OutputBuffer, TOP_MARK, TOP_REF};
+use crate::registry::TypeDirectory;
+use crate::{Error, Result};
+
+/// How visited objects are tracked during a send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tracking {
+    /// Through the `baddr` header word (the paper's design; requires the
+    /// sender heap's object format to carry one).
+    Baddr,
+    /// Through a side hash table only (the ablation baseline quantifying
+    /// what the extra header word buys).
+    HashTable,
+}
+
+/// Configuration of one graph send.
+#[derive(Debug, Clone, Copy)]
+pub struct SendConfig {
+    /// Flush threshold of the output buffer in bytes.
+    pub chunk_limit: usize,
+    /// The receiver's object format (equal to the sender's in homogeneous
+    /// clusters; different formats trigger sender-side adjustment).
+    pub receiver_spec: LayoutSpec,
+    /// Visited-tracking mode.
+    pub tracking: Tracking,
+}
+
+impl SendConfig {
+    /// Homogeneous-cluster defaults for a sender VM.
+    pub fn for_vm(vm: &Vm) -> Self {
+        SendConfig {
+            chunk_limit: crate::buffer::DEFAULT_CHUNK,
+            receiver_spec: vm.spec(),
+            tracking: if vm.spec().with_baddr { Tracking::Baddr } else { Tracking::HashTable },
+        }
+    }
+}
+
+/// Byte-composition statistics of a finished stream — the paper's §5.2
+/// analysis of what the "extra bytes" consist of (headers 51%, padding 34%,
+/// pointers 15% in their Spark runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SendStats {
+    /// Objects cloned into the buffer.
+    pub objects: u64,
+    /// Total logical bytes (markers included).
+    pub total_bytes: u64,
+    /// Bytes spent on object headers (mark + klass + baddr + array length).
+    pub header_bytes: u64,
+    /// Bytes spent on alignment padding.
+    pub padding_bytes: u64,
+    /// Bytes spent on reference fields (pointers).
+    pub pointer_bytes: u64,
+    /// Bytes spent on primitive payload.
+    pub data_bytes: u64,
+    /// Marker words (top marks / top refs).
+    pub marker_bytes: u64,
+    /// Objects found via the hash-table fallback rather than `baddr`.
+    pub fallback_hits: u64,
+}
+
+/// A finished per-destination stream: chunks plus statistics.
+#[derive(Debug)]
+pub struct StreamOut {
+    /// Stream id (thread id within the shuffle phase).
+    pub stream: u16,
+    /// Flushed chunks in order.
+    pub chunks: Vec<Vec<u8>>,
+    /// Composition statistics.
+    pub stats: SendStats,
+}
+
+/// Precomputed per-klass facts the per-object hot path needs; resolving
+/// them once per class (instead of per object) is what keeps the traversal
+/// at copy speed, as the real Skyway's VM-internal send loop is.
+#[derive(Debug, Clone)]
+struct KlassFacts {
+    kind: KlassKind,
+    tid: u64,
+    elem_size: u64,
+    /// Exact payload length (instances).
+    payload_exact: u64,
+    /// Receiver-format object size (instances).
+    recv_size: u64,
+    /// Sender-format reference-field offsets (instances).
+    ref_offsets: Vec<u64>,
+}
+
+/// The sender-side traversal state for one (destination, stream) pair.
+pub struct GraphSender<'a> {
+    vm: &'a Vm,
+    dir: &'a TypeDirectory,
+    node: NodeId,
+    sid: u8,
+    stream: u16,
+    cfg: SendConfig,
+    out: OutputBuffer,
+    /// Thread-local fallback: heap address → logical buffer address.
+    fallback: HashMap<u64, u64>,
+    gray: VecDeque<(Addr, u64, u64)>,
+    stats: SendStats,
+    klass_facts: HashMap<u32, KlassFacts>,
+}
+
+impl<'a> std::fmt::Debug for GraphSender<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphSender")
+            .field("node", &self.node)
+            .field("sid", &self.sid)
+            .field("stream", &self.stream)
+            .field("bytes", &self.out.total_bytes())
+            .finish()
+    }
+}
+
+impl<'a> GraphSender<'a> {
+    /// Starts a send from `vm` on `node`, within shuffle phase `sid`, as
+    /// stream `stream`.
+    ///
+    /// # Errors
+    /// [`Error::NeedsBaddr`] if `Tracking::Baddr` is requested on a heap
+    /// whose format has no `baddr` word.
+    pub fn new(
+        vm: &'a Vm,
+        dir: &'a TypeDirectory,
+        node: NodeId,
+        sid: u8,
+        stream: u16,
+        cfg: SendConfig,
+    ) -> Result<Self> {
+        if cfg.tracking == Tracking::Baddr && !vm.spec().with_baddr {
+            return Err(Error::NeedsBaddr);
+        }
+        Ok(GraphSender {
+            vm,
+            dir,
+            node,
+            sid,
+            stream,
+            cfg,
+            out: OutputBuffer::new(cfg.chunk_limit),
+            fallback: HashMap::new(),
+            gray: VecDeque::new(),
+            stats: SendStats::default(),
+            klass_facts: HashMap::new(),
+        })
+    }
+
+    /// Resolves (and caches) the per-klass facts for the klass word of
+    /// `obj`.
+    fn facts_for(&mut self, obj: Addr) -> Result<&KlassFacts> {
+        let kw = self
+            .vm
+            .heap()
+            .arena()
+            .load_word(obj.0 + self.vm.spec().klass_off())
+            .map_err(Error::Heap)? as u32;
+        if !self.klass_facts.contains_key(&kw) {
+            let k = self.vm.klasses().get(mheap::KlassId(kw)).map_err(Error::Heap)?;
+            let hdr = self.vm.spec().instance_header();
+            let payload_exact = k
+                .fields
+                .iter()
+                .map(|f| f.offset + u64::from(f.ty.size()))
+                .max()
+                .unwrap_or(hdr)
+                - hdr;
+            let facts = KlassFacts {
+                kind: k.kind,
+                tid: u64::from(self.dir.tid_for(self.node, &k)?),
+                elem_size: match k.kind {
+                    KlassKind::Instance => 0,
+                    _ => u64::from(k.elem_size().map_err(Error::Heap)?),
+                },
+                payload_exact,
+                recv_size: mheap::layout::align8(
+                    self.cfg.receiver_spec.instance_header() + payload_exact,
+                ),
+                ref_offsets: k
+                    .fields
+                    .iter()
+                    .filter(|f| matches!(f.ty, mheap::FieldType::Ref))
+                    .map(|f| f.offset)
+                    .collect(),
+            };
+            self.klass_facts.insert(kw, facts);
+        }
+        Ok(&self.klass_facts[&kw])
+    }
+
+    /// The logical position already assigned to `obj` in this phase, if
+    /// any (Algorithm 2 lines 18–26 visited check).
+    fn lookup_visited(&mut self, obj: Addr) -> Result<Option<u64>> {
+        match self.cfg.tracking {
+            Tracking::HashTable => Ok(self.fallback.get(&obj.0).copied()),
+            Tracking::Baddr => {
+                let off = obj.0 + self.vm.spec().baddr_off().map_err(Error::Heap)?;
+                let w = self.vm.heap().arena().load_word_atomic(off).map_err(Error::Heap)?;
+                if baddr::sid_of(w) != self.sid {
+                    return Ok(None);
+                }
+                if baddr::stream_of(w) == self.stream {
+                    return Ok(Some(baddr::rel_of(w)));
+                }
+                // Claimed by another stream/thread: our own copy lives in
+                // the thread-local table (or doesn't exist yet).
+                if let Some(&rel) = self.fallback.get(&obj.0) {
+                    self.stats.fallback_hits += 1;
+                    return Ok(Some(rel));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Records `obj → logical` for this phase (CAS on `baddr`, falling back
+    /// to the hash table when another thread wins or already owns it).
+    fn claim(&mut self, obj: Addr, logical: u64) -> Result<()> {
+        match self.cfg.tracking {
+            Tracking::HashTable => {
+                self.fallback.insert(obj.0, logical);
+                Ok(())
+            }
+            Tracking::Baddr => {
+                let off = obj.0 + self.vm.spec().baddr_off().map_err(Error::Heap)?;
+                let arena = self.vm.heap().arena();
+                let old = arena.load_word_atomic(off).map_err(Error::Heap)?;
+                if baddr::sid_of(old) == self.sid {
+                    // Another stream claimed it between lookup and claim.
+                    self.fallback.insert(obj.0, logical);
+                    return Ok(());
+                }
+                let new = baddr::compose(self.sid, self.stream, logical);
+                match arena.cas_word(off, old, new).map_err(Error::Heap)? {
+                    Ok(_) => Ok(()),
+                    Err(_) => {
+                        self.fallback.insert(obj.0, logical);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Object size *in the receiver's format* (facts precomputed).
+    fn size_recv(&mut self, obj: Addr) -> Result<u64> {
+        let facts = self.facts_for(obj)?;
+        match facts.kind {
+            KlassKind::Instance => Ok(facts.recv_size),
+            _ => {
+                let es = facts.elem_size;
+                let hdr = self.cfg.receiver_spec.array_header();
+                let len = self.vm.array_len(obj).map_err(Error::Heap)?;
+                Ok(mheap::layout::align8(hdr + len * es))
+            }
+        }
+    }
+
+    /// Visits a referee: returns its logical address, enqueuing it for
+    /// cloning if unseen (Algorithm 2 lines 15–27).
+    fn visit(&mut self, obj: Addr) -> Result<u64> {
+        if let Some(rel) = self.lookup_visited(obj)? {
+            return Ok(rel);
+        }
+        let size = self.size_recv(obj)?;
+        let logical = self.out.assign(size);
+        self.claim(obj, logical)?;
+        self.gray.push_back((obj, logical, size));
+        Ok(logical)
+    }
+
+    /// Clones one object into the buffer at its assigned logical address,
+    /// adjusting headers and relativizing references (Algorithm 2 lines
+    /// 10–27).
+    fn clone_object(&mut self, obj: Addr, logical: u64, size: u64) -> Result<()> {
+        self.out.place(logical, size)?;
+        self.stats.objects += 1;
+        let facts = self.facts_for(obj)?.clone();
+        let sspec = self.vm.spec();
+        let rspec = self.cfg.receiver_spec;
+        let arena = self.vm.heap().arena();
+
+        // Header: sanitized mark (hashcode preserved), tID, zero baddr.
+        let m = arena.load_word(obj.0 + sspec.mark_off()).map_err(Error::Heap)?;
+        self.out.write_word(logical, mark::sanitized_for_transfer(m))?;
+        self.out.write_word(logical + 8, facts.tid)?;
+        if rspec.with_baddr {
+            self.out.write_word(logical + rspec.baddr_off().map_err(Error::Heap)?, 0)?;
+        }
+
+        match facts.kind {
+            KlassKind::Instance => {
+                let payload = facts.payload_exact;
+                let hdr = rspec.instance_header();
+                self.stats.header_bytes += hdr;
+                self.stats.padding_bytes += size - hdr - payload;
+                // Bulk copy of the entire payload — this is the "transfers
+                // every object as a whole" fast path; no per-field access.
+                if payload > 0 {
+                    let dst = self.out.slice_mut(logical + hdr, payload as usize)?;
+                    arena
+                        .read_bytes(obj.0 + sspec.instance_header(), dst)
+                        .map_err(Error::Heap)?;
+                }
+                // Relativize reference slots within the clone.
+                let shdr = sspec.instance_header();
+                for &off in &facts.ref_offsets {
+                    self.stats.pointer_bytes += 8;
+                    let tgt =
+                        Addr(self.vm.heap().arena().load_word(obj.0 + off).map_err(Error::Heap)?);
+                    let slot = logical + hdr + (off - shdr);
+                    if tgt.is_null() {
+                        self.out.write_word(slot, 0)?;
+                    } else {
+                        let rel = self.visit(tgt)?;
+                        self.out.write_word(slot, rel + 1)?;
+                    }
+                }
+                self.stats.data_bytes += payload - 8 * facts.ref_offsets.len() as u64;
+            }
+            KlassKind::PrimArray(p) => {
+                let len = self.vm.array_len(obj).map_err(Error::Heap)?;
+                let hdr = rspec.array_header();
+                self.stats.header_bytes += hdr;
+                self.write_array_len(logical, len)?;
+                let bytes = len * u64::from(p.size());
+                self.stats.data_bytes += bytes;
+                self.stats.padding_bytes += size - hdr - bytes;
+                if bytes > 0 {
+                    let dst = self.out.slice_mut(logical + hdr, bytes as usize)?;
+                    arena
+                        .read_bytes(obj.0 + sspec.array_header(), dst)
+                        .map_err(Error::Heap)?;
+                }
+            }
+            KlassKind::RefArray => {
+                let len = self.vm.array_len(obj).map_err(Error::Heap)?;
+                let hdr = rspec.array_header();
+                self.stats.header_bytes += hdr;
+                self.write_array_len(logical, len)?;
+                self.stats.pointer_bytes += len * 8;
+                self.stats.padding_bytes += size - hdr - len * 8;
+                let sbase = obj.0 + sspec.array_header();
+                for i in 0..len {
+                    let tgt = Addr(arena.load_word(sbase + i * 8).map_err(Error::Heap)?);
+                    let slot = logical + hdr + i * 8;
+                    if tgt.is_null() {
+                        self.out.write_word(slot, 0)?;
+                    } else {
+                        let rel = self.visit(tgt)?;
+                        self.out.write_word(slot, rel + 1)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_array_len(&mut self, logical: u64, len: u64) -> Result<()> {
+        let rspec = self.cfg.receiver_spec;
+        match rspec.array_len_size {
+            8 => self.out.write_word(logical + rspec.array_len_off(), len),
+            4 => self.out.write_u32(logical + rspec.array_len_off(), len as u32),
+            n => Err(Error::BadFrame(format!("array_len_size {n}"))),
+        }
+    }
+
+    /// Transfers the object graph of one root (`writeObject(root)`): emits
+    /// a top mark (or a backward reference if this root already went out in
+    /// this phase), then drains the BFS queue.
+    ///
+    /// # Errors
+    /// Heap/registry errors.
+    pub fn write_root(&mut self, root: Addr) -> Result<()> {
+        if root.is_null() {
+            return Err(Error::NullRoot);
+        }
+        if let Some(rel) = self.lookup_visited(root)? {
+            let at = self.out.emit(16)?;
+            self.out.write_word(at, TOP_REF)?;
+            self.out.write_word(at + 8, rel + 1)?;
+            self.stats.marker_bytes += 16;
+            return Ok(());
+        }
+        let at = self.out.emit(8)?;
+        self.out.write_word(at, TOP_MARK)?;
+        self.stats.marker_bytes += 8;
+        let size = self.size_recv(root)?;
+        let logical = self.out.assign(size);
+        self.claim(root, logical)?;
+        self.gray.push_back((root, logical, size));
+        while let Some((obj, logical, size)) = self.gray.pop_front() {
+            self.clone_object(obj, logical, size)?;
+        }
+        Ok(())
+    }
+
+    /// Completes the stream.
+    pub fn finish(mut self) -> StreamOut {
+        self.stats.total_bytes = self.out.total_bytes();
+        StreamOut { stream: self.stream, chunks: self.out.finish(), stats: self.stats }
+    }
+
+    /// Bytes produced so far (streaming diagnostics).
+    pub fn bytes_so_far(&self) -> u64 {
+        self.out.total_bytes()
+    }
+
+    /// Chunks that have already flushed (streaming carriers drain these so
+    /// transfer overlaps with the traversal, §3.2).
+    pub fn take_ready_chunks(&mut self) -> Vec<Vec<u8>> {
+        self.out.take_ready_chunks()
+    }
+
+    /// The receiver object format this sender is writing for.
+    pub fn receiver_spec(&self) -> LayoutSpec {
+        self.cfg.receiver_spec
+    }
+}
+
+/// Sends `roots` using `n_threads` parallel streams over one shared heap
+/// (§4.2 "Support for Threads"): roots are partitioned round-robin, each
+/// thread claims objects via CAS on `baddr`, and objects reached by several
+/// threads are duplicated per stream — the same semantics as the existing
+/// serializers.
+///
+/// # Errors
+/// Propagates the first sender error from any thread.
+pub fn send_roots_parallel(
+    vm: &Vm,
+    dir: &TypeDirectory,
+    node: NodeId,
+    sid: u8,
+    roots: &[Addr],
+    n_threads: usize,
+    cfg: SendConfig,
+) -> Result<Vec<StreamOut>> {
+    let n_threads = n_threads.clamp(1, 64);
+    let mut partitions: Vec<Vec<Addr>> = vec![Vec::new(); n_threads];
+    for (i, &r) in roots.iter().enumerate() {
+        partitions[i % n_threads].push(r);
+    }
+    let results: Vec<Result<StreamOut>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .enumerate()
+            .map(|(t, part)| {
+                scope.spawn(move |_| -> Result<StreamOut> {
+                    let mut sender =
+                        GraphSender::new(vm, dir, node, sid, (t as u16) + 1, cfg)?;
+                    for &root in part {
+                        sender.write_root(root)?;
+                    }
+                    Ok(sender.finish())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sender thread panicked")).collect()
+    })
+    .expect("crossbeam scope");
+    results.into_iter().collect()
+}

@@ -1,0 +1,338 @@
+//! The [`serlab::Serializer`] adapter: lets Skyway plug into the same
+//! shuffle pipelines and benchmarks as every baseline library (paper §3.3 —
+//! "directly compatible with the standard Java serializer").
+//!
+//! One adapter instance belongs to one node: it serializes outgoing data
+//! from that node's VM and deserializes incoming data into it. Byte blobs
+//! are framed chunk streams (see [`crate::buffer::frame_chunks`]), so they
+//! travel through files, sockets, or the simulated network unchanged.
+
+use std::sync::Arc;
+
+use mheap::{Addr, LayoutSpec, Vm};
+use simnet::{NodeId, Profile};
+
+use crate::buffer::{frame_chunks, parse_frames};
+use crate::registry::TypeDirectory;
+use crate::sender::{send_roots_parallel, GraphSender, SendConfig, SendStats, Tracking};
+use crate::stream::{ShuffleController, UpdateRegistry};
+use crate::{Error, Result};
+
+const FLAG_COMPRESSED: u8 = 0b100;
+
+fn spec_flags(spec: LayoutSpec) -> u8 {
+    (u8::from(spec.with_baddr)) | (u8::from(spec.array_len_size == 4) << 1)
+}
+
+fn flags_spec(flags: u8) -> LayoutSpec {
+    LayoutSpec { with_baddr: flags & 1 != 0, array_len_size: if flags & 2 != 0 { 4 } else { 8 } }
+}
+
+/// Skyway as a pluggable serializer for one cluster node.
+#[derive(Debug)]
+pub struct SkywaySerializer {
+    dir: Arc<TypeDirectory>,
+    node: NodeId,
+    controller: Arc<ShuffleController>,
+    chunk_limit: usize,
+    receiver_spec: LayoutSpec,
+    tracking: Tracking,
+    hooks: Option<Arc<UpdateRegistry>>,
+    compressed_wire: bool,
+    parallel_streams: usize,
+    last_send_stats: parking_lot::Mutex<SendStats>,
+}
+
+impl SkywaySerializer {
+    /// Creates the adapter for `node`. `receiver_spec` is the object format
+    /// of the nodes this one sends to (same as the local format in
+    /// homogeneous clusters).
+    pub fn new(
+        dir: Arc<TypeDirectory>,
+        node: NodeId,
+        controller: Arc<ShuffleController>,
+        receiver_spec: LayoutSpec,
+    ) -> Self {
+        SkywaySerializer {
+            dir,
+            node,
+            controller,
+            chunk_limit: crate::buffer::DEFAULT_CHUNK,
+            receiver_spec,
+            tracking: Tracking::Baddr,
+            hooks: None,
+            compressed_wire: false,
+            parallel_streams: 1,
+            last_send_stats: parking_lot::Mutex::new(SendStats::default()),
+        }
+    }
+
+    /// Enables the compressed wire format (the paper's future-work
+    /// extension): objects travel without the `baddr` header word and with
+    /// 4-byte array lengths; the receiver expands them back to the local
+    /// format before absolutization. Smaller streams, slower receive — see
+    /// the `ablations` harness for the measured trade-off.
+    pub fn with_wire_compression(mut self, on: bool) -> Self {
+        self.compressed_wire = on;
+        self
+    }
+
+    /// Overrides the chunk size, builder-style.
+    pub fn with_chunk_limit(mut self, chunk_limit: usize) -> Self {
+        self.chunk_limit = chunk_limit.max(64);
+        self
+    }
+
+    /// Selects the visited-tracking mode, builder-style (the ablation
+    /// switch).
+    pub fn with_tracking(mut self, tracking: Tracking) -> Self {
+        self.tracking = tracking;
+        self
+    }
+
+    /// Installs post-transfer update hooks, builder-style.
+    pub fn with_hooks(mut self, hooks: Arc<UpdateRegistry>) -> Self {
+        self.hooks = Some(hooks);
+        self
+    }
+
+    /// Sends with `n` parallel threads (§4.2 "Support for Threads"):
+    /// roots are partitioned round-robin over per-thread streams; shared
+    /// objects are claimed via CAS on `baddr` and duplicated per stream —
+    /// the same semantics as the existing serializers.
+    pub fn with_parallel_streams(mut self, n: usize) -> Self {
+        self.parallel_streams = n.clamp(1, 64);
+        self
+    }
+
+    /// Byte-composition statistics of the most recent `serialize` call
+    /// (the §5.2 extra-bytes analysis).
+    pub fn last_send_stats(&self) -> SendStats {
+        *self.last_send_stats.lock()
+    }
+
+    /// The shuffle controller (engines call `start_phase` through it).
+    pub fn controller(&self) -> &Arc<ShuffleController> {
+        &self.controller
+    }
+
+    /// Receives one framed single-stream blob into `vm`.
+    fn receive_blob(&self, vm: &mut Vm, blob: &[u8]) -> Result<Vec<Addr>> {
+        let (flags, chunks) = parse_frames(blob)?;
+        let declared_spec = flags_spec(flags);
+        if declared_spec != vm.spec() {
+            return Err(Error::SpecMismatch {
+                wire: format!("{declared_spec:?}"),
+                local: format!("{:?}", vm.spec()),
+            });
+        }
+        if flags & FLAG_COMPRESSED != 0 {
+            let local_spec = vm.spec();
+            let expanded =
+                crate::compress::expand_stream(vm, &self.dir, self.node, &chunks, local_spec)?;
+            let mut rx = crate::receiver::GraphReceiver::new(vm, &self.dir, self.node);
+            rx.push_chunk(&expanded)?;
+            let (roots, _stats) = rx.finish(self.hooks.as_deref())?;
+            return Ok(roots);
+        }
+        let mut rx = crate::receiver::GraphReceiver::new(vm, &self.dir, self.node);
+        for c in chunks {
+            rx.push_chunk(c)?;
+        }
+        let (roots, _stats) = rx.finish(self.hooks.as_deref())?;
+        Ok(roots)
+    }
+
+    fn send_config(&self) -> SendConfig {
+        SendConfig {
+            chunk_limit: self.chunk_limit,
+            receiver_spec: if self.compressed_wire {
+                crate::compress::WIRE_SPEC
+            } else {
+                self.receiver_spec
+            },
+            tracking: self.tracking,
+        }
+    }
+}
+
+impl serlab::Serializer for SkywaySerializer {
+    fn name(&self) -> &str {
+        "skyway"
+    }
+
+    fn serialize(
+        &self,
+        vm: &mut Vm,
+        roots: &[Addr],
+        profile: &mut Profile,
+    ) -> serlab::Result<Vec<u8>> {
+        let flags = if self.compressed_wire {
+            spec_flags(self.receiver_spec) | FLAG_COMPRESSED
+        } else {
+            spec_flags(self.receiver_spec)
+        };
+        if self.parallel_streams > 1 {
+            let mut run = || -> Result<Vec<u8>> {
+                let streams = send_roots_parallel(
+                    vm,
+                    &self.dir,
+                    self.node,
+                    self.controller.sid(),
+                    roots,
+                    self.parallel_streams,
+                    self.send_config(),
+                )?;
+                let mut merged = SendStats::default();
+                let mut out = Vec::new();
+                out.extend_from_slice(b"MSKY");
+                out.extend_from_slice(&(streams.len() as u16).to_le_bytes());
+                for st in &streams {
+                    profile.objects_transferred += st.stats.objects;
+                    merge_stats(&mut merged, &st.stats);
+                    let blob = frame_chunks(&st.chunks, flags);
+                    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&blob);
+                }
+                *self.last_send_stats.lock() = merged;
+                Ok(out)
+            };
+            return run().map_err(to_serlab);
+        }
+        let mut run = || -> Result<Vec<u8>> {
+            let mut sender = GraphSender::new(
+                vm,
+                &self.dir,
+                self.node,
+                self.controller.sid(),
+                self.controller.next_stream(),
+                self.send_config(),
+            )?;
+            for &root in roots {
+                sender.write_root(root)?;
+            }
+            let out = sender.finish();
+            profile.objects_transferred += out.stats.objects;
+            // Note what is conspicuously absent: no per-object S/D function
+            // invocations are counted, because none happen.
+            *self.last_send_stats.lock() = out.stats;
+            Ok(frame_chunks(&out.chunks, flags))
+        };
+        run().map_err(to_serlab)
+    }
+
+    fn deserialize(
+        &self,
+        vm: &mut Vm,
+        bytes: &[u8],
+        _profile: &mut Profile,
+    ) -> serlab::Result<Vec<Addr>> {
+        if bytes.starts_with(b"MSKY") {
+            // Multi-stream container: each stream is an independent input
+            // buffer set; roots interleave back into round-robin order.
+            let mut run = || -> Result<Vec<Addr>> {
+                if bytes.len() < 6 {
+                    return Err(Error::BadFrame("truncated MSKY container".into()));
+                }
+                let n = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2")) as usize;
+                let mut pos = 6usize;
+                let mut per_stream: Vec<Vec<Addr>> = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if pos + 4 > bytes.len() {
+                        return Err(Error::BadFrame("truncated MSKY stream header".into()));
+                    }
+                    let len =
+                        u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4")) as usize;
+                    pos += 4;
+                    let blob = bytes
+                        .get(pos..pos + len)
+                        .ok_or_else(|| Error::BadFrame("truncated MSKY stream body".into()))?;
+                    pos += len;
+                    per_stream.push(self.receive_blob(vm, blob)?);
+                }
+                // Round-robin reassembly (sender partitioned roots i → i % n).
+                let total: usize = per_stream.iter().map(Vec::len).sum();
+                let mut out = Vec::with_capacity(total);
+                let mut idx = vec![0usize; n];
+                for i in 0..total {
+                    let s = i % n;
+                    out.push(per_stream[s][idx[s]]);
+                    idx[s] += 1;
+                }
+                Ok(out)
+            };
+            return run().map_err(to_serlab);
+        }
+        let mut run = || -> Result<Vec<Addr>> {
+            let (flags, chunks) = parse_frames(bytes)?;
+            let declared_spec = flags_spec(flags);
+            if flags & FLAG_COMPRESSED != 0 {
+                // Compressed wire: expand to the local format first, then
+                // receive the expanded stream normally.
+                if declared_spec != vm.spec() {
+                    return Err(Error::SpecMismatch {
+                        wire: format!("{declared_spec:?}"),
+                        local: format!("{:?}", vm.spec()),
+                    });
+                }
+                let local_spec = vm.spec();
+                let expanded =
+                    crate::compress::expand_stream(vm, &self.dir, self.node, &chunks, local_spec)?;
+                let mut rx = crate::receiver::GraphReceiver::new(vm, &self.dir, self.node);
+                // Re-chunk the expanded stream at the configured size; the
+                // receiver requires objects not to span chunks, which one
+                // single chunk trivially satisfies.
+                rx.push_chunk(&expanded)?;
+                let (roots, _stats) = rx.finish(self.hooks.as_deref())?;
+                return Ok(roots);
+            }
+            if declared_spec != vm.spec() {
+                return Err(Error::SpecMismatch {
+                    wire: format!("{declared_spec:?}"),
+                    local: format!("{:?}", vm.spec()),
+                });
+            }
+            let mut rx = crate::receiver::GraphReceiver::new(vm, &self.dir, self.node);
+            for c in chunks {
+                rx.push_chunk(c)?;
+            }
+            let (roots, _stats) = rx.finish(self.hooks.as_deref())?;
+            Ok(roots)
+        };
+        run().map_err(to_serlab)
+    }
+
+    fn preserves_sharing(&self) -> bool {
+        true
+    }
+}
+
+fn merge_stats(into: &mut SendStats, s: &SendStats) {
+    into.objects += s.objects;
+    into.total_bytes += s.total_bytes;
+    into.header_bytes += s.header_bytes;
+    into.padding_bytes += s.padding_bytes;
+    into.pointer_bytes += s.pointer_bytes;
+    into.data_bytes += s.data_bytes;
+    into.marker_bytes += s.marker_bytes;
+    into.fallback_hits += s.fallback_hits;
+}
+
+fn to_serlab(e: Error) -> serlab::Error {
+    match e {
+        Error::Heap(h) => serlab::Error::Heap(h),
+        other => serlab::Error::Malformed(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_flags_roundtrip() {
+        for spec in [LayoutSpec::SKYWAY, LayoutSpec::STOCK, LayoutSpec::COMPACT] {
+            assert_eq!(flags_spec(spec_flags(spec)), spec);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! The Skyway library API (paper §3.3): stream classes compatible with the
+//! standard serializer interface, shuffle-phase management
+//! (`shuffleStart`), and post-transfer field-update hooks
+//! (`registerUpdate`).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use mheap::layout::Addr;
+use mheap::Vm;
+use parking_lot::RwLock;
+use simnet::NodeId;
+
+use crate::receiver::{GraphReceiver, ReceiveStats};
+use crate::registry::TypeDirectory;
+use crate::sender::{GraphSender, SendConfig, StreamOut};
+use crate::{Error, Result};
+
+/// Per-sending-VM shuffle-phase state. `shuffle_start()` increments the
+/// phase; the phase id (`sID`) occupies one byte of the `baddr` word, so it
+/// cycles through 1..=255 — [`ShuffleController::start_phase`] reports when
+/// a wrap occurs so the engine can scrub stale `baddr` words (a heap walk;
+/// the price of the one-byte encoding, paid every 255 phases).
+#[derive(Debug)]
+pub struct ShuffleController {
+    phase: AtomicU64,
+    stream_counter: AtomicU32,
+}
+
+impl Default for ShuffleController {
+    fn default() -> Self {
+        ShuffleController { phase: AtomicU64::new(1), stream_counter: AtomicU32::new(0) }
+    }
+}
+
+impl ShuffleController {
+    /// Creates the controller at phase 1.
+    pub fn new() -> Self {
+        ShuffleController::default()
+    }
+
+    /// The current shuffle phase's one-byte `sID` (never 0 — 0 means
+    /// "never visited", the state of a freshly allocated object).
+    pub fn sid(&self) -> u8 {
+        ((self.phase.load(Ordering::Acquire) - 1) % 255 + 1) as u8
+    }
+
+    /// Monotonic phase number (diagnostics).
+    pub fn phase(&self) -> u64 {
+        self.phase.load(Ordering::Acquire)
+    }
+
+    /// Starts the next shuffle phase (`shuffleStart` in the paper).
+    /// Returns `true` when the one-byte `sID` wrapped around, in which case
+    /// the caller must run [`scrub_baddrs`] before sending.
+    pub fn start_phase(&self) -> bool {
+        let p = self.phase.fetch_add(1, Ordering::AcqRel) + 1;
+        self.stream_counter.store(0, Ordering::Release);
+        (p - 1) % 255 == 0
+    }
+
+    /// Allocates a fresh stream id within the current phase (each
+    /// destination buffer / sender thread gets its own).
+    pub fn next_stream(&self) -> u16 {
+        (self.stream_counter.fetch_add(1, Ordering::AcqRel) % 0xfffe) as u16 + 1
+    }
+}
+
+/// Zeroes every `baddr` word in the heap — required when the one-byte
+/// phase id wraps, so 255-phase-old entries cannot alias the new phase.
+///
+/// # Errors
+/// Heap walking errors; [`Error::NeedsBaddr`] if the format has no `baddr`.
+pub fn scrub_baddrs(vm: &mut Vm) -> Result<()> {
+    let off = vm.spec().baddr_off().map_err(Error::Heap)?;
+    let mut addrs: Vec<u64> = Vec::new();
+    vm.walk_heap(|_, a, _| {
+        addrs.push(a.0);
+        Ok(())
+    })
+    .map_err(Error::Heap)?;
+    for a in addrs {
+        vm.heap().arena().store_word(a + off, 0).map_err(Error::Heap)?;
+    }
+    Ok(())
+}
+
+type UpdateFn = Box<dyn Fn(&mut Vm, Addr) -> Result<()> + Send + Sync>;
+
+/// Post-transfer field-update hooks (`registerUpdate`, §3.3): a function
+/// registered per class runs on every transferred object of that class
+/// right after absolutization — e.g. re-initializing a timestamp field.
+#[derive(Default)]
+pub struct UpdateRegistry {
+    hooks: RwLock<Vec<(String, UpdateFn)>>,
+}
+
+impl std::fmt::Debug for UpdateRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateRegistry").field("hooks", &self.hooks.read().len()).finish()
+    }
+}
+
+impl UpdateRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        UpdateRegistry::default()
+    }
+
+    /// Registers an update function for a class.
+    pub fn register_update(
+        &self,
+        class: impl Into<String>,
+        f: impl Fn(&mut Vm, Addr) -> Result<()> + Send + Sync + 'static,
+    ) {
+        self.hooks.write().push((class.into(), Box::new(f)));
+    }
+
+    /// Index of the hook for `class`, if any.
+    pub(crate) fn hook_index(&self, class: &str) -> Option<usize> {
+        self.hooks.read().iter().position(|(c, _)| c == class)
+    }
+
+    /// Applies hook `idx` to `obj`.
+    pub(crate) fn apply(&self, vm: &mut Vm, obj: Addr, idx: usize) -> Result<()> {
+        let hooks = self.hooks.read();
+        let (_, f) = hooks.get(idx).ok_or(Error::NoSuchHook(idx))?;
+        f(vm, obj)
+    }
+
+    /// Number of registered hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.read().len()
+    }
+
+    /// True when no hooks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The analogue of `SkywayObjectOutputStream`: `write_object(root)` calls
+/// transfer whole object graphs; `finish()` yields the stream chunks for
+/// whatever carrier (file, socket) the caller wraps this in.
+pub struct SkywayObjectOutputStream<'a> {
+    sender: GraphSender<'a>,
+    roots_written: usize,
+}
+
+impl<'a> std::fmt::Debug for SkywayObjectOutputStream<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkywayObjectOutputStream")
+            .field("roots_written", &self.roots_written)
+            .finish()
+    }
+}
+
+impl<'a> SkywayObjectOutputStream<'a> {
+    /// Opens an output stream from `vm` within the controller's current
+    /// shuffle phase.
+    ///
+    /// # Errors
+    /// [`Error::NeedsBaddr`] for baddr-tracking on a stock-format heap.
+    pub fn new(
+        vm: &'a Vm,
+        dir: &'a TypeDirectory,
+        node: NodeId,
+        controller: &ShuffleController,
+        cfg: SendConfig,
+    ) -> Result<Self> {
+        let sender =
+            GraphSender::new(vm, dir, node, controller.sid(), controller.next_stream(), cfg)?;
+        Ok(SkywayObjectOutputStream { sender, roots_written: 0 })
+    }
+
+    /// Transfers the object graph rooted at `root` — the drop-in
+    /// counterpart of `stream.writeObject(o)`.
+    ///
+    /// # Errors
+    /// Heap/registry errors.
+    pub fn write_object(&mut self, root: Addr) -> Result<()> {
+        self.sender.write_root(root)?;
+        self.roots_written += 1;
+        Ok(())
+    }
+
+    /// Number of `write_object` calls so far.
+    pub fn roots_written(&self) -> usize {
+        self.roots_written
+    }
+
+    /// Closes the stream, returning its chunks and statistics.
+    pub fn finish(self) -> StreamOut {
+        self.sender.finish()
+    }
+}
+
+/// The analogue of `SkywayObjectInputStream`: feed it the received chunks,
+/// then `read_objects()` absolutizes the input buffers and returns the
+/// roots.
+pub struct SkywayObjectInputStream<'a> {
+    receiver: GraphReceiver<'a>,
+}
+
+impl<'a> std::fmt::Debug for SkywayObjectInputStream<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkywayObjectInputStream").finish()
+    }
+}
+
+impl<'a> SkywayObjectInputStream<'a> {
+    /// Opens an input stream into `vm`.
+    pub fn new(vm: &'a mut Vm, dir: &'a TypeDirectory, node: NodeId) -> Self {
+        SkywayObjectInputStream { receiver: GraphReceiver::new(vm, dir, node) }
+    }
+
+    /// Appends one received chunk (streaming arrival).
+    ///
+    /// # Errors
+    /// Heap errors (old generation full) and corrupt-chunk errors.
+    pub fn push_chunk(&mut self, bytes: &[u8]) -> Result<()> {
+        self.receiver.push_chunk(bytes)
+    }
+
+    /// Absolutizes and returns the transferred roots. The counterpart of
+    /// draining `readObject()` calls.
+    ///
+    /// # Errors
+    /// Corrupt-stream errors.
+    pub fn read_objects(self, hooks: Option<&UpdateRegistry>) -> Result<(Vec<Addr>, ReceiveStats)> {
+        self.receiver.finish(hooks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sid_never_zero_and_wraps() {
+        let c = ShuffleController::new();
+        assert_eq!(c.sid(), 1);
+        let mut wrapped = 0;
+        for _ in 0..600 {
+            if c.start_phase() {
+                wrapped += 1;
+            }
+            assert_ne!(c.sid(), 0);
+        }
+        assert!(wrapped >= 2, "600 phases must wrap the 255-value sid at least twice");
+    }
+
+    #[test]
+    fn stream_ids_unique_within_phase() {
+        let c = ShuffleController::new();
+        let a = c.next_stream();
+        let b = c.next_stream();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+        c.start_phase();
+        assert_eq!(c.next_stream(), a, "stream counter resets each phase");
+    }
+}

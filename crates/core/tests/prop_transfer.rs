@@ -1,0 +1,263 @@
+//! Property-based Skyway tests: arbitrary object DAGs round-trip with
+//! structure, values, sharing, and cached hashcodes intact — and byte-for-
+//! byte object payload equality against what a conventional serializer
+//! rebuilds.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mheap::stdlib::define_core_classes;
+use mheap::{Addr, ClassPath, FieldType, HeapConfig, KlassDef, LayoutSpec, PrimType, Vm};
+use serlab::Serializer;
+use simnet::{NodeId, Profile};
+use skyway::{ShuffleController, SkywaySerializer, TypeDirectory};
+
+fn classpath() -> Arc<ClassPath> {
+    let cp = ClassPath::new();
+    define_core_classes(&cp);
+    cp.define(KlassDef::new(
+        "PNode",
+        None,
+        vec![
+            ("tag", FieldType::Prim(PrimType::Long)),
+            ("small", FieldType::Prim(PrimType::Short)),
+            ("left", FieldType::Ref),
+            ("right", FieldType::Ref),
+        ],
+    ));
+    cp
+}
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    tags: Vec<i64>,
+    lefts: Vec<Option<usize>>,
+    rights: Vec<Option<usize>>,
+    roots: Vec<usize>,
+}
+
+fn graph_spec(max_nodes: usize) -> impl Strategy<Value = GraphSpec> {
+    (2..max_nodes)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(any::<i64>(), n),
+                proptest::collection::vec(proptest::option::of(0..n), n),
+                proptest::collection::vec(proptest::option::of(0..n), n),
+                proptest::collection::vec(0..n, 1..5),
+            )
+        })
+        .prop_map(|(tags, lefts, rights, roots)| {
+            let clamp = |v: Vec<Option<usize>>| {
+                v.into_iter()
+                    .enumerate()
+                    .map(|(i, e)| e.filter(|&t| t < i))
+                    .collect::<Vec<_>>()
+            };
+            GraphSpec { tags, lefts: clamp(lefts), rights: clamp(rights), roots }
+        })
+}
+
+fn build(vm: &mut Vm, spec: &GraphSpec) -> Vec<mheap::Handle> {
+    let k = vm.load_class("PNode").unwrap();
+    let mut handles = Vec::with_capacity(spec.tags.len());
+    for i in 0..spec.tags.len() {
+        let node = vm.alloc_instance(k).unwrap();
+        vm.set_long(node, "tag", spec.tags[i]).unwrap();
+        vm.set_prim(node, "small", mheap::Value::Short((spec.tags[i] % 999) as i16)).unwrap();
+        let h = vm.handle(node);
+        if let Some(l) = spec.lefts[i] {
+            let node = vm.resolve(h).unwrap();
+            let t = vm.resolve(handles[l]).unwrap();
+            vm.set_ref(node, "left", t).unwrap();
+        }
+        if let Some(r) = spec.rights[i] {
+            let node = vm.resolve(h).unwrap();
+            let t = vm.resolve(handles[r]).unwrap();
+            vm.set_ref(node, "right", t).unwrap();
+        }
+        handles.push(h);
+    }
+    handles
+}
+
+/// Canonical form of the graph reachable from `root`: node index by
+/// discovery order, edges as discovered indices, tags as values.
+fn canonicalize(vm: &Vm, root: Addr) -> Vec<(i64, i16, Option<usize>, Option<usize>)> {
+    let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut order: Vec<Addr> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(a) = stack.pop() {
+        if a.is_null() || index.contains_key(&a.0) {
+            continue;
+        }
+        index.insert(a.0, order.len());
+        order.push(a);
+        let r = vm.get_ref(a, "right").unwrap();
+        let l = vm.get_ref(a, "left").unwrap();
+        stack.push(r);
+        stack.push(l);
+    }
+    // Second pass in discovery order so indices are deterministic.
+    let mut out = Vec::with_capacity(order.len());
+    // Re-walk deterministically (DFS preorder, left then right).
+    let mut index2: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut order2: Vec<Addr> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(a) = stack.pop() {
+        if a.is_null() || index2.contains_key(&a.0) {
+            continue;
+        }
+        index2.insert(a.0, order2.len());
+        order2.push(a);
+        let l = vm.get_ref(a, "left").unwrap();
+        let r = vm.get_ref(a, "right").unwrap();
+        stack.push(r);
+        stack.push(l);
+    }
+    for &a in &order2 {
+        let tag = vm.get_long(a, "tag").unwrap();
+        let small = match vm.get_prim(a, "small").unwrap() {
+            mheap::Value::Short(s) => s,
+            _ => unreachable!(),
+        };
+        let l = vm.get_ref(a, "left").unwrap();
+        let r = vm.get_ref(a, "right").unwrap();
+        out.push((
+            tag,
+            small,
+            (!l.is_null()).then(|| index2[&l.0]),
+            (!r.is_null()).then(|| index2[&r.0]),
+        ));
+    }
+    out
+}
+
+fn transfer_env() -> (Arc<TypeDirectory>, Vm, Vm) {
+    let cp = classpath();
+    let sender = Vm::new("s", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp)).unwrap();
+    let receiver = Vm::new("r", &HeapConfig::small().with_capacity(8 << 20), cp).unwrap();
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+    dir.bootstrap_driver(&sender).unwrap();
+    dir.worker_startup(NodeId(1)).unwrap();
+    (dir, sender, receiver)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_graphs_roundtrip(spec in graph_spec(40), chunk in 128usize..4096) {
+        let (dir, mut sender, mut receiver) = transfer_env();
+        let handles = build(&mut sender, &spec);
+        let roots: Vec<Addr> = spec.roots.iter()
+            .map(|&i| sender.resolve(handles[i]).unwrap())
+            .collect();
+        let sky_tx = SkywaySerializer::new(
+            Arc::clone(&dir), NodeId(0), Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        ).with_chunk_limit(chunk);
+        let sky_rx = SkywaySerializer::new(
+            Arc::clone(&dir), NodeId(1), Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        );
+        let mut p = Profile::new();
+        let bytes = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+        let rebuilt = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+        prop_assert_eq!(rebuilt.len(), roots.len());
+        for (orig, &newr) in roots.iter().zip(&rebuilt) {
+            prop_assert_eq!(canonicalize(&sender, *orig), canonicalize(&receiver, newr));
+        }
+    }
+
+    #[test]
+    fn skyway_agrees_with_kryo_on_structure(spec in graph_spec(30)) {
+        let (dir, mut sender, mut r_sky) = transfer_env();
+        let cp = classpath();
+        let mut r_kryo = Vm::new("rk", &HeapConfig::small(), cp).unwrap();
+        let handles = build(&mut sender, &spec);
+        let roots: Vec<Addr> = spec.roots.iter()
+            .map(|&i| sender.resolve(handles[i]).unwrap())
+            .collect();
+
+        let sky_tx = SkywaySerializer::new(
+            Arc::clone(&dir), NodeId(0), Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        );
+        let sky_rx = SkywaySerializer::new(
+            Arc::clone(&dir), NodeId(1), Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        );
+        let reg = serlab::KryoRegistry::new();
+        reg.register("PNode").unwrap();
+        let kryo = serlab::KryoSerializer::manual(Arc::new(reg));
+
+        let mut p = Profile::new();
+        let sb = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+        let kb = kryo.serialize(&mut sender, &roots, &mut p).unwrap();
+        let sr = sky_rx.deserialize(&mut r_sky, &sb, &mut p).unwrap();
+        let kr = kryo.deserialize(&mut r_kryo, &kb, &mut p).unwrap();
+        for ((&s, &k), &orig) in sr.iter().zip(&kr).zip(&roots) {
+            let want = canonicalize(&sender, orig);
+            prop_assert_eq!(&canonicalize(&r_sky, s), &want);
+            prop_assert_eq!(&canonicalize(&r_kryo, k), &want);
+        }
+    }
+
+    #[test]
+    fn corrupted_skyway_streams_error_not_panic(
+        spec in graph_spec(20),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..6),
+    ) {
+        let (dir, mut sender, mut receiver) = transfer_env();
+        let handles = build(&mut sender, &spec);
+        let roots: Vec<Addr> = spec.roots.iter()
+            .map(|&i| sender.resolve(handles[i]).unwrap())
+            .collect();
+        let sky_tx = SkywaySerializer::new(
+            Arc::clone(&dir), NodeId(0), Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        );
+        let sky_rx = SkywaySerializer::new(
+            Arc::clone(&dir), NodeId(1), Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        );
+        let mut p = Profile::new();
+        let mut bytes = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+        for (pos, val) in &flips {
+            let i = *pos as usize % bytes.len();
+            bytes[i] ^= *val | 1;
+        }
+        // Corruption must never panic. (An Ok result is possible when the
+        // flips only hit primitive payload or dead padding.)
+        let _ = sky_rx.deserialize(&mut receiver, &bytes, &mut p);
+    }
+
+    #[test]
+    fn hashcodes_preserved_for_all_nodes(spec in graph_spec(25)) {
+        let (dir, mut sender, mut receiver) = transfer_env();
+        let handles = build(&mut sender, &spec);
+        // Materialize hashes for every node.
+        let mut hashes = Vec::new();
+        for h in &handles {
+            let a = sender.resolve(*h).unwrap();
+            hashes.push(sender.identity_hash(a).unwrap());
+        }
+        // Send node 0's graph + all roots to maximize coverage.
+        let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+        let sky_tx = SkywaySerializer::new(
+            Arc::clone(&dir), NodeId(0), Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        );
+        let sky_rx = SkywaySerializer::new(
+            Arc::clone(&dir), NodeId(1), Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        );
+        let mut p = Profile::new();
+        let bytes = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+        let rebuilt = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+        for (i, &r) in rebuilt.iter().enumerate() {
+            prop_assert_eq!(receiver.identity_hash(r).unwrap(), hashes[i]);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! End-to-end Skyway transfer tests: correctness of the full
+//! sender→chunks→receiver pipeline, hashcode preservation, aliasing,
+//! threading, heterogeneous formats, GC interaction, and failure modes.
+
+use std::sync::Arc;
+
+use mheap::{Addr, ClassPath, HeapConfig, LayoutSpec, Vm};
+use serlab::jsbs::{build_dataset, define_jsbs_classes, verify_media_content};
+use serlab::Serializer;
+use simnet::{NodeId, Profile};
+use skyway::{
+    send_roots_parallel, scrub_baddrs, SendConfig, ShuffleController, SkywayObjectInputStream,
+    SkywayObjectOutputStream, SkywaySerializer, Tracking, TypeDirectory, UpdateRegistry,
+};
+
+fn classpath() -> Arc<ClassPath> {
+    let cp = ClassPath::new();
+    define_jsbs_classes(&cp);
+    cp
+}
+
+fn setup_pair() -> (Arc<TypeDirectory>, Vm, Vm) {
+    let cp = classpath();
+    let sender = Vm::new("n0", &HeapConfig::default().with_capacity(24 << 20), Arc::clone(&cp)).unwrap();
+    let receiver = Vm::new("n1", &HeapConfig::default().with_capacity(24 << 20), cp).unwrap();
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+    dir.bootstrap_driver(&sender).unwrap();
+    dir.worker_startup(NodeId(1)).unwrap();
+    (dir, sender, receiver)
+}
+
+fn skyway_for(dir: &Arc<TypeDirectory>, node: usize) -> SkywaySerializer {
+    SkywaySerializer::new(
+        Arc::clone(dir),
+        NodeId(node),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::SKYWAY,
+    )
+}
+
+#[test]
+fn jsbs_records_roundtrip() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let handles = build_dataset(&mut sender, 30).unwrap();
+    let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    let sky_tx = skyway_for(&dir, 0);
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let bytes = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+    let rebuilt = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    assert_eq!(rebuilt.len(), 30);
+    for (i, &mc) in rebuilt.iter().enumerate() {
+        assert!(verify_media_content(&receiver, mc, i as u64).unwrap(), "record {i}");
+    }
+    // Skyway's defining property: zero S/D function invocations.
+    assert_eq!(p.ser_invocations, 0);
+    assert_eq!(p.deser_invocations, 0);
+    assert!(p.objects_transferred > 0);
+}
+
+#[test]
+fn identity_hashcode_survives_transfer() {
+    // §4.2 Header Update: the cached hashcode rides the mark word across
+    // the wire, so hash structures need no rehash.
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let s = sender.new_string("hash me").unwrap();
+    let h = sender.handle(s);
+    let s = sender.resolve(h).unwrap();
+    let hash_before = sender.identity_hash(s).unwrap();
+
+    let sky_tx = skyway_for(&dir, 0);
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let s = sender.resolve(h).unwrap();
+    let bytes = sky_tx.serialize(&mut sender, &[s], &mut p).unwrap();
+    let roots = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    let hash_after = receiver.identity_hash(roots[0]).unwrap();
+    assert_eq!(hash_before, hash_after);
+}
+
+#[test]
+fn transferred_hashmap_is_usable_without_rehash() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let map = sender.new_hash_map(16).unwrap();
+    let mh = sender.handle(map);
+    let mut key_handles = Vec::new();
+    for i in 0..40 {
+        let k = sender.new_integer(i).unwrap();
+        key_handles.push(sender.handle(k));
+        let v = sender.new_integer(i * 3).unwrap();
+        let map = sender.resolve(mh).unwrap();
+        let k = sender.resolve(*key_handles.last().unwrap()).unwrap();
+        sender.map_put(map, k, v).unwrap();
+    }
+    let sky_tx = skyway_for(&dir, 0);
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let map = sender.resolve(mh).unwrap();
+    let bytes = sky_tx.serialize(&mut sender, &[map], &mut p).unwrap();
+    let roots = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    let rmap = roots[0];
+    assert_eq!(receiver.map_len(rmap).unwrap(), 40);
+    // The bucket layout is still consistent with the (preserved) hashes —
+    // no rehash required.
+    assert!(receiver.map_is_consistent(rmap).unwrap());
+}
+
+#[test]
+fn aliasing_is_preserved_within_a_phase() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let s = sender.new_string("shared").unwrap();
+    let sh = sender.handle(s);
+    let s1 = sender.resolve(sh).unwrap();
+    let a = sender.new_pair(s1, Addr::NULL).unwrap();
+    let ah = sender.handle(a);
+    let s1 = sender.resolve(sh).unwrap();
+    let b = sender.new_pair(s1, Addr::NULL).unwrap();
+    let bh = sender.handle(b);
+
+    let sky_tx = skyway_for(&dir, 0);
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let roots = vec![sender.resolve(ah).unwrap(), sender.resolve(bh).unwrap()];
+    let bytes = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+    let rebuilt = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    let fa = receiver.get_ref(rebuilt[0], "first").unwrap();
+    let fb = receiver.get_ref(rebuilt[1], "first").unwrap();
+    assert_eq!(fa, fb, "shared object duplicated");
+    assert_eq!(receiver.read_string(fa).unwrap(), "shared");
+}
+
+#[test]
+fn repeated_root_uses_backward_reference() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let s = sender.new_string("root twice").unwrap();
+    let h = sender.handle(s);
+    let controller = ShuffleController::new();
+    let mut out = SkywayObjectOutputStream::new(
+        &sender,
+        &dir,
+        NodeId(0),
+        &controller,
+        SendConfig::for_vm(&sender),
+    )
+    .unwrap();
+    let root = sender.resolve(h).unwrap();
+    out.write_object(root).unwrap();
+    out.write_object(root).unwrap(); // already sent in this phase
+    let stream = out.finish();
+
+    let mut input = SkywayObjectInputStream::new(&mut receiver, &dir, NodeId(1));
+    for c in &stream.chunks {
+        input.push_chunk(c).unwrap();
+    }
+    let (roots, stats) = input.read_objects(None).unwrap();
+    assert_eq!(roots.len(), 2);
+    assert_eq!(roots[0], roots[1], "backward reference must alias the same object");
+    // Only 2 objects (string + char array) crossed, not 4.
+    assert_eq!(stats.objects, 2);
+}
+
+#[test]
+fn cyclic_graphs_transfer() {
+    let cp = classpath();
+    cp.define(mheap::KlassDef::new(
+        "Cyc",
+        None,
+        vec![("id", mheap::FieldType::Prim(mheap::PrimType::Int)), ("next", mheap::FieldType::Ref)],
+    ));
+    let mut sender = Vm::new("n0", &HeapConfig::small(), Arc::clone(&cp)).unwrap();
+    let mut receiver = Vm::new("n1", &HeapConfig::small(), cp).unwrap();
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+    dir.bootstrap_driver(&sender).unwrap();
+    dir.worker_startup(NodeId(1)).unwrap();
+
+    let k = sender.load_class("Cyc").unwrap();
+    let a = sender.alloc_instance(k).unwrap();
+    let ah = sender.handle(a);
+    let b = sender.alloc_instance(k).unwrap();
+    let a = sender.resolve(ah).unwrap();
+    sender.set_int(a, "id", 1).unwrap();
+    sender.set_int(b, "id", 2).unwrap();
+    sender.set_ref(a, "next", b).unwrap();
+    sender.set_ref(b, "next", a).unwrap();
+
+    let sky_tx = skyway_for(&dir, 0);
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let a = sender.resolve(ah).unwrap();
+    let bytes = sky_tx.serialize(&mut sender, &[a], &mut p).unwrap();
+    let roots = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    let ra = roots[0];
+    let rb = receiver.get_ref(ra, "next").unwrap();
+    assert_eq!(receiver.get_int(rb, "id").unwrap(), 2);
+    assert_eq!(receiver.get_ref(rb, "next").unwrap(), ra, "cycle broken");
+}
+
+#[test]
+fn streaming_small_chunks_roundtrip() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let handles = build_dataset(&mut sender, 20).unwrap();
+    let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    // Tiny 256-byte chunks force many flushes and cross-chunk references.
+    let sky_tx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::SKYWAY,
+    )
+    .with_chunk_limit(256);
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let bytes = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+    let rebuilt = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    for (i, &mc) in rebuilt.iter().enumerate() {
+        assert!(verify_media_content(&receiver, mc, i as u64).unwrap());
+    }
+}
+
+#[test]
+fn parallel_send_with_shared_objects() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    // Many pairs sharing one string → cross-thread contention on baddr.
+    let s = sender.new_string("contended").unwrap();
+    let sh = sender.handle(s);
+    let mut pair_handles = Vec::new();
+    for _ in 0..64 {
+        let s = sender.resolve(sh).unwrap();
+        let pr = sender.new_pair(s, Addr::NULL).unwrap();
+        pair_handles.push(sender.handle(pr));
+    }
+    let roots: Vec<Addr> = pair_handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    let streams = send_roots_parallel(
+        &sender,
+        &dir,
+        NodeId(0),
+        7,
+        &roots,
+        4,
+        SendConfig::for_vm(&sender),
+    )
+    .unwrap();
+    assert_eq!(streams.len(), 4);
+
+    // Each stream is independent; receive them all.
+    let mut total_roots = 0;
+    for st in &streams {
+        let mut input = SkywayObjectInputStream::new(&mut receiver, &dir, NodeId(1));
+        for c in &st.chunks {
+            input.push_chunk(c).unwrap();
+        }
+        let (roots, _) = input.read_objects(None).unwrap();
+        for &r in &roots {
+            let first = receiver.get_ref(r, "first").unwrap();
+            assert_eq!(receiver.read_string(first).unwrap(), "contended");
+        }
+        total_roots += roots.len();
+    }
+    assert_eq!(total_roots, 64);
+}
+
+#[test]
+fn heterogeneous_format_adjustment() {
+    // Sender uses the Skyway format (3-word header); receiver runs a
+    // compact stock JVM (2-word header, 4-byte array length). The sender
+    // adjusts object formats while copying (§3.1).
+    let cp = classpath();
+    let mut sender = Vm::new("n0", &HeapConfig::small(), Arc::clone(&cp)).unwrap();
+    let mut receiver = Vm::new(
+        "n1",
+        &HeapConfig { spec: LayoutSpec::COMPACT, ..HeapConfig::small() },
+        cp,
+    )
+    .unwrap();
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+    dir.bootstrap_driver(&sender).unwrap();
+    dir.worker_startup(NodeId(1)).unwrap();
+
+    let s = sender.new_string("format shift").unwrap();
+    let h = sender.handle(s);
+    let sky_tx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::COMPACT, // receiver's format
+    );
+    let sky_rx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(1),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::COMPACT,
+    );
+    let mut p = Profile::new();
+    let s = sender.resolve(h).unwrap();
+    let bytes = sky_tx.serialize(&mut sender, &[s], &mut p).unwrap();
+    let roots = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    assert_eq!(receiver.read_string(roots[0]).unwrap(), "format shift");
+}
+
+#[test]
+fn spec_mismatch_is_rejected() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let s = sender.new_string("x").unwrap();
+    // Sender prepares a COMPACT-format stream but the receiver runs SKYWAY.
+    let sky_tx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::COMPACT,
+    );
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let bytes = sky_tx.serialize(&mut sender, &[s], &mut p).unwrap();
+    assert!(sky_rx.deserialize(&mut receiver, &bytes, &mut p).is_err());
+}
+
+#[test]
+fn received_objects_survive_gc_and_stay_usable() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let handles = build_dataset(&mut sender, 10).unwrap();
+    let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    let sky_tx = skyway_for(&dir, 0);
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let bytes = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+    let rebuilt = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    // Root them (the caller contract), then stress the receiver heap.
+    let root_handles: Vec<_> = rebuilt.iter().map(|&r| receiver.handle(r)).collect();
+    for i in 0..5000 {
+        receiver.new_string(&format!("gc pressure {i}")).unwrap();
+    }
+    receiver.full_gc().unwrap();
+    for (i, h) in root_handles.iter().enumerate() {
+        let mc = receiver.resolve(*h).unwrap();
+        assert!(verify_media_content(&receiver, mc, i as u64).unwrap(), "record {i} after GC");
+    }
+}
+
+#[test]
+fn hashtable_tracking_works_without_baddr_word() {
+    // Ablation path: a stock-format heap (no baddr) can still send via the
+    // side-table tracker.
+    let cp = classpath();
+    let mut sender = Vm::new(
+        "n0",
+        &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() },
+        Arc::clone(&cp),
+    )
+    .unwrap();
+    let mut receiver = Vm::new(
+        "n1",
+        &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() },
+        cp,
+    )
+    .unwrap();
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+    dir.bootstrap_driver(&sender).unwrap();
+    dir.worker_startup(NodeId(1)).unwrap();
+    let s = sender.new_string("no baddr").unwrap();
+    let sky_tx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::STOCK,
+    )
+    .with_tracking(Tracking::HashTable);
+    let sky_rx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(1),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::STOCK,
+    );
+    let mut p = Profile::new();
+    let bytes = sky_tx.serialize(&mut sender, &[s], &mut p).unwrap();
+    let roots = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    assert_eq!(receiver.read_string(roots[0]).unwrap(), "no baddr");
+}
+
+#[test]
+fn baddr_tracking_on_stock_heap_is_rejected() {
+    let cp = classpath();
+    let sender = Vm::new(
+        "n0",
+        &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() },
+        cp,
+    )
+    .unwrap();
+    let dir = TypeDirectory::new(1, NodeId(0));
+    let controller = ShuffleController::new();
+    let cfg = SendConfig {
+        chunk_limit: 1024,
+        receiver_spec: LayoutSpec::STOCK,
+        tracking: Tracking::Baddr,
+    };
+    assert!(matches!(
+        SkywayObjectOutputStream::new(&sender, &dir, NodeId(0), &controller, cfg),
+        Err(skyway::Error::NeedsBaddr)
+    ));
+}
+
+#[test]
+fn update_hooks_run_after_transfer() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let i = sender.new_integer(41).unwrap();
+    let hooks = Arc::new(UpdateRegistry::new());
+    hooks.register_update(mheap::stdlib::INTEGER, |vm, obj| {
+        let v = vm.get_int(obj, "value").map_err(skyway::Error::Heap)?;
+        vm.set_int(obj, "value", v + 1).map_err(skyway::Error::Heap)?;
+        Ok(())
+    });
+    let sky_tx = skyway_for(&dir, 0);
+    let sky_rx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(1),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::SKYWAY,
+    )
+    .with_hooks(hooks);
+    let mut p = Profile::new();
+    let bytes = sky_tx.serialize(&mut sender, &[i], &mut p).unwrap();
+    let roots = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    assert_eq!(receiver.get_int(roots[0], "value").unwrap(), 42);
+}
+
+#[test]
+fn phase_isolation_new_phase_resends() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let s = sender.new_string("phased").unwrap();
+    let h = sender.handle(s);
+    let controller = Arc::new(ShuffleController::new());
+    let sky_tx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::clone(&controller),
+        LayoutSpec::SKYWAY,
+    );
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let s1 = sender.resolve(h).unwrap();
+    let b1 = sky_tx.serialize(&mut sender, &[s1], &mut p).unwrap();
+    controller.start_phase(); // shuffleStart
+    let s2 = sender.resolve(h).unwrap();
+    let b2 = sky_tx.serialize(&mut sender, &[s2], &mut p).unwrap();
+    // Both are full copies (no cross-phase backward refs).
+    let r1 = sky_rx.deserialize(&mut receiver, &b1, &mut p).unwrap();
+    let r2 = sky_rx.deserialize(&mut receiver, &b2, &mut p).unwrap();
+    assert_ne!(r1[0], r2[0]);
+    assert_eq!(receiver.read_string(r1[0]).unwrap(), "phased");
+    assert_eq!(receiver.read_string(r2[0]).unwrap(), "phased");
+}
+
+#[test]
+fn scrub_baddrs_clears_everything() {
+    let (_dir, mut sender, _receiver) = setup_pair();
+    let dir = Arc::new(TypeDirectory::new(1, NodeId(0)));
+    dir.bootstrap_driver(&sender).unwrap();
+    let s = sender.new_string("scrubbed").unwrap();
+    let h = sender.handle(s);
+    let controller = ShuffleController::new();
+    let mut out = SkywayObjectOutputStream::new(
+        &sender,
+        &dir,
+        NodeId(0),
+        &controller,
+        SendConfig::for_vm(&sender),
+    )
+    .unwrap();
+    let s = sender.resolve(h).unwrap();
+    out.write_object(s).unwrap();
+    let _ = out.finish();
+    // The baddr word now carries phase state.
+    let s = sender.resolve(h).unwrap();
+    let off = sender.spec().baddr_off().unwrap();
+    assert_ne!(sender.heap().arena().load_word(s.0 + off).unwrap(), 0);
+    scrub_baddrs(&mut sender).unwrap();
+    let s = sender.resolve(h).unwrap();
+    assert_eq!(sender.heap().arena().load_word(s.0 + off).unwrap(), 0);
+}
+
+#[test]
+fn corrupt_stream_is_an_error() {
+    let (dir, mut sender, mut receiver) = setup_pair();
+    let s = sender.new_string("x").unwrap();
+    let sky_tx = skyway_for(&dir, 0);
+    let sky_rx = skyway_for(&dir, 1);
+    let mut p = Profile::new();
+    let mut bytes = sky_tx.serialize(&mut sender, &[s], &mut p).unwrap();
+    // Corrupt the tID of the first object (after the 10-byte frame header,
+    // 4-byte chunk len, 8-byte TOP_MARK, 8-byte mark word).
+    let off = 10 + 4 + 8 + 8;
+    bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(sky_rx.deserialize(&mut receiver, &bytes, &mut p).is_err());
+}
+
+#[test]
+fn skyway_emits_more_bytes_than_kryo_but_no_invocations() {
+    // The paper's trade-off in one test: more bytes, zero S/D calls.
+    let (dir, mut sender, _) = setup_pair();
+    let handles = build_dataset(&mut sender, 50).unwrap();
+    let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+
+    let reg = serlab::KryoRegistry::new();
+    reg.register_all(serlab::jsbs::jsbs_class_names()).unwrap();
+    let kryo = serlab::KryoSerializer::manual(Arc::new(reg));
+    let mut pk = Profile::new();
+    let kryo_bytes = kryo.serialize(&mut sender, &roots, &mut pk).unwrap().len();
+
+    let sky = skyway_for(&dir, 0);
+    let mut ps = Profile::new();
+    let sky_bytes = sky.serialize(&mut sender, &roots, &mut ps).unwrap().len();
+
+    assert!(sky_bytes > kryo_bytes, "skyway {sky_bytes} <= kryo {kryo_bytes}");
+    assert_eq!(ps.ser_invocations, 0);
+    assert!(pk.ser_invocations > 0);
+    // Headers + padding should dominate the extra bytes (§5.2).
+    let stats = sky.last_send_stats();
+    assert!(stats.header_bytes > 0);
+    assert!(stats.header_bytes + stats.padding_bytes > stats.pointer_bytes);
+}

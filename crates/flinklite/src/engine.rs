@@ -1,0 +1,115 @@
+//! The Flink-like batch engine: the shared dataflow substrate
+//! ([`sparklite::SparkCluster`]) wired with Flink's built-in row
+//! serializers — or with Skyway, which is exactly the swap the paper's
+//! §5.3 experiment performs ("since the read/write interface is clearly
+//! defined, we could easily integrate Skyway into Flink").
+
+use std::sync::Arc;
+
+use mheap::{ClassPath, LayoutSpec};
+use simnet::SimConfig;
+use skyway::SkywaySerializer;
+use sparklite::{SparkCluster, SparkConfig};
+
+use crate::rowser::{FlinkRowSerializer, RowSchema};
+use crate::tables::{define_tpch_classes, tpch_class_names};
+use crate::{Error, Result};
+
+/// Which serializer the Flink-like engine runs with (the two bars of
+/// Fig. 8(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlinkSerializer {
+    /// Flink's highly-optimized built-in per-field serializers.
+    Builtin,
+    /// Skyway.
+    Skyway,
+}
+
+impl FlinkSerializer {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlinkSerializer::Builtin => "flink-builtin",
+            FlinkSerializer::Skyway => "skyway",
+        }
+    }
+
+    /// Both options in presentation order.
+    pub const ALL: [FlinkSerializer; 2] = [FlinkSerializer::Builtin, FlinkSerializer::Skyway];
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct FlinkConfig {
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Serializer choice.
+    pub serializer: FlinkSerializer,
+    /// Per-VM heap bytes.
+    pub heap_bytes: usize,
+    /// Cost model.
+    pub sim: SimConfig,
+}
+
+impl Default for FlinkConfig {
+    fn default() -> Self {
+        FlinkConfig {
+            n_workers: 3,
+            serializer: FlinkSerializer::Builtin,
+            heap_bytes: 64 << 20,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Boots a Flink-like cluster: the dataflow substrate with TPC-H row
+/// classes and the chosen serializer. The `schema` carries the lazy
+/// projections for built-in deserialization.
+///
+/// # Errors
+/// Heap/boot errors.
+pub fn boot(cfg: &FlinkConfig, schema: RowSchema) -> Result<SparkCluster> {
+    let classpath = ClassPath::new();
+    define_tpch_classes(&classpath);
+    let spark_cfg = SparkConfig {
+        n_workers: cfg.n_workers,
+        heap_bytes: cfg.heap_bytes,
+        sim: cfg.sim,
+        ..SparkConfig::default()
+    };
+    let schema = Arc::new(schema);
+    let sc = match cfg.serializer {
+        FlinkSerializer::Builtin => SparkCluster::new_custom(
+            &spark_cfg,
+            classpath,
+            &|_node, _dir, _controller| {
+                (Arc::new(FlinkRowSerializer::new(Arc::clone(&schema))), false)
+            },
+            "flink-builtin",
+        ),
+        FlinkSerializer::Skyway => SparkCluster::new_custom(
+            &spark_cfg,
+            classpath,
+            &|node, dir, controller| {
+                (
+                    Arc::new(SkywaySerializer::new(
+                        Arc::clone(dir),
+                        node,
+                        Arc::clone(controller),
+                        LayoutSpec::SKYWAY,
+                    )),
+                    true,
+                )
+            },
+            "skyway",
+        ),
+    }
+    .map_err(Error::Engine)?;
+    Ok(sc)
+}
+
+/// The default schema over every TPC-H row class, with no lazy projection
+/// (each query installs its own projections).
+pub fn full_schema() -> RowSchema {
+    RowSchema::new(tpch_class_names())
+}

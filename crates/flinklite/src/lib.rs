@@ -1,0 +1,97 @@
+//! `flinklite` — a Flink-like batch query engine over simulated managed
+//! heaps, the apparatus of the paper's §5.3 evaluation.
+//!
+//! Flink reads input into typed tuples and serializes each field with a
+//! statically-chosen built-in serializer; on the receiving side it
+//! deserializes *lazily*, decoding only the columns the next operator
+//! touches. [`rowser::FlinkRowSerializer`] implements exactly that; the
+//! engine otherwise reuses the shared dataflow substrate
+//! ([`sparklite::SparkCluster`]) wired through [`engine::boot`], so swapping
+//! in Skyway is the same one-line change the paper performs.
+//!
+//! The five TPC-H-derived queries of Table 3 (QA–QE) live in [`queries`];
+//! the scaled-down TPC-H generator in [`tpchgen`].
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queries;
+pub mod rowser;
+pub mod tables;
+pub mod tpchgen;
+
+pub use engine::{boot, full_schema, FlinkConfig, FlinkSerializer};
+pub use queries::{reference, run_query, QueryId};
+pub use rowser::{FlinkRowSerializer, RowSchema};
+pub use tpchgen::{generate, TpchData};
+
+/// Errors produced by the Flink-like engine.
+#[derive(Debug)]
+pub enum Error {
+    /// Managed-heap error.
+    Heap(mheap::Error),
+    /// Serializer error.
+    Serde(serlab::Error),
+    /// Dataflow-substrate error.
+    Engine(sparklite::Error),
+    /// A row class outside the schema.
+    UnknownRowClass(String),
+    /// Corrupt row stream.
+    Corrupt(String),
+}
+
+impl Error {
+    /// Converts into the substrate's error type (closure plumbing).
+    pub fn into_spark(self) -> sparklite::Error {
+        match self {
+            Error::Heap(e) => sparklite::Error::Heap(e),
+            Error::Serde(e) => sparklite::Error::Serde(e),
+            Error::Engine(e) => e,
+            other => sparklite::Error::Serde(serlab::Error::Malformed(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Heap(e) => write!(f, "heap error: {e}"),
+            Error::Serde(e) => write!(f, "serializer error: {e}"),
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::UnknownRowClass(c) => write!(f, "row class not in schema: {c}"),
+            Error::Corrupt(s) => write!(f, "corrupt row stream: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Heap(e) => Some(e),
+            Error::Serde(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mheap::Error> for Error {
+    fn from(e: mheap::Error) -> Self {
+        Error::Heap(e)
+    }
+}
+
+impl From<serlab::Error> for Error {
+    fn from(e: serlab::Error) -> Self {
+        Error::Serde(e)
+    }
+}
+
+impl From<sparklite::Error> for Error {
+    fn from(e: sparklite::Error) -> Self {
+        Error::Engine(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

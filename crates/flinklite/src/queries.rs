@@ -1,0 +1,771 @@
+//! The five TPC-H-derived queries of the paper's Table 3 (QA–QE), each
+//! implemented as a Flink-like operator pipeline with shuffles, plus plain
+//! in-memory reference implementations for validation.
+//!
+//! Table 3:
+//! * **QA** — pricing details for items shipped within the last 120 days;
+//! * **QB** — minimum-cost supplier per region for each item;
+//! * **QC** — shipping priority and potential revenue of pending orders;
+//! * **QD** — number of late orders in each quarter of a given year;
+//! * **QE** — items returned by customers, sorted by lost revenue.
+
+use std::collections::HashMap;
+
+use sparklite::SparkCluster;
+
+use crate::rowser::RowSchema;
+use crate::tables::{
+    new_customer, new_lineitem, new_orders, new_partsupp, new_result, read_customer,
+    read_lineitem, read_orders, read_partsupp, read_result, ResultVal, CUSTOMER, LINEITEM,
+    ORDERS, PARTSUPP,
+};
+use crate::tpchgen::{partition, TpchData, DATE_MAX, YEAR_DAYS};
+use crate::{Error, Result};
+
+/// Identifies one of the five queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    /// Pricing summary of recently shipped items.
+    QA,
+    /// Minimum-cost supplier per region per item.
+    QB,
+    /// Potential revenue of pending orders.
+    QC,
+    /// Late orders per quarter.
+    QD,
+    /// Returned items by lost revenue.
+    QE,
+}
+
+impl QueryId {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryId::QA => "QA",
+            QueryId::QB => "QB",
+            QueryId::QC => "QC",
+            QueryId::QD => "QD",
+            QueryId::QE => "QE",
+        }
+    }
+
+    /// Table 3 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            QueryId::QA => "Report pricing details for all items shipped within the last 120 days.",
+            QueryId::QB => "List the minimum cost supplier for each region for each item in the database.",
+            QueryId::QC => "Retrieve the shipping priority and potential revenue of all pending orders.",
+            QueryId::QD => "Count the number of late orders in each quarter of a given year.",
+            QueryId::QE => "Report all items returned by customers sorted by the lost revenue.",
+        }
+    }
+
+    /// All five queries in Table 3 order.
+    pub const ALL: [QueryId; 5] = [QueryId::QA, QueryId::QB, QueryId::QC, QueryId::QD, QueryId::QE];
+
+    /// The lazy projection this query's shuffles allow (what Flink's
+    /// built-in deserializer actually decodes on the receiving side).
+    pub fn schema(self) -> RowSchema {
+        let s = crate::engine::full_schema();
+        match self {
+            QueryId::QA => s.project(
+                LINEITEM,
+                &["returnflag", "linestatus", "quantity", "extendedprice", "discount", "shipdate"],
+            ),
+            QueryId::QB => s.project(PARTSUPP, &["partkey", "suppkey", "supplycost"]),
+            QueryId::QC => s
+                .project(LINEITEM, &["orderkey", "extendedprice", "discount"])
+                .project(ORDERS, &["orderkey", "custkey", "orderdate", "shippriority"])
+                .project(CUSTOMER, &["custkey", "mktsegment"]),
+            QueryId::QD => s
+                .project(LINEITEM, &["orderkey", "commitdate", "receiptdate"])
+                .project(ORDERS, &["orderkey", "orderdate", "orderpriority"]),
+            QueryId::QE => s
+                .project(LINEITEM, &["orderkey", "returnflag", "extendedprice", "discount"])
+                .project(ORDERS, &["orderkey", "custkey"])
+                .project(CUSTOMER, &["custkey", "name", "acctbal"]),
+        }
+    }
+}
+
+fn hash_str(s: &str) -> u64 {
+    sparklite::classes::hash_str(s)
+}
+
+fn hash64(x: u64) -> u64 {
+    sparklite::classes::hash64(x)
+}
+
+/// Sorted, rounded result rows (comparable between engine and reference).
+fn normalize(mut rows: Vec<ResultVal>) -> Vec<(String, i64, i64, i64, i64)> {
+    let mut out: Vec<(String, i64, i64, i64, i64)> = rows
+        .drain(..)
+        .map(|r| {
+            (
+                r.key,
+                (r.v1 * 100.0).round() as i64,
+                (r.v2 * 100.0).round() as i64,
+                (r.v3 * 100.0).round() as i64,
+                r.tag,
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Runs a query end-to-end, returning normalized result tuples.
+///
+/// # Errors
+/// Engine errors.
+pub fn run_query(sc: &mut SparkCluster, db: &TpchData, q: QueryId) -> Result<Vec<(String, i64, i64, i64, i64)>> {
+    let rows = match q {
+        QueryId::QA => run_qa(sc, db)?,
+        QueryId::QB => run_qb(sc, db)?,
+        QueryId::QC => run_qc(sc, db)?,
+        QueryId::QD => run_qd(sc, db)?,
+        QueryId::QE => run_qe(sc, db)?,
+    };
+    Ok(normalize(rows))
+}
+
+/// Reference (plain Rust) implementation, for validation.
+pub fn reference(db: &TpchData, q: QueryId) -> Vec<(String, i64, i64, i64, i64)> {
+    let rows = match q {
+        QueryId::QA => ref_qa(db),
+        QueryId::QB => ref_qb(db),
+        QueryId::QC => ref_qc(db),
+        QueryId::QD => ref_qd(db),
+        QueryId::QE => ref_qe(db),
+    };
+    normalize(rows)
+}
+
+// ---------------------------------------------------------------------------
+// QA: pricing summary of items shipped in the last 120 days
+// ---------------------------------------------------------------------------
+
+const QA_CUTOFF: i32 = DATE_MAX - 120;
+
+fn run_qa(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
+    let li = sc
+        .create_dataset(partition(&db.lineitem, sc.n_workers()), |vm, v| {
+            new_lineitem(vm, v).map_err(Error::into_spark)
+        })
+        .map_err(Error::Engine)?;
+    // Filter + project, then shuffle by (returnflag, linestatus) group.
+    let filtered = sc
+        .transform(
+            &li,
+            |vm, rows| {
+                let mut out = Vec::new();
+                for &r in rows {
+                    let v = read_lineitem(vm, r).map_err(Error::into_spark)?;
+                    if v.shipdate >= QA_CUTOFF {
+                        out.push(v);
+                    }
+                }
+                Ok(out)
+            },
+            |vm, v| new_lineitem(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(li).map_err(Error::Engine)?;
+    let grouped = sc
+        .shuffle(filtered, |vm, r| {
+            let v = read_lineitem(vm, r).map_err(Error::into_spark)?;
+            Ok(hash_str(&format!("{}{}", v.returnflag, v.linestatus)))
+        })
+        .map_err(Error::Engine)?;
+    let agg = sc
+        .transform(
+            &grouped,
+            |vm, rows| {
+                let mut m: HashMap<String, (f64, f64, f64, i64)> = HashMap::new();
+                for &r in rows {
+                    let v = read_lineitem(vm, r).map_err(Error::into_spark)?;
+                    let e = m
+                        .entry(format!("{}|{}", v.returnflag, v.linestatus))
+                        .or_insert((0.0, 0.0, 0.0, 0));
+                    e.0 += v.quantity;
+                    e.1 += v.extendedprice;
+                    e.2 += v.extendedprice * (1.0 - v.discount);
+                    e.3 += 1;
+                }
+                let mut out: Vec<ResultVal> = m
+                    .into_iter()
+                    .map(|(key, (q, p, d, c))| ResultVal { key, v1: q, v2: p, v3: d, tag: c })
+                    .collect();
+                out.sort_by(|a, b| a.key.cmp(&b.key));
+                Ok(out)
+            },
+            |vm, v| new_result(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(grouped).map_err(Error::Engine)?;
+    let out = sc
+        .collect(&agg, |vm, rows| {
+            rows.iter().map(|&r| read_result(vm, r).map_err(Error::into_spark)).collect()
+        })
+        .map_err(Error::Engine)?;
+    sc.release(agg).map_err(Error::Engine)?;
+    Ok(out)
+}
+
+fn ref_qa(db: &TpchData) -> Vec<ResultVal> {
+    let mut m: HashMap<String, (f64, f64, f64, i64)> = HashMap::new();
+    for v in &db.lineitem {
+        if v.shipdate >= QA_CUTOFF {
+            let e = m
+                .entry(format!("{}|{}", v.returnflag, v.linestatus))
+                .or_insert((0.0, 0.0, 0.0, 0));
+            e.0 += v.quantity;
+            e.1 += v.extendedprice;
+            e.2 += v.extendedprice * (1.0 - v.discount);
+            e.3 += 1;
+        }
+    }
+    m.into_iter().map(|(key, (q, p, d, c))| ResultVal { key, v1: q, v2: p, v3: d, tag: c }).collect()
+}
+
+// ---------------------------------------------------------------------------
+// QB: minimum-cost supplier per region per part
+// ---------------------------------------------------------------------------
+
+fn run_qb(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
+    // Supplier → region map is tiny dimension data; like Flink's broadcast
+    // join, it rides to every worker driver-side.
+    let region_of_nation: HashMap<i64, i64> =
+        db.nation.iter().map(|n| (n.nationkey, n.regionkey)).collect();
+    let region_of_supp: HashMap<i64, i64> = db
+        .supplier
+        .iter()
+        .map(|s| (s.suppkey, region_of_nation[&s.nationkey]))
+        .collect();
+
+    let ps = sc
+        .create_dataset(partition(&db.partsupp, sc.n_workers()), |vm, v| {
+            new_partsupp(vm, v).map_err(Error::into_spark)
+        })
+        .map_err(Error::Engine)?;
+    // Shuffle by (part, region) so the min per group is partition-local.
+    let ros = region_of_supp.clone();
+    let grouped = sc
+        .shuffle(ps, move |vm, r| {
+            let v = read_partsupp(vm, r).map_err(Error::into_spark)?;
+            let region = ros.get(&v.suppkey).copied().unwrap_or(0);
+            Ok(hash64((v.partkey as u64) << 8 | region as u64))
+        })
+        .map_err(Error::Engine)?;
+    let ros = region_of_supp;
+    let mins = sc
+        .transform(
+            &grouped,
+            move |vm, rows| {
+                let mut best: HashMap<(i64, i64), (f64, i64)> = HashMap::new();
+                for &r in rows {
+                    let v = read_partsupp(vm, r).map_err(Error::into_spark)?;
+                    let region = ros.get(&v.suppkey).copied().unwrap_or(0);
+                    let e = best.entry((v.partkey, region)).or_insert((f64::MAX, -1));
+                    if v.supplycost < e.0 {
+                        *e = (v.supplycost, v.suppkey);
+                    }
+                }
+                Ok(best
+                    .into_iter()
+                    .map(|((part, region), (cost, supp))| ResultVal {
+                        key: format!("{part}|{region}"),
+                        v1: cost,
+                        v2: 0.0,
+                        v3: 0.0,
+                        tag: supp,
+                    })
+                    .collect::<Vec<_>>())
+            },
+            |vm, v| new_result(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(grouped).map_err(Error::Engine)?;
+    let out = sc
+        .collect(&mins, |vm, rows| {
+            rows.iter().map(|&r| read_result(vm, r).map_err(Error::into_spark)).collect()
+        })
+        .map_err(Error::Engine)?;
+    sc.release(mins).map_err(Error::Engine)?;
+    Ok(out)
+}
+
+fn ref_qb(db: &TpchData) -> Vec<ResultVal> {
+    let region_of_nation: HashMap<i64, i64> =
+        db.nation.iter().map(|n| (n.nationkey, n.regionkey)).collect();
+    let region_of_supp: HashMap<i64, i64> = db
+        .supplier
+        .iter()
+        .map(|s| (s.suppkey, region_of_nation[&s.nationkey]))
+        .collect();
+    let mut best: HashMap<(i64, i64), (f64, i64)> = HashMap::new();
+    for v in &db.partsupp {
+        let region = region_of_supp.get(&v.suppkey).copied().unwrap_or(0);
+        let e = best.entry((v.partkey, region)).or_insert((f64::MAX, -1));
+        if v.supplycost < e.0 {
+            *e = (v.supplycost, v.suppkey);
+        }
+    }
+    best.into_iter()
+        .map(|((part, region), (cost, supp))| ResultVal {
+            key: format!("{part}|{region}"),
+            v1: cost,
+            v2: 0.0,
+            v3: 0.0,
+            tag: supp,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// QC: potential revenue of pending (recent) BUILDING orders
+// ---------------------------------------------------------------------------
+
+const QC_DATE: i32 = DATE_MAX - 180;
+const QC_SEGMENT: &str = "BUILDING";
+const QC_TOP: usize = 10;
+
+fn run_qc(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
+    // Customers of the segment (dimension side of the first join).
+    let building: std::collections::HashSet<i64> = db
+        .customer
+        .iter()
+        .filter(|c| c.mktsegment == QC_SEGMENT)
+        .map(|c| c.custkey)
+        .collect();
+
+    // Orders filtered by date + segment membership, shuffled by orderkey.
+    let orders = sc
+        .create_dataset(partition(&db.orders, sc.n_workers()), |vm, v| {
+            new_orders(vm, v).map_err(Error::into_spark)
+        })
+        .map_err(Error::Engine)?;
+    let b2 = building.clone();
+    let pending = sc
+        .transform(
+            &orders,
+            move |vm, rows| {
+                let mut out = Vec::new();
+                for &r in rows {
+                    let v = read_orders(vm, r).map_err(Error::into_spark)?;
+                    if v.orderdate >= QC_DATE && b2.contains(&v.custkey) {
+                        out.push(v);
+                    }
+                }
+                Ok(out)
+            },
+            |vm, v| new_orders(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(orders).map_err(Error::Engine)?;
+    let pending = sc
+        .shuffle(pending, |vm, r| {
+            Ok(hash64(read_orders(vm, r).map_err(Error::into_spark)?.orderkey as u64))
+        })
+        .map_err(Error::Engine)?;
+
+    // Lineitems shuffled by orderkey (co-partitioned with orders).
+    let li = sc
+        .create_dataset(partition(&db.lineitem, sc.n_workers()), |vm, v| {
+            new_lineitem(vm, v).map_err(Error::into_spark)
+        })
+        .map_err(Error::Engine)?;
+    let li = sc
+        .shuffle(li, |vm, r| {
+            Ok(hash64(read_lineitem(vm, r).map_err(Error::into_spark)?.orderkey as u64))
+        })
+        .map_err(Error::Engine)?;
+
+    // Join + aggregate revenue per order.
+    let rev = sc
+        .zip_transform(
+            &pending,
+            &li,
+            |vm, order_rows, li_rows| {
+                let mut orders: HashMap<i64, i32> = HashMap::new();
+                for &r in order_rows {
+                    let v = read_orders(vm, r).map_err(Error::into_spark)?;
+                    orders.insert(v.orderkey, v.orderdate);
+                }
+                let mut rev: HashMap<i64, f64> = HashMap::new();
+                for &r in li_rows {
+                    let v = read_lineitem(vm, r).map_err(Error::into_spark)?;
+                    if orders.contains_key(&v.orderkey) {
+                        *rev.entry(v.orderkey).or_insert(0.0) +=
+                            v.extendedprice * (1.0 - v.discount);
+                    }
+                }
+                Ok(rev
+                    .into_iter()
+                    .map(|(okey, revenue)| ResultVal {
+                        key: format!("order-{okey}"),
+                        v1: revenue,
+                        v2: f64::from(orders[&okey]),
+                        v3: 0.0,
+                        tag: okey,
+                    })
+                    .collect::<Vec<_>>())
+            },
+            |vm, v| new_result(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(pending).map_err(Error::Engine)?;
+    sc.release(li).map_err(Error::Engine)?;
+
+    let mut all = sc
+        .collect(&rev, |vm, rows| {
+            rows.iter().map(|&r| read_result(vm, r).map_err(Error::into_spark)).collect()
+        })
+        .map_err(Error::Engine)?;
+    sc.release(rev).map_err(Error::Engine)?;
+    all.sort_by(|a, b| b.v1.partial_cmp(&a.v1).unwrap_or(std::cmp::Ordering::Equal));
+    all.truncate(QC_TOP);
+    Ok(all)
+}
+
+fn ref_qc(db: &TpchData) -> Vec<ResultVal> {
+    let building: std::collections::HashSet<i64> = db
+        .customer
+        .iter()
+        .filter(|c| c.mktsegment == QC_SEGMENT)
+        .map(|c| c.custkey)
+        .collect();
+    let orders: HashMap<i64, i32> = db
+        .orders
+        .iter()
+        .filter(|o| o.orderdate >= QC_DATE && building.contains(&o.custkey))
+        .map(|o| (o.orderkey, o.orderdate))
+        .collect();
+    let mut rev: HashMap<i64, f64> = HashMap::new();
+    for v in &db.lineitem {
+        if orders.contains_key(&v.orderkey) {
+            *rev.entry(v.orderkey).or_insert(0.0) += v.extendedprice * (1.0 - v.discount);
+        }
+    }
+    let mut all: Vec<ResultVal> = rev
+        .into_iter()
+        .map(|(okey, revenue)| ResultVal {
+            key: format!("order-{okey}"),
+            v1: revenue,
+            v2: f64::from(orders[&okey]),
+            v3: 0.0,
+            tag: okey,
+        })
+        .collect();
+    all.sort_by(|a, b| b.v1.partial_cmp(&a.v1).unwrap_or(std::cmp::Ordering::Equal));
+    all.truncate(QC_TOP);
+    all
+}
+
+// ---------------------------------------------------------------------------
+// QD: late orders per quarter of a given year
+// ---------------------------------------------------------------------------
+
+const QD_YEAR: i32 = 5; // synthetic year index
+
+fn run_qd(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
+    // Late lineitems → orderkeys, shuffled by orderkey.
+    let li = sc
+        .create_dataset(partition(&db.lineitem, sc.n_workers()), |vm, v| {
+            new_lineitem(vm, v).map_err(Error::into_spark)
+        })
+        .map_err(Error::Engine)?;
+    let late = sc
+        .transform(
+            &li,
+            |vm, rows| {
+                let mut out = Vec::new();
+                for &r in rows {
+                    let v = read_lineitem(vm, r).map_err(Error::into_spark)?;
+                    if v.receiptdate > v.commitdate {
+                        out.push(v);
+                    }
+                }
+                Ok(out)
+            },
+            |vm, v| new_lineitem(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(li).map_err(Error::Engine)?;
+    let late = sc
+        .shuffle(late, |vm, r| {
+            Ok(hash64(read_lineitem(vm, r).map_err(Error::into_spark)?.orderkey as u64))
+        })
+        .map_err(Error::Engine)?;
+
+    // Orders of the year, shuffled by orderkey.
+    let orders = sc
+        .create_dataset(partition(&db.orders, sc.n_workers()), |vm, v| {
+            new_orders(vm, v).map_err(Error::into_spark)
+        })
+        .map_err(Error::Engine)?;
+    let year_orders = sc
+        .transform(
+            &orders,
+            |vm, rows| {
+                let mut out = Vec::new();
+                for &r in rows {
+                    let v = read_orders(vm, r).map_err(Error::into_spark)?;
+                    if v.orderdate / YEAR_DAYS == QD_YEAR {
+                        out.push(v);
+                    }
+                }
+                Ok(out)
+            },
+            |vm, v| new_orders(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(orders).map_err(Error::Engine)?;
+    let year_orders = sc
+        .shuffle(year_orders, |vm, r| {
+            Ok(hash64(read_orders(vm, r).map_err(Error::into_spark)?.orderkey as u64))
+        })
+        .map_err(Error::Engine)?;
+
+    // Semi-join + count per quarter.
+    let counts = sc
+        .zip_transform(
+            &year_orders,
+            &late,
+            |vm, order_rows, li_rows| {
+                let mut late_orders: std::collections::HashSet<i64> =
+                    std::collections::HashSet::new();
+                for &r in li_rows {
+                    late_orders.insert(read_lineitem(vm, r).map_err(Error::into_spark)?.orderkey);
+                }
+                let mut per_q: HashMap<i32, i64> = HashMap::new();
+                for &r in order_rows {
+                    let v = read_orders(vm, r).map_err(Error::into_spark)?;
+                    if late_orders.contains(&v.orderkey) {
+                        let q = (v.orderdate % YEAR_DAYS) / (YEAR_DAYS / 4);
+                        *per_q.entry(q).or_insert(0) += 1;
+                    }
+                }
+                Ok(per_q
+                    .into_iter()
+                    .map(|(q, c)| ResultVal {
+                        key: format!("Q{}", q + 1),
+                        v1: 0.0,
+                        v2: 0.0,
+                        v3: 0.0,
+                        tag: c,
+                    })
+                    .collect::<Vec<_>>())
+            },
+            |vm, v| new_result(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(year_orders).map_err(Error::Engine)?;
+    sc.release(late).map_err(Error::Engine)?;
+
+    // Final tiny aggregation driver-side.
+    let partials = sc
+        .collect(&counts, |vm, rows| {
+            rows.iter().map(|&r| read_result(vm, r).map_err(Error::into_spark)).collect()
+        })
+        .map_err(Error::Engine)?;
+    sc.release(counts).map_err(Error::Engine)?;
+    let mut m: HashMap<String, i64> = HashMap::new();
+    for p in partials {
+        *m.entry(p.key).or_insert(0) += p.tag;
+    }
+    Ok(m.into_iter()
+        .map(|(key, c)| ResultVal { key, v1: 0.0, v2: 0.0, v3: 0.0, tag: c })
+        .collect())
+}
+
+fn ref_qd(db: &TpchData) -> Vec<ResultVal> {
+    let mut late_orders: std::collections::HashSet<i64> = std::collections::HashSet::new();
+    for v in &db.lineitem {
+        if v.receiptdate > v.commitdate {
+            late_orders.insert(v.orderkey);
+        }
+    }
+    let mut per_q: HashMap<String, i64> = HashMap::new();
+    for o in &db.orders {
+        if o.orderdate / YEAR_DAYS == QD_YEAR && late_orders.contains(&o.orderkey) {
+            let q = (o.orderdate % YEAR_DAYS) / (YEAR_DAYS / 4);
+            *per_q.entry(format!("Q{}", q + 1)).or_insert(0) += 1;
+        }
+    }
+    per_q
+        .into_iter()
+        .map(|(key, c)| ResultVal { key, v1: 0.0, v2: 0.0, v3: 0.0, tag: c })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// QE: returned items by lost revenue
+// ---------------------------------------------------------------------------
+
+const QE_TOP: usize = 20;
+
+fn run_qe(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
+    // Returned lineitems, shuffled by orderkey.
+    let li = sc
+        .create_dataset(partition(&db.lineitem, sc.n_workers()), |vm, v| {
+            new_lineitem(vm, v).map_err(Error::into_spark)
+        })
+        .map_err(Error::Engine)?;
+    let returned = sc
+        .transform(
+            &li,
+            |vm, rows| {
+                let mut out = Vec::new();
+                for &r in rows {
+                    let v = read_lineitem(vm, r).map_err(Error::into_spark)?;
+                    if v.returnflag == 'R' {
+                        out.push(v);
+                    }
+                }
+                Ok(out)
+            },
+            |vm, v| new_lineitem(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(li).map_err(Error::Engine)?;
+    let returned = sc
+        .shuffle(returned, |vm, r| {
+            Ok(hash64(read_lineitem(vm, r).map_err(Error::into_spark)?.orderkey as u64))
+        })
+        .map_err(Error::Engine)?;
+
+    // Orders shuffled by orderkey for the join, producing (custkey, lost).
+    let orders = sc
+        .create_dataset(partition(&db.orders, sc.n_workers()), |vm, v| {
+            new_orders(vm, v).map_err(Error::into_spark)
+        })
+        .map_err(Error::Engine)?;
+    let orders = sc
+        .shuffle(orders, |vm, r| {
+            Ok(hash64(read_orders(vm, r).map_err(Error::into_spark)?.orderkey as u64))
+        })
+        .map_err(Error::Engine)?;
+    let lost_per_cust = sc
+        .zip_transform(
+            &orders,
+            &returned,
+            |vm, order_rows, li_rows| {
+                let mut cust_of: HashMap<i64, i64> = HashMap::new();
+                for &r in order_rows {
+                    let v = read_orders(vm, r).map_err(Error::into_spark)?;
+                    cust_of.insert(v.orderkey, v.custkey);
+                }
+                let mut lost: HashMap<i64, f64> = HashMap::new();
+                for &r in li_rows {
+                    let v = read_lineitem(vm, r).map_err(Error::into_spark)?;
+                    if let Some(&cust) = cust_of.get(&v.orderkey) {
+                        *lost.entry(cust).or_insert(0.0) += v.extendedprice * (1.0 - v.discount);
+                    }
+                }
+                Ok(lost
+                    .into_iter()
+                    .map(|(cust, value)| ResultVal {
+                        key: String::new(),
+                        v1: value,
+                        v2: 0.0,
+                        v3: 0.0,
+                        tag: cust,
+                    })
+                    .collect::<Vec<_>>())
+            },
+            |vm, v| new_result(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(orders).map_err(Error::Engine)?;
+    sc.release(returned).map_err(Error::Engine)?;
+
+    // Shuffle partial sums by customer, join with customer names, top-N.
+    let by_cust = sc
+        .shuffle(lost_per_cust, |vm, r| {
+            Ok(hash64(read_result(vm, r).map_err(Error::into_spark)?.tag as u64))
+        })
+        .map_err(Error::Engine)?;
+    let customers = sc
+        .create_dataset(
+            {
+                // Partition customers consistently with the shuffle above.
+                let w = sc.n_workers();
+                let mut parts = vec![Vec::new(); w];
+                for c in &db.customer {
+                    parts[(hash64(c.custkey as u64) % w as u64) as usize].push(c.clone());
+                }
+                parts
+            },
+            |vm, v| new_customer(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    let named = sc
+        .zip_transform(
+            &customers,
+            &by_cust,
+            |vm, cust_rows, partials| {
+                let mut name_of: HashMap<i64, String> = HashMap::new();
+                for &r in cust_rows {
+                    let v = read_customer(vm, r).map_err(Error::into_spark)?;
+                    name_of.insert(v.custkey, v.name);
+                }
+                let mut lost: HashMap<i64, f64> = HashMap::new();
+                for &r in partials {
+                    let v = read_result(vm, r).map_err(Error::into_spark)?;
+                    *lost.entry(v.tag).or_insert(0.0) += v.v1;
+                }
+                Ok(lost
+                    .into_iter()
+                    .map(|(cust, value)| ResultVal {
+                        key: name_of.get(&cust).cloned().unwrap_or_default(),
+                        v1: value,
+                        v2: 0.0,
+                        v3: 0.0,
+                        tag: cust,
+                    })
+                    .collect::<Vec<_>>())
+            },
+            |vm, v| new_result(vm, v).map_err(Error::into_spark),
+        )
+        .map_err(Error::Engine)?;
+    sc.release(customers).map_err(Error::Engine)?;
+    sc.release(by_cust).map_err(Error::Engine)?;
+
+    let mut all = sc
+        .collect(&named, |vm, rows| {
+            rows.iter().map(|&r| read_result(vm, r).map_err(Error::into_spark)).collect()
+        })
+        .map_err(Error::Engine)?;
+    sc.release(named).map_err(Error::Engine)?;
+    all.sort_by(|a, b| b.v1.partial_cmp(&a.v1).unwrap_or(std::cmp::Ordering::Equal).then(a.tag.cmp(&b.tag)));
+    all.truncate(QE_TOP);
+    Ok(all)
+}
+
+fn ref_qe(db: &TpchData) -> Vec<ResultVal> {
+    let cust_of: HashMap<i64, i64> = db.orders.iter().map(|o| (o.orderkey, o.custkey)).collect();
+    let name_of: HashMap<i64, String> =
+        db.customer.iter().map(|c| (c.custkey, c.name.clone())).collect();
+    let mut lost: HashMap<i64, f64> = HashMap::new();
+    for v in &db.lineitem {
+        if v.returnflag == 'R' {
+            if let Some(&cust) = cust_of.get(&v.orderkey) {
+                *lost.entry(cust).or_insert(0.0) += v.extendedprice * (1.0 - v.discount);
+            }
+        }
+    }
+    let mut all: Vec<ResultVal> = lost
+        .into_iter()
+        .map(|(cust, value)| ResultVal {
+            key: name_of.get(&cust).cloned().unwrap_or_default(),
+            v1: value,
+            v2: 0.0,
+            v3: 0.0,
+            tag: cust,
+        })
+        .collect();
+    all.sort_by(|a, b| b.v1.partial_cmp(&a.v1).unwrap_or(std::cmp::Ordering::Equal).then(a.tag.cmp(&b.tag)));
+    all.truncate(QE_TOP);
+    all
+}

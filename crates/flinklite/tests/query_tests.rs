@@ -1,0 +1,207 @@
+//! Query correctness: every query produces the same answer under the
+//! built-in row serializer and under Skyway, and both match the plain-Rust
+//! reference. Plus checks of the lazy-deserialization mechanism itself.
+
+use std::sync::Arc;
+
+use flinklite::engine::{boot, FlinkConfig, FlinkSerializer};
+use flinklite::queries::{reference, run_query, QueryId};
+use flinklite::rowser::{FlinkRowSerializer, RowSchema};
+use flinklite::tables::{
+    define_tpch_classes, new_lineitem, read_lineitem, tpch_class_names, LineitemVal, LINEITEM,
+};
+use flinklite::tpchgen::generate;
+use mheap::{ClassPath, HeapConfig, Vm};
+use serlab::Serializer;
+use simnet::Profile;
+
+#[test]
+fn all_queries_match_reference_under_both_serializers() {
+    let db = generate(60, 77);
+    for q in QueryId::ALL {
+        let expect = reference(&db, q);
+        for ser in FlinkSerializer::ALL {
+            let mut sc = boot(
+                &FlinkConfig { serializer: ser, heap_bytes: 48 << 20, ..FlinkConfig::default() },
+                q.schema(),
+            )
+            .unwrap();
+            let got = run_query(&mut sc, &db, q).unwrap();
+            assert_eq!(got, expect, "query {} under {}", q.label(), ser.label());
+        }
+    }
+}
+
+#[test]
+fn skyway_runs_have_no_sd_invocations() {
+    let db = generate(60, 3);
+    let mut sc = boot(
+        &FlinkConfig {
+            serializer: FlinkSerializer::Skyway,
+            heap_bytes: 48 << 20,
+            ..FlinkConfig::default()
+        },
+        QueryId::QC.schema(),
+    )
+    .unwrap();
+    run_query(&mut sc, &db, QueryId::QC).unwrap();
+    let p = sc.aggregate_profile();
+    assert!(p.ser_invocations < 100, "{} invocations", p.ser_invocations);
+    assert!(p.objects_transferred > 100);
+}
+
+#[test]
+fn builtin_invocations_scale_with_rows() {
+    let db = generate(60, 3);
+    let mut sc = boot(
+        &FlinkConfig { heap_bytes: 48 << 20, ..FlinkConfig::default() },
+        QueryId::QC.schema(),
+    )
+    .unwrap();
+    run_query(&mut sc, &db, QueryId::QC).unwrap();
+    let p = sc.aggregate_profile();
+    assert!(p.ser_invocations > 1000, "{}", p.ser_invocations);
+}
+
+fn lazy_test_vms() -> (Vm, Vm) {
+    let cp = ClassPath::new();
+    define_tpch_classes(&cp);
+    let a = Vm::new("a", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp)).unwrap();
+    let b = Vm::new("b", &HeapConfig::small().with_capacity(8 << 20), cp).unwrap();
+    (a, b)
+}
+
+fn sample_lineitem() -> LineitemVal {
+    LineitemVal {
+        orderkey: 42,
+        partkey: 7,
+        suppkey: 3,
+        quantity: 10.0,
+        extendedprice: 1234.5,
+        discount: 0.05,
+        tax: 0.02,
+        returnflag: 'R',
+        linestatus: 'F',
+        shipdate: 100,
+        commitdate: 120,
+        receiptdate: 130,
+        shipmode: "RAIL".to_owned(),
+    }
+}
+
+#[test]
+fn row_serializer_roundtrips_all_fields_without_projection() {
+    let (mut a, mut b) = lazy_test_vms();
+    let schema = Arc::new(RowSchema::new(tpch_class_names()));
+    let ser = FlinkRowSerializer::new(schema);
+    let v = sample_lineitem();
+    let row = new_lineitem(&mut a, &v).unwrap();
+    let mut p = Profile::new();
+    let bytes = ser.serialize(&mut a, &[row], &mut p).unwrap();
+    let out = ser.deserialize(&mut b, &bytes, &mut p).unwrap();
+    assert_eq!(read_lineitem(&b, out[0]).unwrap(), v);
+}
+
+#[test]
+fn lazy_projection_skips_unwanted_columns() {
+    let (mut a, mut b) = lazy_test_vms();
+    let schema = Arc::new(
+        RowSchema::new(tpch_class_names()).project(LINEITEM, &["orderkey", "extendedprice"]),
+    );
+    let ser = FlinkRowSerializer::new(schema);
+    let v = sample_lineitem();
+    let row = new_lineitem(&mut a, &v).unwrap();
+    let mut p = Profile::new();
+    let bytes = ser.serialize(&mut a, &[row], &mut p).unwrap();
+    let out = ser.deserialize(&mut b, &bytes, &mut p).unwrap();
+    let got = read_lineitem(&b, out[0]).unwrap();
+    // Wanted columns decoded.
+    assert_eq!(got.orderkey, 42);
+    assert_eq!(got.extendedprice, 1234.5);
+    // Unwanted columns stay at their zero defaults — never decoded.
+    assert_eq!(got.quantity, 0.0);
+    assert_eq!(got.shipdate, 0);
+    assert_eq!(got.shipmode, "", "string column must not be materialized");
+}
+
+#[test]
+fn lazy_projection_shrinks_receiver_heap_usage() {
+    // The savings are real: no char-array allocations for skipped strings.
+    let schema_full = Arc::new(RowSchema::new(tpch_class_names()));
+    let schema_lazy =
+        Arc::new(RowSchema::new(tpch_class_names()).project(LINEITEM, &["orderkey"]));
+    let mut used = Vec::new();
+    for schema in [schema_full, schema_lazy] {
+        let (mut a, mut b) = lazy_test_vms();
+        let ser = FlinkRowSerializer::new(schema);
+        let rows: Vec<_> = (0..200)
+            .map(|i| {
+                let mut v = sample_lineitem();
+                v.orderkey = i;
+                let r = new_lineitem(&mut a, &v).unwrap();
+                a.handle(r)
+            })
+            .collect();
+        let roots: Vec<_> = rows.iter().map(|h| a.resolve(*h).unwrap()).collect();
+        let mut p = Profile::new();
+        let bytes = ser.serialize(&mut a, &roots, &mut p).unwrap();
+        let before = b.stats.bytes_allocated;
+        ser.deserialize(&mut b, &bytes, &mut p).unwrap();
+        used.push(b.stats.bytes_allocated - before);
+    }
+    assert!(
+        used[1] < used[0],
+        "lazy deserialization allocated {} >= full {}",
+        used[1],
+        used[0]
+    );
+}
+
+#[test]
+fn table3_descriptions_present() {
+    for q in QueryId::ALL {
+        assert!(!q.description().is_empty());
+        assert!(q.label().starts_with('Q'));
+    }
+}
+
+#[test]
+fn null_string_columns_roundtrip() {
+    // Rows whose string columns were never set (null refs) must survive
+    // the built-in serializer as nulls.
+    let (mut a, mut b) = lazy_test_vms();
+    let schema = Arc::new(RowSchema::new(tpch_class_names()));
+    let ser = FlinkRowSerializer::new(schema);
+    let k = a.load_class(LINEITEM).unwrap();
+    let row = a.alloc_instance(k).unwrap();
+    a.set_long(row, "orderkey", 5).unwrap();
+    // shipmode left null.
+    let mut p = Profile::new();
+    let bytes = ser.serialize(&mut a, &[row], &mut p).unwrap();
+    let out = ser.deserialize(&mut b, &bytes, &mut p).unwrap();
+    assert_eq!(b.get_long(out[0], "orderkey").unwrap(), 5);
+    assert!(b.get_ref(out[0], "shipmode").unwrap().is_null());
+}
+
+#[test]
+fn row_serializer_rejects_unknown_class() {
+    let (mut a, _b) = lazy_test_vms();
+    let schema = Arc::new(RowSchema::new(["tpch.Orders"])); // lineitem missing
+    let ser = FlinkRowSerializer::new(schema);
+    let v = sample_lineitem();
+    let row = new_lineitem(&mut a, &v).unwrap();
+    let mut p = Profile::new();
+    assert!(ser.serialize(&mut a, &[row], &mut p).is_err());
+}
+
+#[test]
+fn truncated_row_stream_is_an_error() {
+    let (mut a, mut b) = lazy_test_vms();
+    let schema = Arc::new(RowSchema::new(tpch_class_names()));
+    let ser = FlinkRowSerializer::new(schema);
+    let v = sample_lineitem();
+    let row = new_lineitem(&mut a, &v).unwrap();
+    let mut p = Profile::new();
+    let bytes = ser.serialize(&mut a, &[row], &mut p).unwrap();
+    assert!(ser.deserialize(&mut b, &bytes[..bytes.len() / 2], &mut p).is_err());
+}

@@ -1,0 +1,486 @@
+//! Heap spaces, bump allocation, the card table, and filler words.
+//!
+//! The heap is one fixed-capacity arena split into HotSpot-style spaces:
+//! eden + two survivor semispaces (the young generation) and a tenured old
+//! generation. Skyway's receiver allocates its *input buffers* directly in
+//! the old generation (§4.3 "Interaction with GC") and dirties card-table
+//! entries so the collector notices pointers created by a transfer.
+//!
+//! Partially-filled input-buffer chunks leave gaps in the otherwise linearly
+//! parseable old space; gaps are filled with [`FILLER_WORD`]s, which the
+//! space walkers skip (the moral equivalent of HotSpot's filler arrays).
+
+use crate::layout::{align8, Addr, LayoutSpec};
+use crate::mem::Arena;
+use crate::{Error, Result};
+
+/// Bit pattern marking an unused 8-byte slot in a parseable space. Chosen so
+/// it can never collide with a real mark word (real marks never have all of
+/// bits 48..=62 set).
+pub const FILLER_WORD: u64 = u64::MAX;
+
+/// Card size in bytes (HotSpot uses 512).
+pub const CARD_SIZE: u64 = 512;
+
+/// Configuration of a managed heap.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapConfig {
+    /// Total capacity in bytes (the `-Xmx` of this simulated JVM).
+    pub capacity: usize,
+    /// Fraction of the capacity given to the young generation.
+    pub young_fraction: f64,
+    /// Fraction of the young generation given to *each* survivor space.
+    pub survivor_fraction: f64,
+    /// Number of minor collections an object survives before tenuring.
+    pub tenure_threshold: u8,
+    /// Object format (Skyway `baddr` word present or not).
+    pub spec: LayoutSpec,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            capacity: 64 << 20,
+            young_fraction: 0.3,
+            survivor_fraction: 0.1,
+            tenure_threshold: 6,
+            spec: LayoutSpec::SKYWAY,
+        }
+    }
+}
+
+impl HeapConfig {
+    /// A small heap for unit tests.
+    pub fn small() -> Self {
+        HeapConfig { capacity: 1 << 20, ..HeapConfig::default() }
+    }
+
+    /// Sets the capacity, builder-style.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the object format, builder-style.
+    pub fn with_spec(mut self, spec: LayoutSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+}
+
+/// A contiguous bump-allocated region of the arena.
+#[derive(Debug, Clone, Copy)]
+pub struct Space {
+    /// First usable byte.
+    pub start: u64,
+    /// One past the last usable byte.
+    pub end: u64,
+    /// Allocation cursor.
+    pub top: u64,
+}
+
+impl Space {
+    fn new(start: u64, end: u64) -> Self {
+        Space { start, end, top: start }
+    }
+
+    /// Bytes currently allocated.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.top - self.start
+    }
+
+    /// Bytes remaining.
+    #[inline]
+    pub fn free(&self) -> u64 {
+        self.end - self.top
+    }
+
+    /// Total size.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True if `addr` falls inside this space.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.start && addr.0 < self.end
+    }
+
+    fn bump(&mut self, size: u64) -> Option<u64> {
+        if self.top + size <= self.end {
+            let at = self.top;
+            self.top += size;
+            Some(at)
+        } else {
+            None
+        }
+    }
+}
+
+/// Which generation an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gen {
+    /// Eden or a survivor space.
+    Young,
+    /// The tenured generation.
+    Old,
+}
+
+/// The heap: arena + spaces + card table.
+#[derive(Debug)]
+pub struct Heap {
+    pub(crate) arena: Arena,
+    spec: LayoutSpec,
+    pub(crate) eden: Space,
+    pub(crate) s0: Space,
+    pub(crate) s1: Space,
+    pub(crate) from_is_s0: bool,
+    pub(crate) old: Space,
+    cards: Vec<u8>,
+    hash_state: u64,
+    peak_used: u64,
+    pub(crate) tenure_threshold: u8,
+}
+
+impl Heap {
+    /// Builds a heap from a configuration.
+    ///
+    /// # Errors
+    /// [`Error::ArenaAlloc`] if the arena cannot be allocated, or
+    /// [`Error::BadConfig`] for nonsensical fractions.
+    pub fn new(config: &HeapConfig) -> Result<Self> {
+        if !(0.05..=0.9).contains(&config.young_fraction)
+            || !(0.01..=0.4).contains(&config.survivor_fraction)
+        {
+            return Err(Error::BadConfig(format!(
+                "young_fraction {} / survivor_fraction {} out of range",
+                config.young_fraction, config.survivor_fraction
+            )));
+        }
+        let capacity = align8(config.capacity as u64);
+        let arena = Arena::new(capacity as usize)?;
+        let young = align8((capacity as f64 * config.young_fraction) as u64);
+        let survivor = align8((young as f64 * config.survivor_fraction) as u64);
+        let eden_size = young - 2 * survivor;
+        // Reserve the first 16 bytes so no object lives at address 0 (null).
+        let eden = Space::new(16, 16 + eden_size);
+        let s0 = Space::new(eden.end, eden.end + survivor);
+        let s1 = Space::new(s0.end, s0.end + survivor);
+        let old = Space::new(s1.end, capacity);
+        let n_cards = (old.size() + CARD_SIZE - 1) / CARD_SIZE;
+        Ok(Heap {
+            arena,
+            spec: config.spec,
+            eden,
+            s0,
+            s1,
+            from_is_s0: true,
+            old,
+            cards: vec![0; n_cards as usize],
+            hash_state: 0x9e37_79b9_7f4a_7c15,
+            peak_used: 0,
+            tenure_threshold: config.tenure_threshold,
+        })
+    }
+
+    /// The object format of this heap.
+    #[inline]
+    pub fn spec(&self) -> LayoutSpec {
+        self.spec
+    }
+
+    /// Raw memory access (used by the object layer and Skyway).
+    #[inline]
+    pub fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    /// The survivor space objects are currently evacuated *from*.
+    pub(crate) fn from_space(&self) -> Space {
+        if self.from_is_s0 {
+            self.s0
+        } else {
+            self.s1
+        }
+    }
+
+    /// The survivor space objects are evacuated *to* during a minor GC.
+    pub(crate) fn to_space(&self) -> Space {
+        if self.from_is_s0 {
+            self.s1
+        } else {
+            self.s0
+        }
+    }
+
+    /// Generation containing `addr`.
+    ///
+    /// # Errors
+    /// [`Error::BadAddress`] if `addr` is null or outside every space.
+    pub fn gen_of(&self, addr: Addr) -> Result<Gen> {
+        if self.eden.contains(addr) || self.s0.contains(addr) || self.s1.contains(addr) {
+            Ok(Gen::Young)
+        } else if self.old.contains(addr) {
+            Ok(Gen::Old)
+        } else {
+            Err(Error::BadAddress(addr.0))
+        }
+    }
+
+    /// True if `addr` is in the young generation.
+    pub fn in_young(&self, addr: Addr) -> bool {
+        self.eden.contains(addr) || self.s0.contains(addr) || self.s1.contains(addr)
+    }
+
+    /// True if `addr` is in the old generation.
+    pub fn in_old(&self, addr: Addr) -> bool {
+        self.old.contains(addr)
+    }
+
+    /// Bytes in use across all spaces.
+    pub fn used(&self) -> u64 {
+        self.eden.used() + self.from_space().used() + self.old.used()
+    }
+
+    /// High-water mark of [`Heap::used`] (the §5.2 peak-consumption metric).
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
+    pub(crate) fn note_usage(&mut self) {
+        let u = self.used();
+        if u > self.peak_used {
+            self.peak_used = u;
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.arena.len() as u64
+    }
+
+    /// Bump-allocates `size` bytes in eden (young generation).
+    pub(crate) fn bump_young(&mut self, size: u64) -> Option<Addr> {
+        let at = self.eden.bump(size)?;
+        self.note_usage();
+        Some(Addr(at))
+    }
+
+    /// Bump-allocates `size` bytes in the old generation.
+    pub(crate) fn bump_old(&mut self, size: u64) -> Option<Addr> {
+        let at = self.old.bump(size)?;
+        self.note_usage();
+        Some(Addr(at))
+    }
+
+    /// Allocates a raw, contiguous old-generation region for a Skyway input
+    /// buffer chunk. The caller must leave the region linearly parseable
+    /// (real objects plus [`FILLER_WORD`] padding).
+    ///
+    /// # Errors
+    /// [`Error::OldGenFull`] when the old generation cannot fit `len` bytes.
+    pub fn alloc_raw_old(&mut self, len: u64) -> Result<Addr> {
+        let len = align8(len);
+        let addr = self.old.bump(len).map(Addr).ok_or(Error::OldGenFull { requested: len })?;
+        // Regions from a previous GC epoch may contain stale bytes.
+        self.arena.zero(addr.0, len as usize)?;
+        // Until the caller writes real objects, keep the region parseable.
+        self.fill_filler(addr, len)?;
+        self.note_usage();
+        Ok(addr)
+    }
+
+    /// Fills `[addr, addr+len)` with filler words so space walkers skip it.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`] for bad ranges.
+    pub fn fill_filler(&self, addr: Addr, len: u64) -> Result<()> {
+        let mut off = addr.0;
+        let end = addr.0 + len;
+        while off < end {
+            self.arena.store_word(off, FILLER_WORD)?;
+            off += 8;
+        }
+        Ok(())
+    }
+
+    /// Generates a fresh nonzero 31-bit identity hashcode (xorshift64*).
+    pub(crate) fn next_hash(&mut self) -> u32 {
+        loop {
+            let mut x = self.hash_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.hash_state = x;
+            let h = ((x.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 33) as u32 & 0x7fff_ffff;
+            if h != 0 {
+                return h;
+            }
+        }
+    }
+
+    // ----- card table -------------------------------------------------
+
+    fn card_index(&self, addr: Addr) -> Option<usize> {
+        if self.old.contains(addr) {
+            Some(((addr.0 - self.old.start) / CARD_SIZE) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Dirties the card covering `addr` (no-op outside the old generation).
+    /// This is the write barrier, also invoked by Skyway's receiver after
+    /// absolutizing an input buffer.
+    pub fn dirty_card(&mut self, addr: Addr) {
+        if let Some(i) = self.card_index(addr) {
+            self.cards[i] = 1;
+        }
+    }
+
+    /// Dirties every card overlapping `[addr, addr+len)`.
+    pub fn dirty_card_range(&mut self, addr: Addr, len: u64) {
+        let mut a = addr.0;
+        let end = addr.0 + len.max(1);
+        while a < end {
+            self.dirty_card(Addr(a));
+            a += CARD_SIZE;
+        }
+    }
+
+    /// True if the card covering `addr` is dirty.
+    pub fn is_card_dirty(&self, addr: Addr) -> bool {
+        self.card_index(addr).map(|i| self.cards[i] == 1).unwrap_or(false)
+    }
+
+    pub(crate) fn clear_cards(&mut self) {
+        self.cards.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Number of dirty cards (diagnostics).
+    pub fn dirty_card_count(&self) -> usize {
+        self.cards.iter().filter(|&&c| c == 1).count()
+    }
+
+    // ----- GC-internal space management --------------------------------
+
+    pub(crate) fn reset_young_after_minor(&mut self) -> Result<()> {
+        self.arena.zero(self.eden.start, self.eden.used() as usize)?;
+        let from = self.from_space();
+        self.arena.zero(from.start, from.used() as usize)?;
+        self.eden.top = self.eden.start;
+        if self.from_is_s0 {
+            self.s0.top = self.s0.start;
+        } else {
+            self.s1.top = self.s1.start;
+        }
+        self.from_is_s0 = !self.from_is_s0;
+        Ok(())
+    }
+
+    pub(crate) fn bump_to_space(&mut self, size: u64) -> Option<Addr> {
+        let sp = if self.from_is_s0 { &mut self.s1 } else { &mut self.s0 };
+        sp.bump(size).map(Addr)
+    }
+
+    pub(crate) fn set_old_top(&mut self, top: u64) -> Result<()> {
+        let old_top = self.old.top;
+        self.old.top = top;
+        if top < old_top {
+            self.arena.zero(top, (old_top - top) as usize)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of (eden, from-survivor, to-survivor, old) for reporting.
+    pub fn spaces(&self) -> (Space, Space, Space, Space) {
+        (self.eden, self.from_space(), self.to_space(), self.old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaces_partition_capacity() {
+        let h = Heap::new(&HeapConfig::small()).unwrap();
+        let (eden, from, to, old) = h.spaces();
+        assert_eq!(eden.start, 16);
+        assert!(eden.end <= from.start || from.start <= eden.end); // contiguous chain
+        assert_eq!(old.end, h.capacity());
+        assert!(eden.size() > 0 && from.size() > 0 && to.size() > 0 && old.size() > 0);
+        assert_eq!(from.size(), to.size());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let cfg = HeapConfig { young_fraction: 0.99, ..HeapConfig::small() };
+        assert!(matches!(Heap::new(&cfg), Err(Error::BadConfig(_))));
+    }
+
+    #[test]
+    fn raw_old_region_is_filler_filled() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        let a = h.alloc_raw_old(64).unwrap();
+        for i in 0..8 {
+            assert_eq!(h.arena().load_word(a.0 + i * 8).unwrap(), FILLER_WORD);
+        }
+    }
+
+    #[test]
+    fn old_gen_full_errors() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        let huge = h.old.size() + 8;
+        assert!(matches!(h.alloc_raw_old(huge), Err(Error::OldGenFull { .. })));
+    }
+
+    #[test]
+    fn card_dirtying() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        let a = h.alloc_raw_old(CARD_SIZE * 3).unwrap();
+        assert!(!h.is_card_dirty(a));
+        h.dirty_card(a);
+        assert!(h.is_card_dirty(a));
+        h.dirty_card_range(a, CARD_SIZE * 3);
+        assert!(h.is_card_dirty(Addr(a.0 + CARD_SIZE)));
+        assert!(h.is_card_dirty(Addr(a.0 + 2 * CARD_SIZE)));
+        h.clear_cards();
+        assert_eq!(h.dirty_card_count(), 0);
+    }
+
+    #[test]
+    fn young_gen_membership() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        let y = h.bump_young(32).unwrap();
+        assert_eq!(h.gen_of(y).unwrap(), Gen::Young);
+        let o = h.bump_old(32).unwrap();
+        assert_eq!(h.gen_of(o).unwrap(), Gen::Old);
+        assert!(h.gen_of(Addr(0)).is_err());
+        assert!(h.gen_of(Addr(h.capacity() + 8)).is_err());
+    }
+
+    #[test]
+    fn hashes_nonzero_31bit_and_distinct() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        let a = h.next_hash();
+        let b = h.next_hash();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+        assert!(a <= 0x7fff_ffff);
+    }
+
+    #[test]
+    fn peak_usage_tracks_high_water() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        h.bump_young(1024).unwrap();
+        let p = h.peak_used();
+        assert!(p >= 1024);
+        h.reset_young_after_minor().unwrap();
+        assert_eq!(h.peak_used(), p); // peak survives resets
+        assert!(h.used() < p);
+    }
+}

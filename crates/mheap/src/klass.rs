@@ -1,0 +1,661 @@
+//! Class metadata ("klass" meta-objects) and field-layout computation.
+//!
+//! Every object header's klass word names a [`Klass`] in the owning VM's
+//! [`KlassTable`]. A klass knows its flattened field list with computed
+//! offsets (HotSpot-style size-descending packing, superclass fields first),
+//! which is exactly the information the baseline serializers consult
+//! "reflectively" (by string lookup) and that Skyway never needs to touch.
+//!
+//! Klasses also carry the Skyway global type id (`tID`, §4.1) once the
+//! distributed type registry has assigned one — the paper adds "an extra
+//! field in each klass to accommodate its ID".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::layout::{align8, LayoutSpec};
+use crate::{Error, Result};
+
+/// Index of a klass in its VM's [`KlassTable`].
+///
+/// Klass ids are VM-local (the same class has different ids on different
+/// nodes) — that is the whole reason Skyway needs global type numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KlassId(pub u32);
+
+/// Sentinel for "no Skyway type id assigned yet".
+pub const TID_UNSET: u32 = u32::MAX;
+
+/// Process-wide unique klass id counter (see [`Klass::uid`]).
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// A primitive field/element type with its Java size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimType {
+    /// 1-byte boolean.
+    Bool,
+    /// 1-byte signed integer.
+    Byte,
+    /// 2-byte unsigned UTF-16 code unit.
+    Char,
+    /// 2-byte signed integer.
+    Short,
+    /// 4-byte signed integer.
+    Int,
+    /// 4-byte IEEE float.
+    Float,
+    /// 8-byte signed integer.
+    Long,
+    /// 8-byte IEEE float.
+    Double,
+}
+
+impl PrimType {
+    /// Size in bytes.
+    #[inline]
+    pub fn size(self) -> u8 {
+        match self {
+            PrimType::Bool | PrimType::Byte => 1,
+            PrimType::Char | PrimType::Short => 2,
+            PrimType::Int | PrimType::Float => 4,
+            PrimType::Long | PrimType::Double => 8,
+        }
+    }
+
+    /// JVM descriptor character (`Z`, `B`, `C`, `S`, `I`, `F`, `J`, `D`).
+    pub fn descriptor(self) -> char {
+        match self {
+            PrimType::Bool => 'Z',
+            PrimType::Byte => 'B',
+            PrimType::Char => 'C',
+            PrimType::Short => 'S',
+            PrimType::Int => 'I',
+            PrimType::Float => 'F',
+            PrimType::Long => 'J',
+            PrimType::Double => 'D',
+        }
+    }
+
+    /// All primitive types, in descriptor order.
+    pub const ALL: [PrimType; 8] = [
+        PrimType::Bool,
+        PrimType::Byte,
+        PrimType::Char,
+        PrimType::Short,
+        PrimType::Int,
+        PrimType::Float,
+        PrimType::Long,
+        PrimType::Double,
+    ];
+}
+
+/// The declared type of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// A primitive-typed field (object data, in the paper's terms).
+    Prim(PrimType),
+    /// A reference-typed field (an object reference that Skyway must
+    /// relativize/absolutize).
+    Ref,
+}
+
+impl FieldType {
+    /// Field slot size in bytes (references are 8).
+    #[inline]
+    pub fn size(self) -> u8 {
+        match self {
+            FieldType::Prim(p) => p.size(),
+            FieldType::Ref => 8,
+        }
+    }
+}
+
+/// What kind of objects a klass describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KlassKind {
+    /// Ordinary instance with named fields.
+    Instance,
+    /// Array of primitives.
+    PrimArray(PrimType),
+    /// Array of references.
+    RefArray,
+}
+
+/// A class definition as it would appear "on the classpath": name, super
+/// class, and declared fields. Layout is computed when a VM loads it.
+#[derive(Debug, Clone)]
+pub struct KlassDef {
+    /// Fully qualified class name, e.g. `"media.MediaContent"`.
+    pub name: String,
+    /// Super class name (`None` only for `java.lang.Object`).
+    pub super_name: Option<String>,
+    /// Declared fields (name, type), excluding inherited ones.
+    pub fields: Vec<(String, FieldType)>,
+}
+
+impl KlassDef {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        super_name: Option<&str>,
+        fields: Vec<(&str, FieldType)>,
+    ) -> Self {
+        KlassDef {
+            name: name.into(),
+            super_name: super_name.map(str::to_owned),
+            fields: fields.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+        }
+    }
+}
+
+/// A field with its computed offset inside the object.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: FieldType,
+    /// Byte offset from the object start.
+    pub offset: u64,
+    /// Name of the class that declared this field (for descriptor strings).
+    pub declared_in: String,
+}
+
+/// Loaded class metadata with computed layout.
+#[derive(Debug)]
+pub struct Klass {
+    /// VM-local id (index in the [`KlassTable`]).
+    pub id: KlassId,
+    /// Fully qualified name.
+    pub name: String,
+    /// Super klass, if any.
+    pub super_id: Option<KlassId>,
+    /// Kind (instance or array).
+    pub kind: KlassKind,
+    /// Flattened fields (super-class fields first), with offsets.
+    pub fields: Vec<Field>,
+    /// Name → index into `fields` (the "reflection" lookup surface).
+    field_index: HashMap<String, usize>,
+    /// Total object size in bytes for instances (8-aligned). Zero for
+    /// arrays, whose size depends on the length.
+    pub instance_size: u64,
+    /// Names of this class and all super classes, most-derived first —
+    /// what the Java serializer writes out per object (§2.1).
+    pub descriptor_chain: Vec<String>,
+    /// Skyway global type id (§4.1), [`TID_UNSET`] until registered.
+    tid: AtomicU32,
+    /// Process-wide unique id, never reused — a sound cache key for
+    /// compiled per-class serializer plans (unlike `Arc` pointers, which
+    /// the allocator recycles once a VM is dropped).
+    pub uid: u64,
+}
+
+impl Klass {
+    /// Looks a field up by name — the operation whose per-object, per-field
+    /// repetition makes reflective serialization expensive.
+    pub fn field_by_name(&self, name: &str) -> Option<&Field> {
+        self.field_index.get(name).map(|&i| &self.fields[i])
+    }
+
+    /// Reflective field lookup: linear scan with string comparison over the
+    /// declared-field lists of the class and its supers, the way
+    /// `Class.getDeclaredField` walks `Field[]` arrays. Baseline
+    /// serializers use this; compiled plans and Skyway never do.
+    pub fn field_by_name_reflective(&self, name: &str) -> Option<&Field> {
+        // Walk per-declaring-class, most-derived first, as reflection does.
+        for cname in &self.descriptor_chain {
+            for f in self.fields.iter().filter(|f| &f.declared_in == cname) {
+                if f.name == name {
+                    return Some(f);
+                }
+            }
+        }
+        None
+    }
+
+    /// The Skyway global type id, if assigned.
+    pub fn tid(&self) -> Option<u32> {
+        match self.tid.load(Ordering::Acquire) {
+            TID_UNSET => None,
+            t => Some(t),
+        }
+    }
+
+    /// Writes the Skyway global type id into the klass meta-object
+    /// (Algorithm 1, `WRITETID`).
+    pub fn set_tid(&self, tid: u32) {
+        self.tid.store(tid, Ordering::Release);
+    }
+
+    /// True if objects of this klass are arrays.
+    #[inline]
+    pub fn is_array(&self) -> bool {
+        !matches!(self.kind, KlassKind::Instance)
+    }
+
+    /// Array element size in bytes.
+    ///
+    /// # Errors
+    /// [`Error::NotAnArray`] for instance klasses.
+    pub fn elem_size(&self) -> Result<u8> {
+        match self.kind {
+            KlassKind::PrimArray(p) => Ok(p.size()),
+            KlassKind::RefArray => Ok(8),
+            KlassKind::Instance => Err(Error::NotAnArray(self.name.clone())),
+        }
+    }
+}
+
+/// Name of the root class.
+pub const OBJECT: &str = "java.lang.Object";
+
+/// Synthesizes the array-class name for a primitive, e.g. `"[I"`.
+pub fn prim_array_name(p: PrimType) -> String {
+    format!("[{}", p.descriptor())
+}
+
+/// Synthesizes the array-class name for references to `elem`, e.g.
+/// `"[Ljava.lang.String;"`.
+pub fn ref_array_name(elem: &str) -> String {
+    format!("[L{elem};")
+}
+
+/// A shared "classpath": class definitions by name, shared between all VMs
+/// of a cluster so that a receiving VM can load a class on demand when it
+/// encounters an unloaded type id (§4.1: "Skyway instructs the class loader
+/// to load the missing class since the type registry knows the full class
+/// name").
+#[derive(Debug, Default)]
+pub struct ClassPath {
+    defs: RwLock<HashMap<String, KlassDef>>,
+}
+
+impl ClassPath {
+    /// Creates an empty classpath.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ClassPath::default())
+    }
+
+    /// Adds (or replaces) a class definition.
+    pub fn define(&self, def: KlassDef) {
+        self.defs.write().insert(def.name.clone(), def);
+    }
+
+    /// Adds many definitions.
+    pub fn define_all(&self, defs: impl IntoIterator<Item = KlassDef>) {
+        let mut map = self.defs.write();
+        for def in defs {
+            map.insert(def.name.clone(), def);
+        }
+    }
+
+    /// Fetches a definition by name.
+    pub fn lookup(&self, name: &str) -> Option<KlassDef> {
+        self.defs.read().get(name).cloned()
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.read().len()
+    }
+
+    /// True if no classes are defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.read().is_empty()
+    }
+
+    /// All defined class names (sorted, for deterministic iteration).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.defs.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Per-VM table of loaded klasses.
+///
+/// Append-only under a read-write lock so that concurrent Skyway sender
+/// threads can resolve klass metadata while the VM occasionally loads a new
+/// class.
+#[derive(Debug, Default)]
+pub struct KlassTable {
+    inner: RwLock<TableInner>,
+}
+
+#[derive(Debug, Default)]
+struct TableInner {
+    klasses: Vec<Arc<Klass>>,
+    by_name: HashMap<String, KlassId>,
+}
+
+impl KlassTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        KlassTable::default()
+    }
+
+    /// Number of loaded klasses.
+    pub fn len(&self) -> usize {
+        self.inner.read().klasses.len()
+    }
+
+    /// True if no klass is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves a klass by id.
+    ///
+    /// # Errors
+    /// [`Error::UnknownKlass`] for ids never issued by this table.
+    pub fn get(&self, id: KlassId) -> Result<Arc<Klass>> {
+        self.inner
+            .read()
+            .klasses
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or(Error::UnknownKlass(id.0))
+    }
+
+    /// Resolves a klass by name, if loaded.
+    pub fn by_name(&self, name: &str) -> Option<Arc<Klass>> {
+        let inner = self.inner.read();
+        inner.by_name.get(name).map(|&id| Arc::clone(&inner.klasses[id.0 as usize]))
+    }
+
+    /// All loaded klasses in load order.
+    pub fn all(&self) -> Vec<Arc<Klass>> {
+        self.inner.read().klasses.clone()
+    }
+
+    /// Loads `name` (and, recursively, its supers) from `classpath` with the
+    /// given object format, returning its id. Loading an already-loaded
+    /// class is a cheap lookup. Array classes (`[I`, `[Lfoo;`) are
+    /// synthesized without a classpath entry.
+    ///
+    /// # Errors
+    /// [`Error::ClassNotFound`] if the classpath has no such definition;
+    /// [`Error::DuplicateField`] for ill-formed definitions.
+    pub fn load(&self, name: &str, classpath: &ClassPath, spec: LayoutSpec) -> Result<KlassId> {
+        if let Some(k) = self.by_name(name) {
+            return Ok(k.id);
+        }
+        // Array classes are synthesized.
+        if let Some(rest) = name.strip_prefix('[') {
+            let kind = match rest.chars().next() {
+                Some('L') => KlassKind::RefArray,
+                Some(c) => {
+                    let p = PrimType::ALL
+                        .into_iter()
+                        .find(|p| p.descriptor() == c)
+                        .ok_or_else(|| Error::ClassNotFound(name.to_owned()))?;
+                    KlassKind::PrimArray(p)
+                }
+                None => return Err(Error::ClassNotFound(name.to_owned())),
+            };
+            // Ensure element class of ref arrays is loadable too (matches
+            // JVM behaviour and keeps descriptor chains meaningful).
+            if let KlassKind::RefArray = kind {
+                let elem = &rest[1..rest.len() - 1];
+                if elem != OBJECT {
+                    self.load(elem, classpath, spec)?;
+                }
+            }
+            let object_id = self.ensure_object(classpath, spec)?;
+            return self.insert(name.to_owned(), Some(object_id), kind, Vec::new(), spec);
+        }
+
+        let def = classpath
+            .lookup(name)
+            .ok_or_else(|| Error::ClassNotFound(name.to_owned()))?;
+        let super_id = match &def.super_name {
+            Some(s) => Some(self.load(s, classpath, spec)?),
+            None => {
+                if name == OBJECT {
+                    None
+                } else {
+                    Some(self.ensure_object(classpath, spec)?)
+                }
+            }
+        };
+        let fields: Vec<(String, FieldType)> = def.fields.clone();
+        self.insert_instance(name.to_owned(), super_id, fields, spec)
+    }
+
+    fn ensure_object(&self, classpath: &ClassPath, spec: LayoutSpec) -> Result<KlassId> {
+        if let Some(k) = self.by_name(OBJECT) {
+            return Ok(k.id);
+        }
+        if classpath.lookup(OBJECT).is_none() {
+            classpath.define(KlassDef::new(OBJECT, None, vec![]));
+        }
+        self.load(OBJECT, classpath, spec)
+    }
+
+    fn insert_instance(
+        &self,
+        name: String,
+        super_id: Option<KlassId>,
+        own_fields: Vec<(String, FieldType)>,
+        spec: LayoutSpec,
+    ) -> Result<KlassId> {
+        // Super fields (already laid out) come first; own fields are packed
+        // size-descending after the super's payload end (HotSpot-style).
+        let (mut fields, mut cursor, mut chain) = match super_id {
+            Some(sid) => {
+                let sk = self.get(sid)?;
+                let end = sk
+                    .fields
+                    .iter()
+                    .map(|f| f.offset + u64::from(f.ty.size()))
+                    .max()
+                    .unwrap_or(spec.instance_header());
+                (sk.fields.clone(), end, sk.descriptor_chain.clone())
+            }
+            None => (Vec::new(), spec.instance_header(), Vec::new()),
+        };
+        chain.insert(0, name.clone());
+
+        let mut own: Vec<(String, FieldType)> = own_fields;
+        own.sort_by(|a, b| b.1.size().cmp(&a.1.size()).then_with(|| a.0.cmp(&b.0)));
+        for (fname, ty) in own {
+            let size = u64::from(ty.size());
+            cursor = (cursor + size - 1) & !(size - 1); // align to field size
+            fields.push(Field {
+                name: fname,
+                ty,
+                offset: cursor,
+                declared_in: name.clone(),
+            });
+            cursor += size;
+        }
+        let instance_size = align8(cursor);
+
+        let mut field_index = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if field_index.insert(f.name.clone(), i).is_some() {
+                return Err(Error::DuplicateField { class: name, field: f.name.clone() });
+            }
+        }
+
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(&name) {
+            return Ok(id); // lost a benign race
+        }
+        let id = KlassId(inner.klasses.len() as u32);
+        inner.klasses.push(Arc::new(Klass {
+            id,
+            name: name.clone(),
+            super_id,
+            kind: KlassKind::Instance,
+            fields,
+            field_index,
+            instance_size,
+            descriptor_chain: chain,
+            tid: AtomicU32::new(TID_UNSET),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+        }));
+        inner.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    fn insert(
+        &self,
+        name: String,
+        super_id: Option<KlassId>,
+        kind: KlassKind,
+        fields: Vec<Field>,
+        _spec: LayoutSpec,
+    ) -> Result<KlassId> {
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(&name) {
+            return Ok(id);
+        }
+        let id = KlassId(inner.klasses.len() as u32);
+        let chain = vec![name.clone(), OBJECT.to_owned()];
+        inner.klasses.push(Arc::new(Klass {
+            id,
+            name: name.clone(),
+            super_id,
+            kind,
+            fields,
+            field_index: HashMap::new(),
+            instance_size: 0,
+            descriptor_chain: chain,
+            tid: AtomicU32::new(TID_UNSET),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+        }));
+        inner.by_name.insert(name, id);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp() -> Arc<ClassPath> {
+        let cp = ClassPath::new();
+        cp.define(KlassDef::new(
+            "Point",
+            None,
+            vec![("x", FieldType::Prim(PrimType::Int)), ("y", FieldType::Prim(PrimType::Int))],
+        ));
+        cp.define(KlassDef::new(
+            "Point3D",
+            Some("Point"),
+            vec![("z", FieldType::Prim(PrimType::Int))],
+        ));
+        cp.define(KlassDef::new(
+            "Mixed",
+            None,
+            vec![
+                ("flag", FieldType::Prim(PrimType::Bool)),
+                ("big", FieldType::Prim(PrimType::Long)),
+                ("small", FieldType::Prim(PrimType::Short)),
+                ("next", FieldType::Ref),
+                ("val", FieldType::Prim(PrimType::Int)),
+            ],
+        ));
+        cp
+    }
+
+    #[test]
+    fn loads_with_implicit_object_super() {
+        let cp = cp();
+        let t = KlassTable::new();
+        let id = t.load("Point", &cp, LayoutSpec::SKYWAY).unwrap();
+        let k = t.get(id).unwrap();
+        assert_eq!(k.super_id, Some(t.by_name(OBJECT).unwrap().id));
+        assert_eq!(k.descriptor_chain, vec!["Point".to_owned(), OBJECT.to_owned()]);
+    }
+
+    #[test]
+    fn packs_fields_size_descending() {
+        let cp = cp();
+        let t = KlassTable::new();
+        let id = t.load("Mixed", &cp, LayoutSpec::SKYWAY).unwrap();
+        let k = t.get(id).unwrap();
+        // header = 24; 8-byte fields first (big, next by name), then int,
+        // short, bool.
+        let off = |n: &str| k.field_by_name(n).unwrap().offset;
+        assert_eq!(off("big"), 24);
+        assert_eq!(off("next"), 32);
+        assert_eq!(off("val"), 40);
+        assert_eq!(off("small"), 44);
+        assert_eq!(off("flag"), 46);
+        assert_eq!(k.instance_size, 48);
+    }
+
+    #[test]
+    fn subclass_layout_appends_after_super() {
+        let cp = cp();
+        let t = KlassTable::new();
+        let id = t.load("Point3D", &cp, LayoutSpec::SKYWAY).unwrap();
+        let k = t.get(id).unwrap();
+        assert_eq!(k.field_by_name("x").unwrap().offset, 24);
+        assert_eq!(k.field_by_name("y").unwrap().offset, 28);
+        assert_eq!(k.field_by_name("z").unwrap().offset, 32);
+        assert_eq!(k.instance_size, 40);
+        assert_eq!(
+            k.descriptor_chain,
+            vec!["Point3D".to_owned(), "Point".to_owned(), OBJECT.to_owned()]
+        );
+    }
+
+    #[test]
+    fn stock_layout_is_8_bytes_smaller() {
+        let cp = cp();
+        let t = KlassTable::new();
+        let id = t.load("Point", &cp, LayoutSpec::STOCK).unwrap();
+        let k = t.get(id).unwrap();
+        assert_eq!(k.field_by_name("x").unwrap().offset, 16);
+        assert_eq!(k.instance_size, 24);
+    }
+
+    #[test]
+    fn array_classes_synthesized() {
+        let cp = cp();
+        let t = KlassTable::new();
+        let ia = t.load("[I", &cp, LayoutSpec::SKYWAY).unwrap();
+        assert_eq!(t.get(ia).unwrap().kind, KlassKind::PrimArray(PrimType::Int));
+        assert_eq!(t.get(ia).unwrap().elem_size().unwrap(), 4);
+        let ra = t.load("[LPoint;", &cp, LayoutSpec::SKYWAY).unwrap();
+        assert_eq!(t.get(ra).unwrap().kind, KlassKind::RefArray);
+        // Element class got loaded too.
+        assert!(t.by_name("Point").is_some());
+    }
+
+    #[test]
+    fn unknown_class_errors() {
+        let cp = cp();
+        let t = KlassTable::new();
+        assert!(matches!(
+            t.load("NoSuch", &cp, LayoutSpec::SKYWAY),
+            Err(Error::ClassNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn tid_roundtrip() {
+        let cp = cp();
+        let t = KlassTable::new();
+        let id = t.load("Point", &cp, LayoutSpec::SKYWAY).unwrap();
+        let k = t.get(id).unwrap();
+        assert_eq!(k.tid(), None);
+        k.set_tid(42);
+        assert_eq!(k.tid(), Some(42));
+    }
+
+    #[test]
+    fn reload_is_idempotent() {
+        let cp = cp();
+        let t = KlassTable::new();
+        let a = t.load("Point3D", &cp, LayoutSpec::SKYWAY).unwrap();
+        let b = t.load("Point3D", &cp, LayoutSpec::SKYWAY).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,362 @@
+//! Raw arena memory backing a simulated managed heap.
+//!
+//! This is the only module in the workspace that contains `unsafe` code. It
+//! provides a fixed-capacity, zero-initialized, 8-byte-aligned memory region
+//! with bounds-checked typed accessors and *atomic* word operations.
+//!
+//! Atomic word access matters because Skyway's multi-threaded sender
+//! (paper §4.2, "Support for Threads") claims the `baddr` header word of a
+//! shared object with a compare-and-swap while several transfer threads
+//! traverse the same heap concurrently. The arena therefore exposes
+//! [`Arena::load_word_atomic`] and [`Arena::cas_word`] that take `&self`.
+//!
+//! Every non-atomic accessor also takes `&self`: the arena behaves like one
+//! large `UnsafeCell`. Callers above this layer (the [`crate::heap::Heap`])
+//! restore single-writer discipline through `&mut` methods; the narrow
+//! `&self` write surface exists only for the sender paths that the paper
+//! defines to be data-race-free by construction (application threads are
+//! quiesced during a shuffle, and each non-`baddr` word is read-only then).
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Error, Result};
+
+/// Fixed-capacity, zeroed, 8-byte-aligned raw memory region.
+///
+/// Offsets are `u64` byte offsets from the start of the region. Offset `0`
+/// is a valid byte but the managed heap never allocates an object there, so
+/// address `0` can represent `null` one layer up.
+pub struct Arena {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the arena itself is just memory; synchronization discipline is the
+// responsibility of the owning heap (single mutator, or the documented
+// race-free Skyway sender protocol using the atomic accessors).
+unsafe impl Send for Arena {}
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    /// Allocates a zeroed arena of `len` bytes (rounded up to 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ArenaAlloc`] if the allocation fails or `len` is 0.
+    pub fn new(len: usize) -> Result<Self> {
+        let len = len.checked_add(7).ok_or(Error::ArenaAlloc(len))? & !7usize;
+        if len == 0 {
+            return Err(Error::ArenaAlloc(len));
+        }
+        let layout = Layout::from_size_align(len, 8).map_err(|_| Error::ArenaAlloc(len))?;
+        // SAFETY: layout has non-zero size (checked above).
+        let ptr = unsafe { alloc_zeroed(layout) };
+        if ptr.is_null() {
+            return Err(Error::ArenaAlloc(len));
+        }
+        Ok(Arena { ptr, len })
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the arena has zero capacity (never true for a live arena).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, off: u64, size: usize) -> Result<usize> {
+        let off = off as usize;
+        let end = off.checked_add(size).ok_or(Error::OutOfBounds { off: off as u64, size })?;
+        if end > self.len {
+            return Err(Error::OutOfBounds { off: off as u64, size });
+        }
+        Ok(off)
+    }
+
+    #[inline]
+    fn check_aligned(&self, off: u64, size: usize) -> Result<usize> {
+        let o = self.check(off, size)?;
+        if o % size != 0 {
+            return Err(Error::Misaligned { off, align: size });
+        }
+        Ok(o)
+    }
+
+    /// Reads an 8-byte word at an 8-aligned offset.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
+    #[inline]
+    pub fn load_word(&self, off: u64) -> Result<u64> {
+        let o = self.check_aligned(off, 8)?;
+        // SAFETY: bounds and alignment checked.
+        Ok(unsafe { (self.ptr.add(o) as *const u64).read() })
+    }
+
+    /// Writes an 8-byte word at an 8-aligned offset.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
+    #[inline]
+    pub fn store_word(&self, off: u64, val: u64) -> Result<()> {
+        let o = self.check_aligned(off, 8)?;
+        // SAFETY: bounds and alignment checked.
+        unsafe { (self.ptr.add(o) as *mut u64).write(val) };
+        Ok(())
+    }
+
+    /// Atomically reads an 8-byte word (Acquire).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
+    #[inline]
+    pub fn load_word_atomic(&self, off: u64) -> Result<u64> {
+        let o = self.check_aligned(off, 8)?;
+        // SAFETY: bounds and alignment checked; AtomicU64 has the same
+        // layout as u64.
+        let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };
+        Ok(a.load(Ordering::Acquire))
+    }
+
+    /// Atomically compare-and-swaps an 8-byte word (AcqRel on success).
+    ///
+    /// Returns `Ok(Ok(old))` on success and `Ok(Err(current))` if the word
+    /// did not match `expected`.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
+    #[inline]
+    pub fn cas_word(&self, off: u64, expected: u64, new: u64) -> Result<std::result::Result<u64, u64>> {
+        let o = self.check_aligned(off, 8)?;
+        // SAFETY: bounds and alignment checked.
+        let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };
+        Ok(a.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire))
+    }
+
+    /// Reads a 4-byte value at a 4-aligned offset.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
+    #[inline]
+    pub fn load_u32(&self, off: u64) -> Result<u32> {
+        let o = self.check_aligned(off, 4)?;
+        // SAFETY: bounds and alignment checked.
+        Ok(unsafe { (self.ptr.add(o) as *const u32).read() })
+    }
+
+    /// Writes a 4-byte value at a 4-aligned offset.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
+    #[inline]
+    pub fn store_u32(&self, off: u64, val: u32) -> Result<()> {
+        let o = self.check_aligned(off, 4)?;
+        // SAFETY: bounds and alignment checked.
+        unsafe { (self.ptr.add(o) as *mut u32).write(val) };
+        Ok(())
+    }
+
+    /// Reads a 2-byte value at a 2-aligned offset.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
+    #[inline]
+    pub fn load_u16(&self, off: u64) -> Result<u16> {
+        let o = self.check_aligned(off, 2)?;
+        // SAFETY: bounds and alignment checked.
+        Ok(unsafe { (self.ptr.add(o) as *const u16).read() })
+    }
+
+    /// Writes a 2-byte value at a 2-aligned offset.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
+    #[inline]
+    pub fn store_u16(&self, off: u64, val: u16) -> Result<()> {
+        let o = self.check_aligned(off, 2)?;
+        // SAFETY: bounds and alignment checked.
+        unsafe { (self.ptr.add(o) as *mut u16).write(val) };
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`].
+    #[inline]
+    pub fn load_u8(&self, off: u64) -> Result<u8> {
+        let o = self.check(off, 1)?;
+        // SAFETY: bounds checked.
+        Ok(unsafe { self.ptr.add(o).read() })
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`].
+    #[inline]
+    pub fn store_u8(&self, off: u64, val: u8) -> Result<()> {
+        let o = self.check(off, 1)?;
+        // SAFETY: bounds checked.
+        unsafe { self.ptr.add(o).write(val) };
+        Ok(())
+    }
+
+    /// Copies `len` bytes out of the arena into `dst`.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`].
+    pub fn read_bytes(&self, off: u64, dst: &mut [u8]) -> Result<()> {
+        let o = self.check(off, dst.len())?;
+        // SAFETY: bounds checked; dst is a distinct Rust allocation.
+        unsafe { std::ptr::copy_nonoverlapping(self.ptr.add(o), dst.as_mut_ptr(), dst.len()) };
+        Ok(())
+    }
+
+    /// Copies `src` into the arena at `off`.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`].
+    pub fn write_bytes(&self, off: u64, src: &[u8]) -> Result<()> {
+        let o = self.check(off, src.len())?;
+        // SAFETY: bounds checked; src is a distinct Rust allocation.
+        unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(o), src.len()) };
+        Ok(())
+    }
+
+    /// Copies `len` bytes within the arena (regions may overlap).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`].
+    pub fn copy_within(&self, src: u64, dst: u64, len: usize) -> Result<()> {
+        let s = self.check(src, len)?;
+        let d = self.check(dst, len)?;
+        // SAFETY: both ranges bounds checked; copy handles overlap.
+        unsafe { std::ptr::copy(self.ptr.add(s), self.ptr.add(d), len) };
+        Ok(())
+    }
+
+    /// Zeroes `len` bytes starting at `off`.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`].
+    pub fn zero(&self, off: u64, len: usize) -> Result<()> {
+        let o = self.check(off, len)?;
+        // SAFETY: bounds checked.
+        unsafe { std::ptr::write_bytes(self.ptr.add(o), 0, len) };
+        Ok(())
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() && self.len > 0 {
+            // SAFETY: allocated with the identical layout in `new`.
+            unsafe {
+                dealloc(self.ptr, Layout::from_size_align_unchecked(self.len, 8));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_on_alloc() {
+        let a = Arena::new(1024).unwrap();
+        for off in (0..1024).step_by(8) {
+            assert_eq!(a.load_word(off as u64).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let a = Arena::new(64).unwrap();
+        a.store_word(8, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(a.load_word(8).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let a = Arena::new(64).unwrap();
+        assert!(matches!(a.load_word(64), Err(Error::OutOfBounds { .. })));
+        assert!(matches!(a.store_word(60, 1), Err(Error::OutOfBounds { .. })));
+        assert!(matches!(a.load_u8(64), Err(Error::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn rejects_misaligned() {
+        let a = Arena::new(64).unwrap();
+        assert!(matches!(a.load_word(4), Err(Error::Misaligned { .. })));
+        assert!(matches!(a.load_u32(2), Err(Error::Misaligned { .. })));
+        assert!(matches!(a.load_u16(1), Err(Error::Misaligned { .. })));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = Arena::new(64).unwrap();
+        a.write_bytes(3, b"skyway").unwrap();
+        let mut buf = [0u8; 6];
+        a.read_bytes(3, &mut buf).unwrap();
+        assert_eq!(&buf, b"skyway");
+    }
+
+    #[test]
+    fn overlapping_copy_within() {
+        let a = Arena::new(64).unwrap();
+        a.write_bytes(0, b"abcdef").unwrap();
+        a.copy_within(0, 2, 6).unwrap();
+        let mut buf = [0u8; 8];
+        a.read_bytes(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ababcdef");
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let a = Arena::new(64).unwrap();
+        a.store_word(16, 7).unwrap();
+        assert_eq!(a.cas_word(16, 7, 9).unwrap(), Ok(7));
+        assert_eq!(a.cas_word(16, 7, 11).unwrap(), Err(9));
+        assert_eq!(a.load_word_atomic(16).unwrap(), 9);
+    }
+
+    #[test]
+    fn zero_range() {
+        let a = Arena::new(64).unwrap();
+        a.store_word(8, u64::MAX).unwrap();
+        a.zero(8, 8).unwrap();
+        assert_eq!(a.load_word(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn concurrent_cas_claims_once() {
+        use std::sync::Arc;
+        let a = Arc::new(Arena::new(64).unwrap());
+        let winners: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let a = Arc::clone(&a);
+                    s.spawn(move || a.cas_word(32, 0, i + 1).unwrap().is_ok() as usize)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(winners, 1);
+        assert_ne!(a.load_word_atomic(32).unwrap(), 0);
+    }
+}

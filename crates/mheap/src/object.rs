@@ -1,0 +1,337 @@
+//! Typed, named-field object accessors.
+//!
+//! These wrap the raw offset-based primitives on [`Vm`] with the
+//! by-field-name API application code (workloads, serializers) uses. The
+//! name-based lookups intentionally go through the klass field index —
+//! applications in the engines use cached [`Field`] offsets instead, just as
+//! compiled Java bytecode uses resolved field offsets while *reflection*
+//! resolves names at run time.
+
+use std::sync::Arc;
+
+use crate::klass::{Field, FieldType, Klass, PrimType};
+use crate::layout::Addr;
+use crate::vm::Vm;
+use crate::{Error, Result};
+
+/// A typed primitive value read from / written to a field or array element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// 8-bit signed.
+    Byte(i8),
+    /// UTF-16 code unit.
+    Char(u16),
+    /// 16-bit signed.
+    Short(i16),
+    /// 32-bit signed.
+    Int(i32),
+    /// 32-bit float.
+    Float(f32),
+    /// 64-bit signed.
+    Long(i64),
+    /// 64-bit float.
+    Double(f64),
+}
+
+impl Value {
+    /// Raw bit pattern stored in the heap.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Bool(b) => u64::from(b),
+            Value::Byte(v) => v as u8 as u64,
+            Value::Char(v) => u64::from(v),
+            Value::Short(v) => v as u16 as u64,
+            Value::Int(v) => v as u32 as u64,
+            Value::Float(v) => u64::from(v.to_bits()),
+            Value::Long(v) => v as u64,
+            Value::Double(v) => v.to_bits(),
+        }
+    }
+
+    /// Decodes a raw bit pattern as `ty`.
+    pub fn from_bits(ty: PrimType, bits: u64) -> Value {
+        match ty {
+            PrimType::Bool => Value::Bool(bits & 1 != 0),
+            PrimType::Byte => Value::Byte(bits as u8 as i8),
+            PrimType::Char => Value::Char(bits as u16),
+            PrimType::Short => Value::Short(bits as u16 as i16),
+            PrimType::Int => Value::Int(bits as u32 as i32),
+            PrimType::Float => Value::Float(f32::from_bits(bits as u32)),
+            PrimType::Long => Value::Long(bits as i64),
+            PrimType::Double => Value::Double(f64::from_bits(bits)),
+        }
+    }
+
+    /// The primitive type of this value.
+    pub fn prim_type(self) -> PrimType {
+        match self {
+            Value::Bool(_) => PrimType::Bool,
+            Value::Byte(_) => PrimType::Byte,
+            Value::Char(_) => PrimType::Char,
+            Value::Short(_) => PrimType::Short,
+            Value::Int(_) => PrimType::Int,
+            Value::Float(_) => PrimType::Float,
+            Value::Long(_) => PrimType::Long,
+            Value::Double(_) => PrimType::Double,
+        }
+    }
+}
+
+impl Vm {
+    fn named_field(&self, obj: Addr, name: &str) -> Result<(Arc<Klass>, Field)> {
+        let k = self.klass_of(obj)?;
+        let f = k
+            .field_by_name(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchField { class: k.name.clone(), field: name.to_owned() })?;
+        Ok((k, f))
+    }
+
+    /// Reads a primitive field by name.
+    ///
+    /// # Errors
+    /// [`Error::NoSuchField`]; [`Error::FieldTypeMismatch`] for ref fields.
+    pub fn get_prim(&self, obj: Addr, name: &str) -> Result<Value> {
+        let (k, f) = self.named_field(obj, name)?;
+        match f.ty {
+            FieldType::Prim(p) => {
+                let bits = self.read_prim_raw(obj, f.offset, p.size())?;
+                Ok(Value::from_bits(p, bits))
+            }
+            FieldType::Ref => {
+                Err(Error::FieldTypeMismatch { class: k.name.clone(), field: f.name })
+            }
+        }
+    }
+
+    /// Writes a primitive field by name.
+    ///
+    /// # Errors
+    /// [`Error::NoSuchField`]; [`Error::FieldTypeMismatch`] when the value
+    /// type does not match the declared field type.
+    pub fn set_prim(&mut self, obj: Addr, name: &str, val: Value) -> Result<()> {
+        let (k, f) = self.named_field(obj, name)?;
+        match f.ty {
+            FieldType::Prim(p) if p == val.prim_type() => {
+                self.write_prim_raw(obj, f.offset, p.size(), val.to_bits())
+            }
+            _ => Err(Error::FieldTypeMismatch { class: k.name.clone(), field: f.name }),
+        }
+    }
+
+    /// Convenience: reads an `Int` field.
+    ///
+    /// # Errors
+    /// As [`Vm::get_prim`], plus a mismatch error for non-int fields.
+    pub fn get_int(&self, obj: Addr, name: &str) -> Result<i32> {
+        match self.get_prim(obj, name)? {
+            Value::Int(v) => Ok(v),
+            _ => {
+                let k = self.klass_of(obj)?;
+                Err(Error::FieldTypeMismatch { class: k.name.clone(), field: name.to_owned() })
+            }
+        }
+    }
+
+    /// Convenience: writes an `Int` field.
+    ///
+    /// # Errors
+    /// As [`Vm::set_prim`].
+    pub fn set_int(&mut self, obj: Addr, name: &str, v: i32) -> Result<()> {
+        self.set_prim(obj, name, Value::Int(v))
+    }
+
+    /// Convenience: reads a `Long` field.
+    ///
+    /// # Errors
+    /// As [`Vm::get_prim`], plus a mismatch error for non-long fields.
+    pub fn get_long(&self, obj: Addr, name: &str) -> Result<i64> {
+        match self.get_prim(obj, name)? {
+            Value::Long(v) => Ok(v),
+            _ => {
+                let k = self.klass_of(obj)?;
+                Err(Error::FieldTypeMismatch { class: k.name.clone(), field: name.to_owned() })
+            }
+        }
+    }
+
+    /// Convenience: writes a `Long` field.
+    ///
+    /// # Errors
+    /// As [`Vm::set_prim`].
+    pub fn set_long(&mut self, obj: Addr, name: &str, v: i64) -> Result<()> {
+        self.set_prim(obj, name, Value::Long(v))
+    }
+
+    /// Convenience: reads a `Double` field.
+    ///
+    /// # Errors
+    /// As [`Vm::get_prim`], plus a mismatch error for non-double fields.
+    pub fn get_double(&self, obj: Addr, name: &str) -> Result<f64> {
+        match self.get_prim(obj, name)? {
+            Value::Double(v) => Ok(v),
+            _ => {
+                let k = self.klass_of(obj)?;
+                Err(Error::FieldTypeMismatch { class: k.name.clone(), field: name.to_owned() })
+            }
+        }
+    }
+
+    /// Convenience: writes a `Double` field.
+    ///
+    /// # Errors
+    /// As [`Vm::set_prim`].
+    pub fn set_double(&mut self, obj: Addr, name: &str, v: f64) -> Result<()> {
+        self.set_prim(obj, name, Value::Double(v))
+    }
+
+    /// Reads a reference field by name.
+    ///
+    /// # Errors
+    /// [`Error::NoSuchField`]; [`Error::FieldTypeMismatch`] for prim fields.
+    pub fn get_ref(&self, obj: Addr, name: &str) -> Result<Addr> {
+        let (k, f) = self.named_field(obj, name)?;
+        match f.ty {
+            FieldType::Ref => self.read_ref_at(obj, f.offset),
+            FieldType::Prim(_) => {
+                Err(Error::FieldTypeMismatch { class: k.name.clone(), field: f.name })
+            }
+        }
+    }
+
+    /// Writes a reference field by name (with write barrier).
+    ///
+    /// # Errors
+    /// [`Error::NoSuchField`]; [`Error::FieldTypeMismatch`] for prim fields.
+    pub fn set_ref(&mut self, obj: Addr, name: &str, val: Addr) -> Result<()> {
+        let (k, f) = self.named_field(obj, name)?;
+        match f.ty {
+            FieldType::Ref => self.write_ref_at(obj, f.offset, val),
+            FieldType::Prim(_) => {
+                Err(Error::FieldTypeMismatch { class: k.name.clone(), field: f.name })
+            }
+        }
+    }
+
+    /// Reads a typed primitive array element.
+    ///
+    /// # Errors
+    /// [`Error::IndexOutOfBounds`], [`Error::NotAnArray`].
+    pub fn array_get(&self, obj: Addr, idx: u64) -> Result<Value> {
+        let k = self.klass_of(obj)?;
+        match k.kind {
+            crate::klass::KlassKind::PrimArray(p) => {
+                let bits = self.array_get_raw(obj, idx)?;
+                Ok(Value::from_bits(p, bits))
+            }
+            _ => Err(Error::NotAnArray(k.name.clone())),
+        }
+    }
+
+    /// Writes a typed primitive array element.
+    ///
+    /// # Errors
+    /// [`Error::IndexOutOfBounds`], [`Error::NotAnArray`],
+    /// [`Error::FieldTypeMismatch`] for wrong value types.
+    pub fn array_set(&mut self, obj: Addr, idx: u64, val: Value) -> Result<()> {
+        let k = self.klass_of(obj)?;
+        match k.kind {
+            crate::klass::KlassKind::PrimArray(p) if p == val.prim_type() => {
+                self.array_set_raw(obj, idx, val.to_bits())
+            }
+            crate::klass::KlassKind::PrimArray(_) => Err(Error::FieldTypeMismatch {
+                class: k.name.clone(),
+                field: format!("[{idx}]"),
+            }),
+            _ => Err(Error::NotAnArray(k.name.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_bits_roundtrip_every_type() {
+        let cases = [
+            Value::Bool(true),
+            Value::Byte(-7),
+            Value::Char(0xbeef),
+            Value::Short(-30_000),
+            Value::Int(i32::MIN),
+            Value::Float(-0.5),
+            Value::Long(i64::MAX),
+            Value::Double(f64::MIN_POSITIVE),
+        ];
+        for v in cases {
+            let back = Value::from_bits(v.prim_type(), v.to_bits());
+            assert_eq!(back, v, "{v:?} did not round-trip through bits");
+        }
+    }
+
+    #[test]
+    fn typed_accessors_reject_wrong_types() {
+        use crate::klass::{ClassPath, KlassDef};
+        use crate::{HeapConfig, Vm};
+        let cp = ClassPath::new();
+        cp.define(KlassDef::new(
+            "T",
+            None,
+            vec![("i", FieldType::Prim(PrimType::Int)), ("r", FieldType::Ref)],
+        ));
+        let mut vm = Vm::new("obj", &HeapConfig::small(), cp).unwrap();
+        let k = vm.load_class("T").unwrap();
+        let o = vm.alloc_instance(k).unwrap();
+        // Prim accessor on a ref field and vice versa.
+        assert!(matches!(vm.get_prim(o, "r"), Err(Error::FieldTypeMismatch { .. })));
+        assert!(matches!(vm.get_ref(o, "i"), Err(Error::FieldTypeMismatch { .. })));
+        // Wrong prim type on write.
+        assert!(matches!(
+            vm.set_prim(o, "i", Value::Long(1)),
+            Err(Error::FieldTypeMismatch { .. })
+        ));
+        // Unknown field name.
+        assert!(matches!(vm.get_int(o, "nope"), Err(Error::NoSuchField { .. })));
+    }
+
+    #[test]
+    fn long_convenience_accessors() {
+        use crate::klass::{ClassPath, KlassDef};
+        use crate::{HeapConfig, Vm};
+        let cp = ClassPath::new();
+        cp.define(KlassDef::new(
+            "L",
+            None,
+            vec![("v", FieldType::Prim(PrimType::Long)), ("d", FieldType::Prim(PrimType::Double))],
+        ));
+        let mut vm = Vm::new("obj", &HeapConfig::small(), cp).unwrap();
+        let k = vm.load_class("L").unwrap();
+        let o = vm.alloc_instance(k).unwrap();
+        vm.set_long(o, "v", -1).unwrap();
+        assert_eq!(vm.get_long(o, "v").unwrap(), -1);
+        vm.set_double(o, "d", 2.5).unwrap();
+        assert_eq!(vm.get_double(o, "d").unwrap(), 2.5);
+        // get_long on a double field is a mismatch.
+        assert!(matches!(vm.get_long(o, "d"), Err(Error::FieldTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn prim_array_type_safety() {
+        use crate::klass::ClassPath;
+        use crate::{HeapConfig, Vm};
+        let cp = ClassPath::new();
+        let mut vm = Vm::new("obj", &HeapConfig::small(), cp).unwrap();
+        let ik = vm.load_class("[I").unwrap();
+        let arr = vm.alloc_array(ik, 3).unwrap();
+        vm.array_set(arr, 0, Value::Int(-5)).unwrap();
+        assert_eq!(vm.array_get(arr, 0).unwrap(), Value::Int(-5));
+        assert!(matches!(
+            vm.array_set(arr, 1, Value::Long(1)),
+            Err(Error::FieldTypeMismatch { .. })
+        ));
+        assert!(matches!(vm.array_get(arr, 9), Err(Error::IndexOutOfBounds { .. })));
+    }
+}

@@ -1,0 +1,520 @@
+//! An in-heap "java.lang / java.util" core: strings, boxed primitives,
+//! pairs, growable lists, and an identity-hash `HashMap`.
+//!
+//! The `HashMap` matters to the evaluation: its bucket placement is keyed by
+//! the identity hashcode *cached in each key's mark word*. A conventional
+//! deserializer creates brand-new key objects with brand-new hashcodes, so
+//! the map must be rebuilt (rehashed) on the receiver; Skyway preserves mark
+//! words, so the received map is usable as-is (§1, §4.2 "Header Update").
+//! The ablation benchmark quantifies exactly that difference.
+
+use std::sync::Arc;
+
+use crate::klass::{ClassPath, FieldType, KlassDef, PrimType};
+use crate::layout::Addr;
+use crate::vm::Vm;
+use crate::{Error, Result};
+
+/// Class name of the in-heap string.
+pub const STRING: &str = "java.lang.String";
+/// Class name of the boxed 32-bit integer.
+pub const INTEGER: &str = "java.lang.Integer";
+/// Class name of the boxed 64-bit integer.
+pub const LONG: &str = "java.lang.Long";
+/// Class name of the boxed double.
+pub const DOUBLE: &str = "java.lang.Double";
+/// Class name of the generic pair.
+pub const PAIR: &str = "util.Pair";
+/// Class name of the growable list.
+pub const ARRAY_LIST: &str = "java.util.ArrayList";
+/// Class name of the identity-hash map.
+pub const HASH_MAP: &str = "java.util.HashMap";
+/// Class name of a hash-map chain node.
+pub const HASH_NODE: &str = "java.util.HashMap$Node";
+
+/// Registers all core class definitions on a classpath. Idempotent.
+pub fn define_core_classes(cp: &Arc<ClassPath>) {
+    cp.define_all([
+        KlassDef::new(STRING, None, vec![("value", FieldType::Ref), ("hash", FieldType::Prim(PrimType::Int))]),
+        KlassDef::new(INTEGER, None, vec![("value", FieldType::Prim(PrimType::Int))]),
+        KlassDef::new(LONG, None, vec![("value", FieldType::Prim(PrimType::Long))]),
+        KlassDef::new(DOUBLE, None, vec![("value", FieldType::Prim(PrimType::Double))]),
+        KlassDef::new(PAIR, None, vec![("first", FieldType::Ref), ("second", FieldType::Ref)]),
+        KlassDef::new(
+            ARRAY_LIST,
+            None,
+            vec![("elementData", FieldType::Ref), ("size", FieldType::Prim(PrimType::Int))],
+        ),
+        KlassDef::new(
+            HASH_MAP,
+            None,
+            vec![("table", FieldType::Ref), ("size", FieldType::Prim(PrimType::Int))],
+        ),
+        KlassDef::new(
+            HASH_NODE,
+            None,
+            vec![
+                ("hash", FieldType::Prim(PrimType::Int)),
+                ("key", FieldType::Ref),
+                ("value", FieldType::Ref),
+                ("next", FieldType::Ref),
+            ],
+        ),
+    ]);
+}
+
+impl Vm {
+    // ----- strings ------------------------------------------------------
+
+    /// Allocates an in-heap string with a value-based cached hash (Java's
+    /// `String.hashCode` formula over UTF-16 units).
+    ///
+    /// # Errors
+    /// Allocation / class errors.
+    pub fn new_string(&mut self, s: &str) -> Result<Addr> {
+        let char_klass = self.load_class("[C")?;
+        let units: Vec<u16> = s.encode_utf16().collect();
+        let arr = self.alloc_array(char_klass, units.len() as u64)?;
+        for (i, u) in units.iter().enumerate() {
+            self.array_set_raw(arr, i as u64, u64::from(*u))?;
+        }
+        let t = self.push_temp_root(arr);
+        let str_klass = self.load_class(STRING)?;
+        let obj = self.alloc_instance(str_klass)?;
+        let arr = self.temp_root(t);
+        self.pop_temp_root();
+        self.set_ref(obj, "value", arr)?;
+        let mut h: i32 = 0;
+        for u in &units {
+            h = h.wrapping_mul(31).wrapping_add(i32::from(*u as i16));
+        }
+        self.set_int(obj, "hash", h)?;
+        Ok(obj)
+    }
+
+    /// Reads an in-heap string back into a Rust `String`.
+    ///
+    /// # Errors
+    /// Address / class errors; lossy for unpaired surrogates (replacement
+    /// character), mirroring `String::from_utf16_lossy`.
+    pub fn read_string(&self, obj: Addr) -> Result<String> {
+        let arr = self.get_ref(obj, "value")?;
+        if arr.is_null() {
+            return Err(Error::BadAddress(0));
+        }
+        let len = self.array_len(arr)?;
+        let mut units = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            units.push(self.array_get_raw(arr, i)? as u16);
+        }
+        Ok(String::from_utf16_lossy(&units))
+    }
+
+    /// The value-based hash cached in a string object.
+    ///
+    /// # Errors
+    /// Address / field errors.
+    pub fn string_hash(&self, obj: Addr) -> Result<i32> {
+        self.get_int(obj, "hash")
+    }
+
+    // ----- boxed primitives ----------------------------------------------
+
+    /// Boxes an `i32`.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn new_integer(&mut self, v: i32) -> Result<Addr> {
+        let k = self.load_class(INTEGER)?;
+        let obj = self.alloc_instance(k)?;
+        self.set_int(obj, "value", v)?;
+        Ok(obj)
+    }
+
+    /// Boxes an `i64`.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn new_long(&mut self, v: i64) -> Result<Addr> {
+        let k = self.load_class(LONG)?;
+        let obj = self.alloc_instance(k)?;
+        self.set_long(obj, "value", v)?;
+        Ok(obj)
+    }
+
+    /// Boxes an `f64`.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn new_double(&mut self, v: f64) -> Result<Addr> {
+        let k = self.load_class(DOUBLE)?;
+        let obj = self.alloc_instance(k)?;
+        self.set_double(obj, "value", v)?;
+        Ok(obj)
+    }
+
+    /// Allocates a pair of references.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn new_pair(&mut self, first: Addr, second: Addr) -> Result<Addr> {
+        let tf = self.push_temp_root(first);
+        let ts = self.push_temp_root(second);
+        let k = self.load_class(PAIR)?;
+        let obj = self.alloc_instance(k)?;
+        let second = self.temp_root(ts);
+        let first = self.temp_root(tf);
+        self.pop_temp_root();
+        self.pop_temp_root();
+        self.set_ref(obj, "first", first)?;
+        self.set_ref(obj, "second", second)?;
+        Ok(obj)
+    }
+
+    // ----- ArrayList ------------------------------------------------------
+
+    /// Allocates an empty list with the given capacity.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn new_list(&mut self, capacity: u64) -> Result<Addr> {
+        let arr_k = self.load_class("[Ljava.lang.Object;")?;
+        let data = self.alloc_array(arr_k, capacity.max(4))?;
+        let t = self.push_temp_root(data);
+        let k = self.load_class(ARRAY_LIST)?;
+        let list = self.alloc_instance(k)?;
+        let data = self.temp_root(t);
+        self.pop_temp_root();
+        self.set_ref(list, "elementData", data)?;
+        self.set_int(list, "size", 0)?;
+        Ok(list)
+    }
+
+    /// Appends `elem`, growing the backing array if needed. Returns the
+    /// (possibly unchanged) list address; note a GC during growth may move
+    /// objects, so callers must hold the list in a handle or temp root.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn list_push(&mut self, list: Addr, elem: Addr) -> Result<()> {
+        let size = self.get_int(list, "size")? as u64;
+        let data = self.get_ref(list, "elementData")?;
+        let cap = self.array_len(data)?;
+        if size == cap {
+            let tl = self.push_temp_root(list);
+            let te = self.push_temp_root(elem);
+            let td = self.push_temp_root(data);
+            let arr_k = self.load_class("[Ljava.lang.Object;")?;
+            let bigger = self.alloc_array(arr_k, cap * 2)?;
+            let data = self.temp_root(td);
+            for i in 0..size {
+                let v = self.array_get_ref(data, i)?;
+                self.array_set_ref(bigger, i, v)?;
+            }
+            let list2 = self.temp_root(tl);
+            let elem2 = self.temp_root(te);
+            self.pop_temp_root();
+            self.pop_temp_root();
+            self.pop_temp_root();
+            self.set_ref(list2, "elementData", bigger)?;
+            self.array_set_ref(bigger, size, elem2)?;
+            self.set_int(list2, "size", (size + 1) as i32)?;
+            return Ok(());
+        }
+        self.array_set_ref(data, size, elem)?;
+        self.set_int(list, "size", (size + 1) as i32)?;
+        Ok(())
+    }
+
+    /// Number of elements in the list.
+    ///
+    /// # Errors
+    /// Field errors.
+    pub fn list_len(&self, list: Addr) -> Result<u64> {
+        Ok(self.get_int(list, "size")? as u64)
+    }
+
+    /// Element at `idx`.
+    ///
+    /// # Errors
+    /// [`Error::IndexOutOfBounds`].
+    pub fn list_get(&self, list: Addr, idx: u64) -> Result<Addr> {
+        let size = self.list_len(list)?;
+        if idx >= size {
+            return Err(Error::IndexOutOfBounds { index: idx, len: size });
+        }
+        let data = self.get_ref(list, "elementData")?;
+        self.array_get_ref(data, idx)
+    }
+
+    // ----- identity-hash HashMap -----------------------------------------
+
+    /// Allocates an empty hash map with `buckets` chains.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn new_hash_map(&mut self, buckets: u64) -> Result<Addr> {
+        let arr_k = self.load_class("[Ljava.lang.Object;")?;
+        let table = self.alloc_array(arr_k, buckets.max(4))?;
+        let t = self.push_temp_root(table);
+        let k = self.load_class(HASH_MAP)?;
+        let map = self.alloc_instance(k)?;
+        let table = self.temp_root(t);
+        self.pop_temp_root();
+        self.set_ref(map, "table", table)?;
+        self.set_int(map, "size", 0)?;
+        Ok(map)
+    }
+
+    /// Inserts `key → value` using the key's identity hashcode (cached in
+    /// the key's mark word). Replaces the value if the identical key object
+    /// is already present. Returns `true` if a new entry was created.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn map_put(&mut self, map: Addr, key: Addr, value: Addr) -> Result<bool> {
+        let h = self.identity_hash(key)?;
+        let table = self.get_ref(map, "table")?;
+        let nbuckets = self.array_len(table)?;
+        let b = u64::from(h) % nbuckets;
+        // Search the chain for the identical key object.
+        let mut node = self.array_get_ref(table, b)?;
+        while !node.is_null() {
+            let k = self.get_ref(node, "key")?;
+            if k == key {
+                self.set_ref(node, "value", value)?;
+                return Ok(false);
+            }
+            node = self.get_ref(node, "next")?;
+        }
+        let tm = self.push_temp_root(map);
+        let tk = self.push_temp_root(key);
+        let tv = self.push_temp_root(value);
+        let node_k = self.load_class(HASH_NODE)?;
+        let node = self.alloc_instance(node_k)?;
+        let value = self.temp_root(tv);
+        let key = self.temp_root(tk);
+        let map = self.temp_root(tm);
+        self.pop_temp_root();
+        self.pop_temp_root();
+        self.pop_temp_root();
+        let table = self.get_ref(map, "table")?;
+        let head = self.array_get_ref(table, b)?;
+        self.set_int(node, "hash", h as i32)?;
+        self.set_ref(node, "key", key)?;
+        self.set_ref(node, "value", value)?;
+        self.set_ref(node, "next", head)?;
+        self.array_set_ref(table, b, node)?;
+        let size = self.get_int(map, "size")?;
+        self.set_int(map, "size", size + 1)?;
+        Ok(true)
+    }
+
+    /// Looks a key up by identity.
+    ///
+    /// # Errors
+    /// Address errors.
+    pub fn map_get(&self, map: Addr, key: Addr) -> Result<Option<Addr>> {
+        let h = match self.cached_hash(key)? {
+            0 => return Ok(None), // never hashed → never inserted
+            h => h,
+        };
+        let table = self.get_ref(map, "table")?;
+        let nbuckets = self.array_len(table)?;
+        let mut node = self.array_get_ref(table, u64::from(h) % nbuckets)?;
+        while !node.is_null() {
+            if self.get_ref(node, "key")? == key {
+                return Ok(Some(self.get_ref(node, "value")?));
+            }
+            node = self.get_ref(node, "next")?;
+        }
+        Ok(None)
+    }
+
+    /// Number of entries.
+    ///
+    /// # Errors
+    /// Field errors.
+    pub fn map_len(&self, map: Addr) -> Result<u64> {
+        Ok(self.get_int(map, "size")? as u64)
+    }
+
+    /// Verifies that every node sits in the bucket its *current* mark-word
+    /// hash selects — true for a map Skyway transferred (hashcodes
+    /// preserved), generally false for one whose keys were recreated by a
+    /// conventional deserializer until it is rehashed.
+    ///
+    /// # Errors
+    /// Address errors.
+    pub fn map_is_consistent(&self, map: Addr) -> Result<bool> {
+        let table = self.get_ref(map, "table")?;
+        let nbuckets = self.array_len(table)?;
+        for b in 0..nbuckets {
+            let mut node = self.array_get_ref(table, b)?;
+            while !node.is_null() {
+                let key = self.get_ref(node, "key")?;
+                let h = self.cached_hash(key)?;
+                if h == 0 || u64::from(h) % nbuckets != b {
+                    return Ok(false);
+                }
+                node = self.get_ref(node, "next")?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Rebuilds the bucket structure from the keys' current identity
+    /// hashes — what a conventional deserializer must do after recreating
+    /// key objects ("additionally reshuffle key/value pairs", §1).
+    /// Returns the number of entries rehashed.
+    ///
+    /// # Errors
+    /// Allocation errors.
+    pub fn map_rehash(&mut self, map: Addr) -> Result<u64> {
+        let table = self.get_ref(map, "table")?;
+        let nbuckets = self.array_len(table)?;
+        // Collect all nodes.
+        let mut nodes = Vec::new();
+        for b in 0..nbuckets {
+            let mut node = self.array_get_ref(table, b)?;
+            while !node.is_null() {
+                nodes.push(node);
+                node = self.get_ref(node, "next")?;
+            }
+        }
+        // Clear buckets.
+        for b in 0..nbuckets {
+            self.array_set_ref(table, b, Addr::NULL)?;
+        }
+        // Re-insert by current identity hash.
+        for &node in &nodes {
+            let key = self.get_ref(node, "key")?;
+            let h = self.identity_hash(key)?;
+            self.set_int(node, "hash", h as i32)?;
+            let b = u64::from(h) % nbuckets;
+            let head = self.array_get_ref(table, b)?;
+            self.set_ref(node, "next", head)?;
+            self.array_set_ref(table, b, node)?;
+        }
+        Ok(nodes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapConfig;
+
+    fn vm() -> Vm {
+        let cp = ClassPath::new();
+        define_core_classes(&cp);
+        Vm::new("test", &HeapConfig::small(), cp).unwrap()
+    }
+
+    #[test]
+    fn string_roundtrip_and_hash() {
+        let mut vm = vm();
+        let s = vm.new_string("hello skyway").unwrap();
+        assert_eq!(vm.read_string(s).unwrap(), "hello skyway");
+        // Java's "hello skyway".hashCode() analogue is deterministic.
+        let h1 = vm.string_hash(s).unwrap();
+        let s2 = vm.new_string("hello skyway").unwrap();
+        assert_eq!(h1, vm.string_hash(s2).unwrap());
+    }
+
+    #[test]
+    fn unicode_string_roundtrip() {
+        let mut vm = vm();
+        let s = vm.new_string("héllo — 細かい ✓").unwrap();
+        assert_eq!(vm.read_string(s).unwrap(), "héllo — 細かい ✓");
+    }
+
+    #[test]
+    fn boxed_values() {
+        let mut vm = vm();
+        let i = vm.new_integer(-42).unwrap();
+        assert_eq!(vm.get_int(i, "value").unwrap(), -42);
+        let l = vm.new_long(i64::MIN).unwrap();
+        assert_eq!(vm.get_long(l, "value").unwrap(), i64::MIN);
+        let d = vm.new_double(3.25).unwrap();
+        assert_eq!(vm.get_double(d, "value").unwrap(), 3.25);
+    }
+
+    #[test]
+    fn list_grows() {
+        let mut vm = vm();
+        let list = vm.new_list(2).unwrap();
+        let h = vm.handle(list);
+        for i in 0..50 {
+            let e = vm.new_integer(i).unwrap();
+            let list = vm.resolve(h).unwrap();
+            vm.list_push(list, e).unwrap();
+        }
+        let list = vm.resolve(h).unwrap();
+        assert_eq!(vm.list_len(list).unwrap(), 50);
+        for i in 0..50 {
+            let e = vm.list_get(list, i).unwrap();
+            assert_eq!(vm.get_int(e, "value").unwrap(), i as i32);
+        }
+        assert!(vm.list_get(list, 50).is_err());
+    }
+
+    #[test]
+    fn map_put_get_replace() {
+        let mut vm = vm();
+        let map = vm.new_hash_map(8).unwrap();
+        let mh = vm.handle(map);
+        let k1 = vm.new_string("k1").unwrap();
+        let k1h = vm.handle(k1);
+        let v1 = vm.new_integer(1).unwrap();
+        let map = vm.resolve(mh).unwrap();
+        let k1 = vm.resolve(k1h).unwrap();
+        assert!(vm.map_put(map, k1, v1).unwrap());
+        assert_eq!(vm.map_len(map).unwrap(), 1);
+        let got = vm.map_get(map, k1).unwrap().unwrap();
+        assert_eq!(vm.get_int(got, "value").unwrap(), 1);
+        // Replace by identical key.
+        let v2 = vm.new_integer(2).unwrap();
+        let map = vm.resolve(mh).unwrap();
+        let k1 = vm.resolve(k1h).unwrap();
+        assert!(!vm.map_put(map, k1, v2).unwrap());
+        assert_eq!(vm.map_len(map).unwrap(), 1);
+        // A *different* string object with equal content is a different
+        // identity key.
+        let k1b = vm.new_string("k1").unwrap();
+        let map = vm.resolve(mh).unwrap();
+        assert!(vm.map_get(map, k1b).unwrap().is_none());
+    }
+
+    #[test]
+    fn map_consistency_and_rehash() {
+        let mut vm = vm();
+        let map = vm.new_hash_map(16).unwrap();
+        let mh = vm.handle(map);
+        let mut keys = Vec::new();
+        for i in 0..20 {
+            let k = vm.new_integer(i).unwrap();
+            keys.push(vm.handle(k));
+            let v = vm.new_integer(i * 10).unwrap();
+            let map = vm.resolve(mh).unwrap();
+            let k = vm.resolve(*keys.last().unwrap()).unwrap();
+            vm.map_put(map, k, v).unwrap();
+        }
+        let map = vm.resolve(mh).unwrap();
+        assert!(vm.map_is_consistent(map).unwrap());
+        // Simulate a conventional deserializer scrambling identity hashes:
+        // zero out the cached hash of one key and give it a fresh one.
+        let k0 = vm.resolve(keys[0]).unwrap();
+        let m = vm.heap().arena().load_word(k0.0).unwrap();
+        vm.heap()
+            .arena()
+            .store_word(k0.0, crate::layout::mark::with_hash(m, 0))
+            .unwrap();
+        vm.identity_hash(k0).unwrap();
+        let map = vm.resolve(mh).unwrap();
+        // Very likely inconsistent now (hash changed); rehash must fix it.
+        vm.map_rehash(map).unwrap();
+        assert!(vm.map_is_consistent(map).unwrap());
+        assert_eq!(vm.map_len(map).unwrap(), 20);
+    }
+}

@@ -1,0 +1,236 @@
+//! Integration tests for the generational collector: survival, collection,
+//! promotion, card-table discovery, compaction, and structural integrity
+//! under allocation pressure.
+
+use std::sync::Arc;
+
+use mheap::stdlib::define_core_classes;
+use mheap::{Addr, ClassPath, FieldType, HeapConfig, KlassDef, PrimType, Vm};
+
+fn classpath() -> Arc<ClassPath> {
+    let cp = ClassPath::new();
+    define_core_classes(&cp);
+    cp.define(KlassDef::new(
+        "Node",
+        None,
+        vec![("id", FieldType::Prim(PrimType::Int)), ("next", FieldType::Ref)],
+    ));
+    cp
+}
+
+fn small_vm() -> Vm {
+    Vm::new("gc-test", &HeapConfig::small(), classpath()).unwrap()
+}
+
+/// Builds a linked list of `n` nodes, returning a handle to the head.
+fn build_list(vm: &mut Vm, n: i32) -> mheap::Handle {
+    let k = vm.load_class("Node").unwrap();
+    let head = vm.alloc_instance(k).unwrap();
+    vm.set_int(head, "id", 0).unwrap();
+    let hh = vm.handle(head);
+    let tail = vm.handle(head);
+    for i in 1..n {
+        let node = vm.alloc_instance(k).unwrap();
+        vm.set_int(node, "id", i).unwrap();
+        let t = vm.resolve(tail).unwrap();
+        vm.set_ref(t, "next", node).unwrap();
+        vm.set_handle(tail, node).unwrap();
+    }
+    vm.release(tail).unwrap();
+    hh
+}
+
+fn assert_list_intact(vm: &Vm, head: Addr, n: i32) {
+    let mut cur = head;
+    for i in 0..n {
+        assert!(!cur.is_null(), "list truncated at {i}");
+        assert_eq!(vm.get_int(cur, "id").unwrap(), i);
+        cur = vm.get_ref(cur, "next").unwrap();
+    }
+    assert!(cur.is_null(), "list longer than {n}");
+}
+
+#[test]
+fn rooted_list_survives_minor_gc() {
+    let mut vm = small_vm();
+    let h = build_list(&mut vm, 100);
+    vm.minor_gc().unwrap();
+    let head = vm.resolve(h).unwrap();
+    assert_list_intact(&vm, head, 100);
+    assert_eq!(vm.stats.minor_gcs, 1);
+}
+
+#[test]
+fn unrooted_objects_are_collected() {
+    let mut vm = small_vm();
+    let h = build_list(&mut vm, 50);
+    // Garbage: strings nobody roots.
+    for i in 0..200 {
+        vm.new_string(&format!("garbage-{i}")).unwrap();
+    }
+    let live_before = vm.live_object_count().unwrap();
+    vm.minor_gc().unwrap();
+    let live_after = vm.live_object_count().unwrap();
+    assert_eq!(live_before, live_after, "live set must not change across GC");
+    // The heap usage should have dropped to roughly the live set.
+    assert!(vm.heap().used() <= vm.live_bytes().unwrap() + 4096);
+    let head = vm.resolve(h).unwrap();
+    assert_list_intact(&vm, head, 50);
+}
+
+#[test]
+fn repeated_minor_gcs_promote_to_old() {
+    let mut vm = small_vm();
+    let h = build_list(&mut vm, 20);
+    for _ in 0..10 {
+        vm.minor_gc().unwrap();
+    }
+    // After more collections than the tenuring threshold, the whole list
+    // should be tenured.
+    let head = vm.resolve(h).unwrap();
+    assert!(vm.heap().in_old(head), "head should be tenured after 10 minor GCs");
+    assert_list_intact(&vm, head, 20);
+    assert!(vm.stats.bytes_promoted > 0);
+}
+
+#[test]
+fn card_table_keeps_old_to_young_edges_alive() {
+    let mut vm = small_vm();
+    let h = build_list(&mut vm, 5);
+    for _ in 0..10 {
+        vm.minor_gc().unwrap();
+    }
+    let head = vm.resolve(h).unwrap();
+    assert!(vm.heap().in_old(head));
+    // Create a brand-new young object referenced ONLY from the old head.
+    let k = vm.load_class("Node").unwrap();
+    let young = vm.alloc_instance(k).unwrap();
+    vm.set_int(young, "id", 999).unwrap();
+    let head = vm.resolve(h).unwrap();
+    // Splice it at the front of the tail: head.next = young (old → young).
+    vm.set_ref(head, "next", young).unwrap();
+    assert!(vm.heap().is_card_dirty(head), "write barrier must dirty the card");
+    vm.minor_gc().unwrap();
+    let head = vm.resolve(h).unwrap();
+    let young = vm.get_ref(head, "next").unwrap();
+    assert!(!young.is_null());
+    assert_eq!(vm.get_int(young, "id").unwrap(), 999);
+}
+
+#[test]
+fn full_gc_compacts_old_generation() {
+    let mut vm = small_vm();
+    // Tenure two lists, drop one, full-GC, verify the survivor and that old
+    // space shrank.
+    let keep = build_list(&mut vm, 30);
+    let drop_me = build_list(&mut vm, 30);
+    for _ in 0..10 {
+        vm.minor_gc().unwrap();
+    }
+    let used_before = vm.heap().used();
+    vm.release(drop_me).unwrap();
+    vm.full_gc().unwrap();
+    let used_after = vm.heap().used();
+    assert!(used_after < used_before, "full GC should reclaim the dropped list");
+    let head = vm.resolve(keep).unwrap();
+    assert_list_intact(&vm, head, 30);
+    assert_eq!(vm.stats.full_gcs, 1);
+}
+
+#[test]
+fn identity_hash_survives_gc_moves() {
+    let mut vm = small_vm();
+    let s = vm.new_string("stable hash").unwrap();
+    let h = vm.handle(s);
+    let hash_before = vm.identity_hash(s).unwrap();
+    for _ in 0..8 {
+        vm.minor_gc().unwrap();
+    }
+    vm.full_gc().unwrap();
+    let s = vm.resolve(h).unwrap();
+    assert_eq!(vm.identity_hash(s).unwrap(), hash_before);
+}
+
+#[test]
+fn allocation_pressure_triggers_gc_automatically() {
+    let mut vm = small_vm();
+    let h = build_list(&mut vm, 10);
+    // Allocate far more than the heap holds; everything but the list is
+    // garbage, so this must succeed by GC-ing repeatedly.
+    for i in 0..20_000 {
+        vm.new_string(&format!("pressure {i}")).unwrap();
+    }
+    assert!(vm.stats.minor_gcs > 0);
+    let head = vm.resolve(h).unwrap();
+    assert_list_intact(&vm, head, 10);
+}
+
+#[test]
+fn out_of_memory_is_reported_not_panicked() {
+    let mut vm = small_vm();
+    let k = vm.load_class("Node").unwrap();
+    let list = vm.new_list(4).unwrap();
+    let lh = vm.handle(list);
+    // Keep everything alive until the heap genuinely fills.
+    let result = (0..200_000).try_for_each(|_| {
+        let node = vm.alloc_instance(k)?;
+        let list = vm.resolve(lh)?;
+        vm.list_push(list, node)
+    });
+    assert!(matches!(
+        result,
+        Err(mheap::Error::OutOfMemory { .. }) | Err(mheap::Error::PromotionFailed { .. })
+    ));
+}
+
+#[test]
+fn temp_roots_are_updated_by_gc() {
+    let mut vm = small_vm();
+    let s = vm.new_string("temp").unwrap();
+    let idx = vm.push_temp_root(s);
+    vm.minor_gc().unwrap();
+    let s2 = vm.temp_root(idx);
+    assert_eq!(vm.read_string(s2).unwrap(), "temp");
+    vm.pop_temp_root();
+}
+
+#[test]
+fn shared_substructure_is_copied_once() {
+    let mut vm = small_vm();
+    // Two pairs sharing one string: after GC, both must point at the SAME
+    // moved object (no duplication).
+    let shared = vm.new_string("shared").unwrap();
+    let sh = vm.handle(shared);
+    let a = vm.new_pair(shared, Addr::NULL).unwrap();
+    let ah = vm.handle(a);
+    let shared2 = vm.resolve(sh).unwrap();
+    let b = vm.new_pair(shared2, Addr::NULL).unwrap();
+    let bh = vm.handle(b);
+    vm.minor_gc().unwrap();
+    let a = vm.resolve(ah).unwrap();
+    let b = vm.resolve(bh).unwrap();
+    let fa = vm.get_ref(a, "first").unwrap();
+    let fb = vm.get_ref(b, "first").unwrap();
+    assert_eq!(fa, fb, "shared object duplicated by GC");
+    assert_eq!(vm.read_string(fa).unwrap(), "shared");
+}
+
+#[test]
+fn cyclic_graphs_survive_gc() {
+    let mut vm = small_vm();
+    let k = vm.load_class("Node").unwrap();
+    let a = vm.alloc_instance(k).unwrap();
+    let ah = vm.handle(a);
+    let b = vm.alloc_instance(k).unwrap();
+    let a = vm.resolve(ah).unwrap();
+    vm.set_int(a, "id", 1).unwrap();
+    vm.set_int(b, "id", 2).unwrap();
+    vm.set_ref(a, "next", b).unwrap();
+    vm.set_ref(b, "next", a).unwrap();
+    vm.minor_gc().unwrap();
+    vm.full_gc().unwrap();
+    let a = vm.resolve(ah).unwrap();
+    let b = vm.get_ref(a, "next").unwrap();
+    assert_eq!(vm.get_int(b, "id").unwrap(), 2);
+    assert_eq!(vm.get_ref(b, "next").unwrap(), a, "cycle broken by GC");
+}

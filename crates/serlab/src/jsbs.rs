@@ -1,0 +1,208 @@
+//! The Java Serializer Benchmark Set (JSBS) workload: media-content object
+//! graphs, modeled on the `jvm-serializers` dataset the paper uses in §5.1.
+//!
+//! Each record is a `MediaContent` holding one `Media` (with a list of
+//! person-name strings) and an array of `Image`s — a mix of primitive
+//! fields, reference fields, strings, and nested arrays; roughly 1 KB in
+//! textual form, as in the original suite.
+
+use std::sync::Arc;
+
+use mheap::stdlib::define_core_classes;
+use mheap::{Addr, ClassPath, FieldType, Handle, KlassDef, PrimType, Vm};
+
+use crate::{Error, Result};
+
+/// Class name of the top-level record.
+pub const MEDIA_CONTENT: &str = "media.MediaContent";
+/// Class name of the media description.
+pub const MEDIA: &str = "media.Media";
+/// Class name of an image description.
+pub const IMAGE: &str = "media.Image";
+
+/// Registers the JSBS classes (plus the core library) on a classpath.
+pub fn define_jsbs_classes(cp: &Arc<ClassPath>) {
+    define_core_classes(cp);
+    cp.define_all([
+        KlassDef::new(
+            MEDIA_CONTENT,
+            None,
+            vec![("media", FieldType::Ref), ("images", FieldType::Ref)],
+        ),
+        KlassDef::new(
+            MEDIA,
+            None,
+            vec![
+                ("uri", FieldType::Ref),
+                ("title", FieldType::Ref),
+                ("width", FieldType::Prim(PrimType::Int)),
+                ("height", FieldType::Prim(PrimType::Int)),
+                ("format", FieldType::Ref),
+                ("duration", FieldType::Prim(PrimType::Long)),
+                ("size", FieldType::Prim(PrimType::Long)),
+                ("bitrate", FieldType::Prim(PrimType::Int)),
+                ("hasBitrate", FieldType::Prim(PrimType::Bool)),
+                ("persons", FieldType::Ref),
+                ("player", FieldType::Prim(PrimType::Int)),
+                ("copyright", FieldType::Ref),
+            ],
+        ),
+        KlassDef::new(
+            IMAGE,
+            None,
+            vec![
+                ("uri", FieldType::Ref),
+                ("title", FieldType::Ref),
+                ("width", FieldType::Prim(PrimType::Int)),
+                ("height", FieldType::Prim(PrimType::Int)),
+                ("size", FieldType::Prim(PrimType::Int)),
+            ],
+        ),
+    ]);
+}
+
+/// Every class a JSBS record graph can contain (for serializer registries).
+pub fn jsbs_class_names() -> Vec<&'static str> {
+    vec![
+        MEDIA_CONTENT,
+        MEDIA,
+        IMAGE,
+        mheap::stdlib::STRING,
+        mheap::stdlib::ARRAY_LIST,
+        "[C",
+        "[Ljava.lang.Object;",
+        "[Lmedia.Image;",
+    ]
+}
+
+/// Builds one media-content record (deterministic per `seed`), returning a
+/// GC handle to it.
+///
+/// # Errors
+/// Allocation errors.
+pub fn build_media_content(vm: &mut Vm, seed: u64) -> Result<Handle> {
+    // Media.
+    let media_k = vm.load_class(MEDIA).map_err(Error::Heap)?;
+    let media = vm.alloc_instance(media_k).map_err(Error::Heap)?;
+    let mh = vm.handle(media);
+
+    let uri = vm
+        .new_string(&format!("http://javaone.com/keynote_{seed}.mpg"))
+        .map_err(Error::Heap)?;
+    let media = vm.resolve(mh).map_err(Error::Heap)?;
+    vm.set_ref(media, "uri", uri).map_err(Error::Heap)?;
+
+    let title = vm.new_string(&format!("Javaone Keynote {seed}")).map_err(Error::Heap)?;
+    let media = vm.resolve(mh).map_err(Error::Heap)?;
+    vm.set_ref(media, "title", title).map_err(Error::Heap)?;
+
+    let format = vm.new_string("video/mpg4").map_err(Error::Heap)?;
+    let media = vm.resolve(mh).map_err(Error::Heap)?;
+    vm.set_ref(media, "format", format).map_err(Error::Heap)?;
+
+    vm.set_int(media, "width", 640).map_err(Error::Heap)?;
+    vm.set_int(media, "height", 480).map_err(Error::Heap)?;
+    vm.set_long(media, "duration", 18_000_000 + seed as i64).map_err(Error::Heap)?;
+    vm.set_long(media, "size", 58_982_400 + seed as i64).map_err(Error::Heap)?;
+    vm.set_int(media, "bitrate", 262_144).map_err(Error::Heap)?;
+    vm.set_prim(media, "hasBitrate", mheap::Value::Bool(true)).map_err(Error::Heap)?;
+    vm.set_int(media, "player", (seed % 2) as i32).map_err(Error::Heap)?;
+
+    let persons = vm.new_list(4).map_err(Error::Heap)?;
+    let ph = vm.handle(persons);
+    for name in ["Bill Gates", "Steve Jobs"] {
+        let s = vm.new_string(name).map_err(Error::Heap)?;
+        let persons = vm.resolve(ph).map_err(Error::Heap)?;
+        vm.list_push(persons, s).map_err(Error::Heap)?;
+    }
+    let persons = vm.resolve(ph).map_err(Error::Heap)?;
+    vm.release(ph).map_err(Error::Heap)?;
+    let media = vm.resolve(mh).map_err(Error::Heap)?;
+    vm.set_ref(media, "persons", persons).map_err(Error::Heap)?;
+
+    // Images.
+    let img_arr_k = vm.load_class("[Lmedia.Image;").map_err(Error::Heap)?;
+    let images = vm.alloc_array(img_arr_k, 2).map_err(Error::Heap)?;
+    let iah = vm.handle(images);
+    let image_k = vm.load_class(IMAGE).map_err(Error::Heap)?;
+    for (i, (w, h, sz)) in [(1024, 768, 0), (320, 240, 1)].into_iter().enumerate() {
+        let img = vm.alloc_instance(image_k).map_err(Error::Heap)?;
+        let ih = vm.handle(img);
+        let uri = vm
+            .new_string(&format!("http://javaone.com/keynote_{}_{seed}.jpg", if i == 0 { "large" } else { "small" }))
+            .map_err(Error::Heap)?;
+        let img = vm.resolve(ih).map_err(Error::Heap)?;
+        vm.set_ref(img, "uri", uri).map_err(Error::Heap)?;
+        let title = vm.new_string(&format!("Javaone Keynote image {i}")).map_err(Error::Heap)?;
+        let img = vm.resolve(ih).map_err(Error::Heap)?;
+        vm.set_ref(img, "title", title).map_err(Error::Heap)?;
+        vm.set_int(img, "width", w).map_err(Error::Heap)?;
+        vm.set_int(img, "height", h).map_err(Error::Heap)?;
+        vm.set_int(img, "size", sz).map_err(Error::Heap)?;
+        let images = vm.resolve(iah).map_err(Error::Heap)?;
+        let img = vm.resolve(ih).map_err(Error::Heap)?;
+        vm.release(ih).map_err(Error::Heap)?;
+        vm.array_set_ref(images, i as u64, img).map_err(Error::Heap)?;
+    }
+
+    // MediaContent.
+    let mc_k = vm.load_class(MEDIA_CONTENT).map_err(Error::Heap)?;
+    let mc = vm.alloc_instance(mc_k).map_err(Error::Heap)?;
+    let mch = vm.handle(mc);
+    let media = vm.resolve(mh).map_err(Error::Heap)?;
+    vm.release(mh).map_err(Error::Heap)?;
+    let mc = vm.resolve(mch).map_err(Error::Heap)?;
+    vm.set_ref(mc, "media", media).map_err(Error::Heap)?;
+    let images = vm.resolve(iah).map_err(Error::Heap)?;
+    vm.release(iah).map_err(Error::Heap)?;
+    let mc = vm.resolve(mch).map_err(Error::Heap)?;
+    vm.set_ref(mc, "images", images).map_err(Error::Heap)?;
+    Ok(mch)
+}
+
+/// Builds `n` records, returning their handles.
+///
+/// # Errors
+/// Allocation errors.
+pub fn build_dataset(vm: &mut Vm, n: usize) -> Result<Vec<Handle>> {
+    (0..n).map(|i| build_media_content(vm, i as u64)).collect()
+}
+
+/// Structural equality check between a rebuilt record and its seed: the
+/// round-trip assertion used by correctness tests for every serializer.
+///
+/// # Errors
+/// Address errors if the graph is structurally broken.
+pub fn verify_media_content(vm: &Vm, mc: Addr, seed: u64) -> Result<bool> {
+    let media = vm.get_ref(mc, "media").map_err(Error::Heap)?;
+    if media.is_null() {
+        return Ok(false);
+    }
+    let uri = vm.get_ref(media, "uri").map_err(Error::Heap)?;
+    if vm.read_string(uri).map_err(Error::Heap)? != format!("http://javaone.com/keynote_{seed}.mpg") {
+        return Ok(false);
+    }
+    if vm.get_int(media, "width").map_err(Error::Heap)? != 640 {
+        return Ok(false);
+    }
+    if vm.get_long(media, "duration").map_err(Error::Heap)? != 18_000_000 + seed as i64 {
+        return Ok(false);
+    }
+    let persons = vm.get_ref(media, "persons").map_err(Error::Heap)?;
+    if vm.list_len(persons).map_err(Error::Heap)? != 2 {
+        return Ok(false);
+    }
+    let p0 = vm.list_get(persons, 0).map_err(Error::Heap)?;
+    if vm.read_string(p0).map_err(Error::Heap)? != "Bill Gates" {
+        return Ok(false);
+    }
+    let images = vm.get_ref(mc, "images").map_err(Error::Heap)?;
+    if vm.array_len(images).map_err(Error::Heap)? != 2 {
+        return Ok(false);
+    }
+    let img1 = vm.array_get_ref(images, 1).map_err(Error::Heap)?;
+    if vm.get_int(img1, "width").map_err(Error::Heap)? != 320 {
+        return Ok(false);
+    }
+    Ok(true)
+}

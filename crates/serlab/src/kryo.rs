@@ -1,0 +1,402 @@
+//! The Kryo analogue: developer-registered classes with integer type ids
+//! and "generated" (offset-compiled) per-class serializer functions.
+//!
+//! Per the paper (§1, §2.1), Kryo asks developers to (1) hand-register every
+//! class involved in data transfer in a consistent order across all nodes so
+//! types can be written as small integers, and (2) provide per-type S/D
+//! functions, eliminating reflective field access. The fundamental per-object
+//! function-invocation cost remains — which is exactly what Figure 3 shows.
+//!
+//! Variants (Fig. 7 entrants):
+//! * `kryo-manual` — reference tracking on, varint integers (the Spark
+//!   configuration the paper compares against);
+//! * `kryo-opt` — reference tracking off (trees only), varint integers;
+//! * `kryo-flat` — reference tracking off, fixed-width integers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mheap::{Addr, FieldType, KlassKind, PrimType, Vm};
+use parking_lot::Mutex;
+use simnet::Profile;
+
+use crate::framework::{
+    field_plans, read_prim_fixed, write_prim_fixed, ByteReader, ByteWriter, FieldPlan,
+    RebuildArena, Serializer,
+};
+use crate::{Error, Result};
+
+const K_NULL: u8 = 0;
+const K_REF: u8 = 1;
+const K_OBJ: u8 = 2;
+
+const MAX_DEPTH: usize = 10_000;
+
+/// The developer-maintained class registry: registration order defines the
+/// integer id of each class, and must be identical on every node (§2.1).
+///
+/// Interior-mutable so a registry shared across serializer instances can
+/// still accept registrations (`conf.registerKryoClasses` before a job).
+#[derive(Debug, Default)]
+pub struct KryoRegistry {
+    inner: parking_lot::RwLock<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl KryoRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        KryoRegistry::default()
+    }
+
+    /// Registers a class; order defines ids. Re-registration is an error —
+    /// real Kryo setups break subtly when nodes register inconsistently, so
+    /// we fail loudly.
+    ///
+    /// # Errors
+    /// [`Error::AlreadyRegistered`].
+    pub fn register(&self, name: &str) -> Result<u32> {
+        let mut inner = self.inner.write();
+        if inner.ids.contains_key(name) {
+            return Err(Error::AlreadyRegistered(name.to_owned()));
+        }
+        let id = inner.names.len() as u32;
+        inner.names.push(name.to_owned());
+        inner.ids.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Registers many classes in order.
+    ///
+    /// # Errors
+    /// [`Error::AlreadyRegistered`].
+    pub fn register_all<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> Result<()> {
+        for n in names {
+            self.register(n)?;
+        }
+        Ok(())
+    }
+
+    /// Id of a registered class.
+    fn id_of(&self, name: &str) -> Result<u32> {
+        self.inner
+            .read()
+            .ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::Unregistered(name.to_owned()))
+    }
+
+    /// Name behind an id.
+    fn name_of(&self, id: u32) -> Result<String> {
+        self.inner
+            .read()
+            .names
+            .get(id as usize)
+            .cloned()
+            .ok_or_else(|| Error::Unregistered(format!("type id {id}")))
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.inner.read().names.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Kryo analogue; see module docs.
+#[derive(Debug)]
+pub struct KryoSerializer {
+    registry: Arc<KryoRegistry>,
+    references: bool,
+    varint_ints: bool,
+    name: String,
+    /// Compiled per-class field plans, keyed by the klass's process-wide
+    /// unique id — Kryo's "generated" serializer code.
+    plan_cache: Mutex<HashMap<u64, Arc<Vec<FieldPlan>>>>,
+}
+
+impl KryoSerializer {
+    /// `kryo-manual`: the Spark configuration (reference tracking on).
+    pub fn manual(registry: Arc<KryoRegistry>) -> Self {
+        KryoSerializer {
+            registry,
+            references: true,
+            varint_ints: true,
+            name: "kryo-manual".into(),
+            plan_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// `kryo-opt`: reference tracking off (duplicates shared objects).
+    pub fn opt(registry: Arc<KryoRegistry>) -> Self {
+        KryoSerializer {
+            registry,
+            references: false,
+            varint_ints: true,
+            name: "kryo-opt".into(),
+            plan_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// `kryo-flat`: no reference tracking, fixed-width integers.
+    pub fn flat(registry: Arc<KryoRegistry>) -> Self {
+        KryoSerializer {
+            registry,
+            references: false,
+            varint_ints: false,
+            name: "kryo-flat".into(),
+            plan_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn plan(&self, k: &Arc<mheap::Klass>) -> Result<Arc<Vec<FieldPlan>>> {
+        let key = k.uid;
+        if let Some(p) = self.plan_cache.lock().get(&key) {
+            return Ok(Arc::clone(p));
+        }
+        let p = Arc::new(field_plans(k));
+        self.plan_cache.lock().insert(key, Arc::clone(&p));
+        Ok(p)
+    }
+
+    fn write_prim(&self, w: &mut ByteWriter, p: PrimType, bits: u64) {
+        if self.varint_ints {
+            match p {
+                PrimType::Int => w.varint_signed(i64::from(bits as u32 as i32)),
+                PrimType::Long => w.varint_signed(bits as i64),
+                _ => write_prim_fixed(w, p, bits),
+            }
+        } else {
+            write_prim_fixed(w, p, bits);
+        }
+    }
+
+    fn read_prim(&self, r: &mut ByteReader<'_>, p: PrimType) -> Result<u64> {
+        if self.varint_ints {
+            match p {
+                PrimType::Int => Ok(r.varint_signed()? as u32 as u64),
+                PrimType::Long => Ok(r.varint_signed()? as u64),
+                _ => read_prim_fixed(r, p),
+            }
+        } else {
+            read_prim_fixed(r, p)
+        }
+    }
+
+    fn write_object(
+        &self,
+        vm: &Vm,
+        w: &mut ByteWriter,
+        obj: Addr,
+        seen: &mut HashMap<u64, u32>,
+        profile: &mut Profile,
+        depth: usize,
+    ) -> Result<()> {
+        if depth > MAX_DEPTH {
+            return Err(Error::DepthExceeded(MAX_DEPTH));
+        }
+        if obj.is_null() {
+            w.u8(K_NULL);
+            return Ok(());
+        }
+        if self.references {
+            if let Some(&h) = seen.get(&obj.0) {
+                w.u8(K_REF);
+                w.varint(u64::from(h));
+                return Ok(());
+            }
+        }
+        profile.ser_invocations += 1;
+        profile.objects_transferred += 1;
+        let k = vm.klass_of(obj).map_err(Error::Heap)?;
+        let tid = self.registry.id_of(&k.name)?;
+        w.u8(K_OBJ);
+        w.varint(u64::from(tid));
+        if self.references {
+            let h = seen.len() as u32;
+            seen.insert(obj.0, h);
+        }
+        match k.kind {
+            KlassKind::Instance => {
+                // "Generated" serializer: compiled plan, direct offsets.
+                let plan = self.plan(&k)?;
+                for f in plan.iter() {
+                    match f.ty {
+                        FieldType::Prim(p) => {
+                            let bits =
+                                vm.read_prim_raw(obj, f.offset, p.size()).map_err(Error::Heap)?;
+                            self.write_prim(w, p, bits);
+                        }
+                        FieldType::Ref => {
+                            let tgt = vm.read_ref_at(obj, f.offset).map_err(Error::Heap)?;
+                            self.write_object(vm, w, tgt, seen, profile, depth + 1)?;
+                        }
+                    }
+                }
+            }
+            KlassKind::PrimArray(p) => {
+                let len = vm.array_len(obj).map_err(Error::Heap)?;
+                w.varint(len);
+                for i in 0..len {
+                    let bits = vm.array_get_raw(obj, i).map_err(Error::Heap)?;
+                    self.write_prim(w, p, bits);
+                }
+            }
+            KlassKind::RefArray => {
+                let len = vm.array_len(obj).map_err(Error::Heap)?;
+                w.varint(len);
+                for i in 0..len {
+                    let tgt = vm.array_get_ref(obj, i).map_err(Error::Heap)?;
+                    self.write_object(vm, w, tgt, seen, profile, depth + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_object(
+        &self,
+        vm: &mut Vm,
+        r: &mut ByteReader<'_>,
+        arena: &mut RebuildArena,
+        seen: &mut Vec<usize>,
+        profile: &mut Profile,
+        depth: usize,
+    ) -> Result<Option<usize>> {
+        if depth > MAX_DEPTH {
+            return Err(Error::DepthExceeded(MAX_DEPTH));
+        }
+        match r.u8()? {
+            K_NULL => Ok(None),
+            K_REF => {
+                let h = r.varint()? as usize;
+                seen.get(h)
+                    .copied()
+                    .map(Some)
+                    .ok_or_else(|| Error::Malformed(format!("bad kryo back reference {h}")))
+            }
+            K_OBJ => {
+                profile.deser_invocations += 1;
+                let tid = r.varint()? as u32;
+                let cname = self.registry.name_of(tid)?;
+                // No reflection: the registry gives the class directly (the
+                // generated `case id: return new T()` switch of §2.1).
+                let klass = vm.load_class(&cname).map_err(Error::Heap)?;
+                let k = vm.klasses().get(klass).map_err(Error::Heap)?;
+                match k.kind {
+                    KlassKind::Instance => {
+                        let obj = vm.alloc_instance(klass).map_err(Error::Heap)?;
+                        let id = arena.push(vm, obj);
+                        if self.references {
+                            seen.push(id);
+                        }
+                        let plan = self.plan(&k)?;
+                        for f in plan.iter() {
+                            match f.ty {
+                                FieldType::Prim(p) => {
+                                    let bits = self.read_prim(r, p)?;
+                                    let obj = arena.get(vm, id);
+                                    vm.write_prim_raw(obj, f.offset, p.size(), bits)
+                                        .map_err(Error::Heap)?;
+                                }
+                                FieldType::Ref => {
+                                    let tgt =
+                                        self.read_object(vm, r, arena, seen, profile, depth + 1)?;
+                                    let obj = arena.get(vm, id);
+                                    let tgt_addr = match tgt {
+                                        Some(t) => arena.get(vm, t),
+                                        None => Addr::NULL,
+                                    };
+                                    vm.write_ref_at(obj, f.offset, tgt_addr)
+                                        .map_err(Error::Heap)?;
+                                }
+                            }
+                        }
+                        Ok(Some(id))
+                    }
+                    KlassKind::PrimArray(p) => {
+                        let len = r.varint()?;
+                        let obj = vm.alloc_array(klass, len).map_err(Error::Heap)?;
+                        let id = arena.push(vm, obj);
+                        if self.references {
+                            seen.push(id);
+                        }
+                        for i in 0..len {
+                            let bits = self.read_prim(r, p)?;
+                            let obj = arena.get(vm, id);
+                            vm.array_set_raw(obj, i, bits).map_err(Error::Heap)?;
+                        }
+                        Ok(Some(id))
+                    }
+                    KlassKind::RefArray => {
+                        let len = r.varint()?;
+                        let obj = vm.alloc_array(klass, len).map_err(Error::Heap)?;
+                        let id = arena.push(vm, obj);
+                        if self.references {
+                            seen.push(id);
+                        }
+                        for i in 0..len {
+                            let tgt = self.read_object(vm, r, arena, seen, profile, depth + 1)?;
+                            let obj = arena.get(vm, id);
+                            let tgt_addr = match tgt {
+                                Some(t) => arena.get(vm, t),
+                                None => Addr::NULL,
+                            };
+                            vm.array_set_ref(obj, i, tgt_addr).map_err(Error::Heap)?;
+                        }
+                        Ok(Some(id))
+                    }
+                }
+            }
+            t => Err(Error::Malformed(format!("unknown kryo tag {t:#x}"))),
+        }
+    }
+}
+
+impl Serializer for KryoSerializer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn serialize(&self, vm: &mut Vm, roots: &[Addr], profile: &mut Profile) -> Result<Vec<u8>> {
+        let mut w = ByteWriter::with_capacity(roots.len() * 32);
+        let mut seen: HashMap<u64, u32> = HashMap::new();
+        w.varint(roots.len() as u64);
+        for &root in roots {
+            // Kryo resets its reference table per writeObject call.
+            seen.clear();
+            self.write_object(vm, &mut w, root, &mut seen, profile, 0)?;
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn deserialize(&self, vm: &mut Vm, bytes: &[u8], profile: &mut Profile) -> Result<Vec<Addr>> {
+        let mut r = ByteReader::new(bytes);
+        let n_roots = r.varint()? as usize;
+        let mut arena = RebuildArena::new(vm);
+        let mut root_ids = Vec::with_capacity(n_roots);
+        let mut seen: Vec<usize> = Vec::new();
+        for _ in 0..n_roots {
+            seen.clear();
+            let id = self
+                .read_object(vm, &mut r, &mut arena, &mut seen, profile, 0)?
+                .ok_or_else(|| Error::Malformed("null root".into()))?;
+            root_ids.push(id);
+        }
+        Ok(arena.finish(vm, &root_ids))
+    }
+
+    fn preserves_sharing(&self) -> bool {
+        self.references
+    }
+}

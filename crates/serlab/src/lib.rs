@@ -1,0 +1,89 @@
+//! `serlab` — the serialization/deserialization laboratory: the baseline
+//! S/D libraries Skyway is evaluated against, and the JSBS workload used to
+//! rank them (paper §5.1, Fig. 7).
+//!
+//! Every library implements [`framework::Serializer`] over [`mheap`] object
+//! graphs:
+//!
+//! * [`java_ser::JavaSerializer`] — reflective, type-string-heavy, with
+//!   periodic stream resets (the `ObjectOutputStream` analogue);
+//! * [`kryo::KryoSerializer`] — developer-registered integer type ids and
+//!   compiled field plans, in `manual`/`opt`/`flat` variants;
+//! * [`schema::SchemaSerializer`] — a configurable engine covering the
+//!   schema-compiled and tag-value families (Colfer, protostuff, protobuf,
+//!   Thrift, Avro, CBOR/JSON), see [`schema::standard_entrants`].
+//!
+//! Skyway itself implements the same trait in the `skyway` crate, which is
+//! what makes the Figure 7 head-to-head possible.
+
+#![warn(missing_docs)]
+
+pub mod framework;
+pub mod java_ser;
+pub mod jsbs;
+pub mod kryo;
+pub mod schema;
+
+pub use framework::{
+    deserialize_profiled, serialize_profiled, ByteReader, ByteWriter, FieldPlan, RebuildArena,
+    Serializer,
+};
+pub use java_ser::JavaSerializer;
+pub use kryo::{KryoRegistry, KryoSerializer};
+pub use schema::{SchemaConfig, SchemaRegistry, SchemaSerializer};
+
+/// Errors produced by serializers.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying heap error.
+    Heap(mheap::Error),
+    /// The byte stream ended prematurely.
+    Truncated {
+        /// Stream position of the failed read.
+        at: usize,
+        /// Bytes wanted.
+        wanted: usize,
+    },
+    /// The byte stream is structurally invalid.
+    Malformed(String),
+    /// Object graph deeper than the recursion limit (real serializers
+    /// overflow the stack here).
+    DepthExceeded(usize),
+    /// A class was registered twice with a Kryo-style registry.
+    AlreadyRegistered(String),
+    /// A class was never registered / not in the schema.
+    Unregistered(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Heap(e) => write!(f, "heap error: {e}"),
+            Error::Truncated { at, wanted } => {
+                write!(f, "byte stream truncated at {at} (wanted {wanted} more bytes)")
+            }
+            Error::Malformed(s) => write!(f, "malformed byte stream: {s}"),
+            Error::DepthExceeded(d) => write!(f, "object graph exceeds depth limit {d}"),
+            Error::AlreadyRegistered(n) => write!(f, "class already registered: {n}"),
+            Error::Unregistered(n) => write!(f, "class not registered: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mheap::Error> for Error {
+    fn from(e: mheap::Error) -> Self {
+        Error::Heap(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

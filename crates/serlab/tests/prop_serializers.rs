@@ -1,0 +1,179 @@
+//! Property-based serializer tests: random tree-shaped object graphs
+//! round-trip identically under every library, and random corruption of
+//! the byte streams produces errors, never panics or corrupt heaps.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mheap::stdlib::define_core_classes;
+use mheap::{Addr, ClassPath, FieldType, HeapConfig, KlassDef, PrimType, Vm};
+use serlab::schema::standard_entrants;
+use serlab::{JavaSerializer, KryoRegistry, KryoSerializer, SchemaRegistry, Serializer};
+use simnet::Profile;
+
+fn classpath() -> Arc<ClassPath> {
+    let cp = ClassPath::new();
+    define_core_classes(&cp);
+    cp.define(KlassDef::new(
+        "TreeNode",
+        None,
+        vec![
+            ("tag", FieldType::Prim(PrimType::Long)),
+            ("flag", FieldType::Prim(PrimType::Bool)),
+            ("label", FieldType::Ref),
+            ("left", FieldType::Ref),
+            ("right", FieldType::Ref),
+        ],
+    ));
+    cp
+}
+
+const CLASSES: [&str; 5] =
+    ["TreeNode", "java.lang.String", "[C", "[Ljava.lang.Object;", "java.util.ArrayList"];
+
+/// A random binary tree with string labels.
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf,
+    Node { tag: i64, flag: bool, label: String, left: Box<Tree>, right: Box<Tree> },
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = Just(Tree::Leaf);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        (any::<i64>(), any::<bool>(), "[a-z]{0,12}", inner.clone(), inner).prop_map(
+            |(tag, flag, label, l, r)| Tree::Node {
+                tag,
+                flag,
+                label,
+                left: Box::new(l),
+                right: Box::new(r),
+            },
+        )
+    })
+}
+
+fn build(vm: &mut Vm, t: &Tree) -> Addr {
+    match t {
+        Tree::Leaf => Addr::NULL,
+        Tree::Node { tag, flag, label, left, right } => {
+            let l = build(vm, left);
+            let tl = vm.push_temp_root(l);
+            let r = build(vm, right);
+            let tr = vm.push_temp_root(r);
+            let s = vm.new_string(label).unwrap();
+            let ts = vm.push_temp_root(s);
+            let k = vm.load_class("TreeNode").unwrap();
+            let n = vm.alloc_instance(k).unwrap();
+            let s = vm.temp_root(ts);
+            let r = vm.temp_root(tr);
+            let l = vm.temp_root(tl);
+            vm.pop_temp_root();
+            vm.pop_temp_root();
+            vm.pop_temp_root();
+            vm.set_long(n, "tag", *tag).unwrap();
+            vm.set_prim(n, "flag", mheap::Value::Bool(*flag)).unwrap();
+            vm.set_ref(n, "label", s).unwrap();
+            vm.set_ref(n, "left", l).unwrap();
+            vm.set_ref(n, "right", r).unwrap();
+            n
+        }
+    }
+}
+
+fn read_back(vm: &Vm, a: Addr) -> Tree {
+    if a.is_null() {
+        return Tree::Leaf;
+    }
+    let label_ref = vm.get_ref(a, "label").unwrap();
+    Tree::Node {
+        tag: vm.get_long(a, "tag").unwrap(),
+        flag: matches!(vm.get_prim(a, "flag").unwrap(), mheap::Value::Bool(true)),
+        label: vm.read_string(label_ref).unwrap(),
+        left: Box::new(read_back(vm, vm.get_ref(a, "left").unwrap())),
+        right: Box::new(read_back(vm, vm.get_ref(a, "right").unwrap())),
+    }
+}
+
+fn trees_equal(a: &Tree, b: &Tree) -> bool {
+    match (a, b) {
+        (Tree::Leaf, Tree::Leaf) => true,
+        (
+            Tree::Node { tag: t1, flag: f1, label: l1, left: a1, right: b1 },
+            Tree::Node { tag: t2, flag: f2, label: l2, left: a2, right: b2 },
+        ) => t1 == t2 && f1 == f2 && l1 == l2 && trees_equal(a1, a2) && trees_equal(b1, b2),
+        _ => false,
+    }
+}
+
+fn all_serializers() -> Vec<Box<dyn Serializer>> {
+    let kreg = KryoRegistry::new();
+    kreg.register_all(CLASSES).unwrap();
+    let kreg = Arc::new(kreg);
+    let sreg = SchemaRegistry::new(CLASSES);
+    let mut v: Vec<Box<dyn Serializer>> = vec![
+        Box::new(JavaSerializer::new()),
+        Box::new(KryoSerializer::manual(Arc::clone(&kreg))),
+        Box::new(KryoSerializer::opt(Arc::clone(&kreg))),
+        Box::new(KryoSerializer::flat(kreg)),
+    ];
+    for s in standard_entrants(&sreg) {
+        v.push(Box::new(s));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_trees_roundtrip_under_every_serializer(t in tree_strategy()) {
+        // Skip the all-leaf case (serializers reject null roots by contract).
+        prop_assume!(!matches!(t, Tree::Leaf));
+        let cp = classpath();
+        let mut sender = Vm::new("s", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp)).unwrap();
+        let root = build(&mut sender, &t);
+        let _h = sender.handle(root);
+        for s in all_serializers() {
+            let mut receiver = Vm::new("r", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp)).unwrap();
+            let mut p = Profile::new();
+            let bytes = s.serialize(&mut sender, &[root], &mut p).unwrap();
+            let out = s.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+            let got = read_back(&receiver, out[0]);
+            prop_assert!(trees_equal(&t, &got), "{} corrupted the tree", s.name());
+            // The rebuilt heap must be structurally sound.
+            let _root = receiver.handle(out[0]);
+            prop_assert!(receiver.verify_heap().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupted_streams_error_not_panic(
+        t in tree_strategy(),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..6),
+    ) {
+        prop_assume!(!matches!(t, Tree::Leaf));
+        let cp = classpath();
+        let mut sender = Vm::new("s", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp)).unwrap();
+        let root = build(&mut sender, &t);
+        let _h = sender.handle(root);
+        for s in all_serializers() {
+            let mut p = Profile::new();
+            let mut bytes = s.serialize(&mut sender, &[root], &mut p).unwrap();
+            for (pos, val) in &flips {
+                let i = *pos as usize % bytes.len();
+                bytes[i] ^= *val | 1; // guarantee a real change
+            }
+            let mut receiver = Vm::new("r", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp)).unwrap();
+            // Must not panic; any Ok result must still leave a sound heap.
+            if let Ok(roots) = s.deserialize(&mut receiver, &bytes, &mut p) {
+                for r in roots {
+                    let _ = receiver.handle(r);
+                }
+                prop_assert!(receiver.verify_heap().unwrap().is_empty(),
+                    "{} accepted corruption that broke the heap", s.name());
+            }
+        }
+    }
+}

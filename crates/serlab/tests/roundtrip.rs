@@ -1,0 +1,232 @@
+//! Round-trip correctness for every baseline serializer: build JSBS records
+//! in a sender VM, serialize, rebuild in a *different* receiver VM, and
+//! verify structure — the setup of the paper's §5.1 experiment, minus the
+//! network.
+
+use std::sync::Arc;
+
+use mheap::{Addr, ClassPath, HeapConfig, Vm};
+use serlab::jsbs::{build_dataset, define_jsbs_classes, jsbs_class_names, verify_media_content};
+use serlab::schema::standard_entrants;
+use serlab::{
+    deserialize_profiled, serialize_profiled, JavaSerializer, KryoRegistry, KryoSerializer,
+    SchemaRegistry, Serializer,
+};
+use simnet::Profile;
+
+fn setup() -> (Arc<ClassPath>, Vm, Vm) {
+    let cp = ClassPath::new();
+    define_jsbs_classes(&cp);
+    let sender = Vm::new("sender", &HeapConfig::default().with_capacity(16 << 20), Arc::clone(&cp)).unwrap();
+    let receiver = Vm::new("receiver", &HeapConfig::default().with_capacity(16 << 20), Arc::clone(&cp)).unwrap();
+    (cp, sender, receiver)
+}
+
+fn kryo_registry() -> Arc<KryoRegistry> {
+    let reg = KryoRegistry::new();
+    reg.register_all(jsbs_class_names()).unwrap();
+    Arc::new(reg)
+}
+
+fn schema_registry() -> Arc<SchemaRegistry> {
+    SchemaRegistry::new(jsbs_class_names())
+}
+
+fn roundtrip_with(serializer: &dyn Serializer, n: usize) {
+    let (_cp, mut sender, mut receiver) = setup();
+    let handles = build_dataset(&mut sender, n).unwrap();
+    let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    let mut p_send = Profile::new();
+    let bytes = serialize_profiled(serializer, &mut sender, &roots, &mut p_send).unwrap();
+    assert!(!bytes.is_empty());
+    assert!(p_send.ser_invocations > 0, "{} counted no invocations", serializer.name());
+
+    let mut p_recv = Profile::new();
+    let rebuilt = deserialize_profiled(serializer, &mut receiver, &bytes, &mut p_recv).unwrap();
+    assert_eq!(rebuilt.len(), n, "{} lost roots", serializer.name());
+    assert!(p_recv.deser_invocations > 0);
+    for (i, &mc) in rebuilt.iter().enumerate() {
+        assert!(
+            verify_media_content(&receiver, mc, i as u64).unwrap(),
+            "{} record {i} corrupted",
+            serializer.name()
+        );
+    }
+}
+
+#[test]
+fn java_roundtrip() {
+    roundtrip_with(&JavaSerializer::new(), 25);
+}
+
+#[test]
+fn java_roundtrip_across_stream_resets() {
+    // More roots than the reset interval → descriptors re-emitted mid-stream.
+    roundtrip_with(&JavaSerializer::with_reset_interval(10), 35);
+}
+
+#[test]
+fn kryo_manual_roundtrip() {
+    roundtrip_with(&KryoSerializer::manual(kryo_registry()), 25);
+}
+
+#[test]
+fn kryo_opt_roundtrip() {
+    roundtrip_with(&KryoSerializer::opt(kryo_registry()), 25);
+}
+
+#[test]
+fn kryo_flat_roundtrip() {
+    roundtrip_with(&KryoSerializer::flat(kryo_registry()), 25);
+}
+
+#[test]
+fn all_schema_entrants_roundtrip() {
+    let reg = schema_registry();
+    for s in standard_entrants(&reg) {
+        roundtrip_with(&s, 10);
+    }
+}
+
+#[test]
+fn kryo_rejects_unregistered_class() {
+    let (_cp, mut sender, _) = setup();
+    let reg = KryoRegistry::new();
+    reg.register("media.MediaContent").unwrap(); // but not Media etc.
+    let s = KryoSerializer::manual(Arc::new(reg));
+    let h = build_dataset(&mut sender, 1).unwrap().pop().unwrap();
+    let root = sender.resolve(h).unwrap();
+    let mut p = Profile::new();
+    assert!(matches!(
+        s.serialize(&mut sender, &[root], &mut p),
+        Err(serlab::Error::Unregistered(_))
+    ));
+}
+
+#[test]
+fn kryo_registry_rejects_double_registration() {
+    let reg = KryoRegistry::new();
+    reg.register("A").unwrap();
+    assert!(matches!(reg.register("A"), Err(serlab::Error::AlreadyRegistered(_))));
+}
+
+#[test]
+fn java_preserves_sharing_kryo_manual_too_but_trees_do_not() {
+    let (_cp, mut sender, _) = setup();
+    // Two pairs sharing one string.
+    let s = sender.new_string("shared").unwrap();
+    let sh = sender.handle(s);
+    let s2 = sender.resolve(sh).unwrap();
+    let a = sender.new_pair(s2, Addr::NULL).unwrap();
+    let ah = sender.handle(a);
+    let s2 = sender.resolve(sh).unwrap();
+    let b = sender.new_pair(s2, Addr::NULL).unwrap();
+    let bh = sender.handle(b);
+
+    // Serialize both pairs as one root set; sharing must round-trip (or not)
+    // per serializer contract.
+    let roots = vec![sender.resolve(ah).unwrap(), sender.resolve(bh).unwrap()];
+
+    // Java: preserves sharing.
+    {
+        let (_c, _x, mut receiver) = setup();
+        let java = JavaSerializer::new();
+        let mut p = Profile::new();
+        let bytes = java.serialize(&mut sender, &roots, &mut p).unwrap();
+        let rebuilt = java.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+        let fa = receiver.get_ref(rebuilt[0], "first").unwrap();
+        let fb = receiver.get_ref(rebuilt[1], "first").unwrap();
+        assert_eq!(fa, fb, "java must preserve aliasing");
+        assert!(java.preserves_sharing());
+    }
+
+    // Kryo-opt (no reference tracking): duplicates.
+    {
+        let (_c, _x, mut receiver) = setup();
+        let reg = KryoRegistry::new();
+        reg.register_all(jsbs_class_names()).unwrap();
+        reg.register("util.Pair").unwrap();
+        let kryo = KryoSerializer::opt(Arc::new(reg));
+        let mut p = Profile::new();
+        let bytes = kryo.serialize(&mut sender, &roots, &mut p).unwrap();
+        let rebuilt = kryo.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+        let fa = receiver.get_ref(rebuilt[0], "first").unwrap();
+        let fb = receiver.get_ref(rebuilt[1], "first").unwrap();
+        assert_ne!(fa, fb, "kryo-opt must duplicate shared objects");
+        assert!(!kryo.preserves_sharing());
+        assert_eq!(receiver.read_string(fa).unwrap(), "shared");
+        assert_eq!(receiver.read_string(fb).unwrap(), "shared");
+    }
+}
+
+#[test]
+fn byte_sizes_rank_as_expected() {
+    // Java (type strings, reset every 100) must emit more bytes than
+    // kryo-manual, which must emit more than colfer (positional schema).
+    let (_cp, mut sender, _) = setup();
+    let handles = build_dataset(&mut sender, 200).unwrap();
+    let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    let mut p = Profile::new();
+
+    let java = JavaSerializer::new();
+    let java_bytes = java.serialize(&mut sender, &roots, &mut p).unwrap().len();
+
+    let kryo = KryoSerializer::manual(kryo_registry());
+    let kryo_bytes = kryo.serialize(&mut sender, &roots, &mut p).unwrap().len();
+
+    let reg = schema_registry();
+    let colfer = &standard_entrants(&reg)[0];
+    assert_eq!(colfer.name(), "colfer");
+    let colfer_bytes = colfer.serialize(&mut sender, &roots, &mut p).unwrap().len();
+
+    assert!(
+        java_bytes > kryo_bytes,
+        "java ({java_bytes}) should out-bloat kryo ({kryo_bytes})"
+    );
+    assert!(
+        kryo_bytes >= colfer_bytes,
+        "kryo ({kryo_bytes}) should not be smaller than colfer ({colfer_bytes})"
+    );
+}
+
+#[test]
+fn truncated_stream_is_an_error_not_a_panic() {
+    let (_cp, mut sender, mut receiver) = setup();
+    let handles = build_dataset(&mut sender, 3).unwrap();
+    let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    let mut p = Profile::new();
+    let kryo = KryoSerializer::manual(kryo_registry());
+    let bytes = kryo.serialize(&mut sender, &roots, &mut p).unwrap();
+    let truncated = &bytes[..bytes.len() / 2];
+    assert!(kryo.deserialize(&mut receiver, truncated, &mut p).is_err());
+
+    let java = JavaSerializer::new();
+    let jbytes = java.serialize(&mut sender, &roots, &mut p).unwrap();
+    assert!(java.deserialize(&mut receiver, &jbytes[..jbytes.len() / 2], &mut p).is_err());
+}
+
+#[test]
+fn garbage_bytes_are_an_error() {
+    let (_cp, _sender, mut receiver) = setup();
+    let mut p = Profile::new();
+    let kryo = KryoSerializer::manual(kryo_registry());
+    let garbage = vec![0xABu8; 64];
+    assert!(kryo.deserialize(&mut receiver, &garbage, &mut p).is_err());
+}
+
+#[test]
+fn invocation_counts_scale_with_objects() {
+    let (_cp, mut sender, mut receiver) = setup();
+    let handles = build_dataset(&mut sender, 10).unwrap();
+    let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    let kryo = KryoSerializer::manual(kryo_registry());
+    let mut p = Profile::new();
+    let bytes = kryo.serialize(&mut sender, &roots, &mut p).unwrap();
+    // Each record graph: 1 MediaContent + 1 Media + 3 media strings(+3 char
+    // arrays) + persons list(1+1 array+2 strings+2 char arrays) + images
+    // array + 2 images(+ 2*2 strings + 2*2 char arrays) ⇒ ~dozens per record.
+    assert!(p.ser_invocations >= 10 * 15, "got {}", p.ser_invocations);
+    let before = p.deser_invocations;
+    kryo.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    assert_eq!(p.deser_invocations - before, p.ser_invocations);
+}

@@ -1,0 +1,412 @@
+//! The simulated cluster: nodes, disks, network links, and control-plane
+//! RPC, with all costs accounted into per-node [`Profile`]s.
+//!
+//! The paper evaluates on 11 Xeon nodes with SSDs connected by 1000 Mb/s
+//! Ethernet (§5). We cannot reproduce wall-clock numbers on that hardware;
+//! instead, I/O time is *modeled* from real byte counts with configurable
+//! bandwidths (the ratios the paper argues about — e.g. "+50% bytes costs
+//! only ~4% more I/O while saving >20% compute" — depend exactly on these
+//! byte counts), while CPU time is *measured* because this simulation really
+//! executes the serializers and traversals.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{Category, Profile};
+use crate::{Error, Result};
+
+/// Identifies a node in the cluster. Node 0 conventionally runs the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Cluster-wide cost-model parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Network bandwidth in bytes/second (default: 1000 Mb/s Ethernet,
+    /// the paper's testbed network).
+    pub net_bandwidth_bps: u64,
+    /// One-way network latency in nanoseconds.
+    pub net_latency_ns: u64,
+    /// Effective shuffle-file write throughput in bytes/second.
+    pub disk_write_bps: u64,
+    /// Effective shuffle-file read throughput in bytes/second.
+    pub disk_read_bps: u64,
+    /// Calibration factor applied to *measured* S/D CPU time (all
+    /// serializers equally, Skyway included). The simulation's Rust
+    /// substrate executes S/D code paths faster per byte than the JVM the
+    /// paper measures: public jvm-serializers results put Kryo at ~20–50
+    /// MB/s on small-object graphs where our analogue sustains 150–300
+    /// MB/s, so the default factor of 4 restores the paper's S/D-to-I/O
+    /// cost balance (validated against Fig. 3's ">30% of execution time in
+    /// S/D" for Spark). Applying it to Skyway's traversal too is
+    /// conservative — the real Skyway send path is VM C++, not interpreted
+    /// bytecode.
+    pub sd_cpu_scale: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            net_bandwidth_bps: 125_000_000, // 1000 Mb/s
+            net_latency_ns: 100_000,        // 0.1 ms
+            // Effective shuffle-file throughputs. Shuffle files are read
+            // right after being written, so they are page-cache hot: the
+            // paper's own component shares (write 1.4%, read 1.1% of a
+            // ~1750 s run moving ~100 GB) imply multi-GB/s effective rates,
+            // not raw SATA speed.
+            disk_write_bps: 2_000_000_000,
+            disk_read_bps: 5_000_000_000,
+            sd_cpu_scale: 4.0,
+        }
+    }
+}
+
+impl SimConfig {
+    fn net_ns(&self, bytes: u64) -> u64 {
+        self.net_latency_ns + bytes.saturating_mul(1_000_000_000) / self.net_bandwidth_bps
+    }
+
+    fn disk_write_ns(&self, bytes: u64) -> u64 {
+        bytes.saturating_mul(1_000_000_000) / self.disk_write_bps
+    }
+
+    fn disk_read_ns(&self, bytes: u64) -> u64 {
+        bytes.saturating_mul(1_000_000_000) / self.disk_read_bps
+    }
+}
+
+#[derive(Debug, Default)]
+struct Disk {
+    files: HashMap<String, Vec<u8>>,
+}
+
+/// The simulated cluster fabric.
+///
+/// It owns per-node [`Profile`]s, per-node simulated disks, and in-memory
+/// network queues. Big-data engines hold their `mheap` VMs separately and
+/// use the cluster for transport and cost accounting.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: SimConfig,
+    profiles: Vec<Profile>,
+    disks: Vec<Disk>,
+    queues: HashMap<(NodeId, NodeId), std::collections::VecDeque<Vec<u8>>>,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` nodes.
+    pub fn new(n: usize, cfg: SimConfig) -> Self {
+        Cluster {
+            cfg,
+            profiles: vec![Profile::new(); n],
+            disks: (0..n).map(|_| Disk::default()).collect(),
+            queues: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True for a clusterless configuration (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The cost-model parameters.
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    fn check(&self, n: NodeId) -> Result<()> {
+        if n.0 < self.profiles.len() {
+            Ok(())
+        } else {
+            Err(Error::UnknownNode(n.0))
+        }
+    }
+
+    /// Read access to a node's profile.
+    ///
+    /// # Panics
+    /// Panics on unknown node ids (programming error in the engine).
+    pub fn profile(&self, n: NodeId) -> &Profile {
+        &self.profiles[n.0]
+    }
+
+    /// Write access to a node's profile (for CPU measurement by engines).
+    ///
+    /// # Panics
+    /// Panics on unknown node ids (programming error in the engine).
+    pub fn profile_mut(&mut self, n: NodeId) -> &mut Profile {
+        &mut self.profiles[n.0]
+    }
+
+    /// Aggregated profile across all nodes.
+    pub fn aggregate(&self) -> Profile {
+        let mut total = Profile::new();
+        for p in &self.profiles {
+            total.merge(p);
+        }
+        total
+    }
+
+    /// Resets all profiles (between experiment phases).
+    pub fn reset_profiles(&mut self) {
+        for p in &mut self.profiles {
+            *p = Profile::new();
+        }
+    }
+
+    // ----- disk ----------------------------------------------------------
+
+    /// Writes a spill file on `node`, charging modeled write-I/O time.
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`].
+    pub fn disk_write(&mut self, node: NodeId, name: impl Into<String>, data: Vec<u8>) -> Result<()> {
+        self.check(node)?;
+        let len = data.len() as u64;
+        let p = &mut self.profiles[node.0];
+        p.add_ns(Category::WriteIo, self.cfg.disk_write_ns(len));
+        p.bytes_spilled += len;
+        self.disks[node.0].files.insert(name.into(), data);
+        Ok(())
+    }
+
+    /// Reads a spill file on `node`, charging modeled read-I/O time and
+    /// counting the bytes as *local*.
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`] / [`Error::NoSuchFile`].
+    pub fn disk_read(&mut self, node: NodeId, name: &str) -> Result<Vec<u8>> {
+        self.check(node)?;
+        let data = self.disks[node.0]
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchFile { node: node.0, name: name.to_owned() })?;
+        let p = &mut self.profiles[node.0];
+        p.add_ns(Category::ReadIo, self.cfg.disk_read_ns(data.len() as u64));
+        p.bytes_local += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Reads a spill file in order to *serve* a remote fetch: charges
+    /// read-I/O time on the serving node but does not count the bytes as
+    /// locally-fetched shuffle data (they will be counted as remote bytes
+    /// on the receiver).
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`] / [`Error::NoSuchFile`].
+    pub fn disk_read_serve(&mut self, node: NodeId, name: &str) -> Result<Vec<u8>> {
+        self.check(node)?;
+        let data = self.disks[node.0]
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchFile { node: node.0, name: name.to_owned() })?;
+        let p = &mut self.profiles[node.0];
+        p.add_ns(Category::ReadIo, self.cfg.disk_read_ns(data.len() as u64));
+        Ok(data)
+    }
+
+    /// Removes a spill file (shuffle cleanup). Missing files are ignored.
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`].
+    pub fn disk_remove(&mut self, node: NodeId, name: &str) -> Result<()> {
+        self.check(node)?;
+        self.disks[node.0].files.remove(name);
+        Ok(())
+    }
+
+    /// Names of files on a node's disk (sorted; diagnostics).
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`].
+    pub fn disk_files(&self, node: NodeId) -> Result<Vec<String>> {
+        self.check(node)?;
+        let mut v: Vec<String> = self.disks[node.0].files.keys().cloned().collect();
+        v.sort();
+        Ok(v)
+    }
+
+    // ----- network ---------------------------------------------------------
+
+    /// Sends `payload` from `src` to `dst`. The sender is charged nothing
+    /// here (its serialization/write time is accounted by the caller); the
+    /// transfer cost lands on the receiver at [`Cluster::net_recv`], matching
+    /// the paper's accounting ("the network cost is negligible and included
+    /// in the read I/O").
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`].
+    pub fn net_send(&mut self, src: NodeId, dst: NodeId, payload: Vec<u8>) -> Result<()> {
+        self.check(src)?;
+        self.check(dst)?;
+        self.queues.entry((src, dst)).or_default().push_back(payload);
+        Ok(())
+    }
+
+    /// Receives the next pending payload from `src` at `dst`, charging
+    /// modeled network time and counting remote bytes. Same-node transfers
+    /// are charged as local disk-speed reads instead.
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`] / [`Error::NothingToReceive`].
+    pub fn net_recv(&mut self, dst: NodeId, src: NodeId) -> Result<Vec<u8>> {
+        self.check(src)?;
+        self.check(dst)?;
+        let payload = self
+            .queues
+            .get_mut(&(src, dst))
+            .and_then(|q| q.pop_front())
+            .ok_or(Error::NothingToReceive { src: src.0, dst: dst.0 })?;
+        let len = payload.len() as u64;
+        let p = &mut self.profiles[dst.0];
+        if src == dst {
+            p.add_ns(Category::ReadIo, self.cfg.disk_read_ns(len));
+            p.bytes_local += len;
+        } else {
+            let ns = self.cfg.net_ns(len);
+            p.add_ns(Category::ReadIo, ns);
+            p.net_ns += ns;
+            p.bytes_remote += len;
+        }
+        Ok(payload)
+    }
+
+    /// Number of queued payloads from `src` to `dst`.
+    pub fn pending(&self, src: NodeId, dst: NodeId) -> usize {
+        self.queues.get(&(src, dst)).map_or(0, |q| q.len())
+    }
+
+    // ----- control plane ----------------------------------------------------
+
+    /// Accounts one request/response RPC between two nodes (Skyway's
+    /// type-registry traffic, Algorithm 1). Latency is charged to the
+    /// requester; message and byte counters to both ends.
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`].
+    pub fn rpc(&mut self, requester: NodeId, responder: NodeId, req_bytes: u64, resp_bytes: u64) -> Result<()> {
+        self.check(requester)?;
+        self.check(responder)?;
+        let rtt = self.cfg.net_ns(req_bytes) + self.cfg.net_ns(resp_bytes);
+        let p = &mut self.profiles[requester.0];
+        p.add_ns(Category::Compute, rtt);
+        p.rpc_messages += 1;
+        p.rpc_bytes += req_bytes + resp_bytes;
+        let q = &mut self.profiles[responder.0];
+        q.rpc_messages += 1;
+        q.rpc_bytes += req_bytes + resp_bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(3, SimConfig::default())
+    }
+
+    #[test]
+    fn disk_roundtrip_charges_io() {
+        let mut c = cluster();
+        c.disk_write(NodeId(1), "shuffle_0_1", vec![7u8; 1_000_000]).unwrap();
+        assert!(c.profile(NodeId(1)).ns(Category::WriteIo) > 0);
+        assert_eq!(c.profile(NodeId(1)).bytes_spilled, 1_000_000);
+        let data = c.disk_read(NodeId(1), "shuffle_0_1").unwrap();
+        assert_eq!(data.len(), 1_000_000);
+        assert!(c.profile(NodeId(1)).ns(Category::ReadIo) > 0);
+        assert_eq!(c.profile(NodeId(1)).bytes_local, 1_000_000);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut c = cluster();
+        assert!(matches!(
+            c.disk_read(NodeId(0), "nope"),
+            Err(Error::NoSuchFile { .. })
+        ));
+    }
+
+    #[test]
+    fn remote_transfer_counts_remote_bytes_on_receiver() {
+        let mut c = cluster();
+        c.net_send(NodeId(0), NodeId(2), vec![1u8; 125_000]).unwrap();
+        let data = c.net_recv(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(data.len(), 125_000);
+        let p = c.profile(NodeId(2));
+        assert_eq!(p.bytes_remote, 125_000);
+        assert_eq!(p.bytes_local, 0);
+        // 125 kB at 125 MB/s = 1 ms + 0.1 ms latency.
+        assert_eq!(p.ns(Category::ReadIo), 1_100_000);
+        assert_eq!(p.net_ns, 1_100_000);
+        assert!(p.net_ns > 0);
+        // Sender pays nothing at transport level.
+        assert_eq!(c.profile(NodeId(0)).total_ns(), 0);
+    }
+
+    #[test]
+    fn local_transfer_counts_local_bytes() {
+        let mut c = cluster();
+        c.net_send(NodeId(1), NodeId(1), vec![0u8; 52_000]).unwrap();
+        let _ = c.net_recv(NodeId(1), NodeId(1)).unwrap();
+        let p = c.profile(NodeId(1));
+        assert_eq!(p.bytes_local, 52_000);
+        assert_eq!(p.bytes_remote, 0);
+        assert_eq!(p.net_ns, 0);
+    }
+
+    #[test]
+    fn recv_without_send_errors() {
+        let mut c = cluster();
+        assert!(matches!(
+            c.net_recv(NodeId(0), NodeId(1)),
+            Err(Error::NothingToReceive { .. })
+        ));
+    }
+
+    #[test]
+    fn queues_are_fifo_per_link() {
+        let mut c = cluster();
+        c.net_send(NodeId(0), NodeId(1), vec![1]).unwrap();
+        c.net_send(NodeId(0), NodeId(1), vec![2]).unwrap();
+        assert_eq!(c.pending(NodeId(0), NodeId(1)), 2);
+        assert_eq!(c.net_recv(NodeId(1), NodeId(0)).unwrap(), vec![1]);
+        assert_eq!(c.net_recv(NodeId(1), NodeId(0)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn rpc_counts_both_ends() {
+        let mut c = cluster();
+        c.rpc(NodeId(2), NodeId(0), 64, 1024).unwrap();
+        assert_eq!(c.profile(NodeId(2)).rpc_messages, 1);
+        assert_eq!(c.profile(NodeId(0)).rpc_messages, 1);
+        assert_eq!(c.profile(NodeId(2)).rpc_bytes, 1088);
+        assert!(c.profile(NodeId(2)).ns(Category::Compute) > 0);
+    }
+
+    #[test]
+    fn aggregate_merges_all_nodes() {
+        let mut c = cluster();
+        c.profile_mut(NodeId(0)).add_ns(Category::Ser, 5);
+        c.profile_mut(NodeId(1)).add_ns(Category::Ser, 7);
+        assert_eq!(c.aggregate().ns(Category::Ser), 12);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut c = cluster();
+        assert!(matches!(
+            c.disk_write(NodeId(9), "f", vec![]),
+            Err(Error::UnknownNode(9))
+        ));
+    }
+}

@@ -1,0 +1,309 @@
+//! Record classes the Spark-like workloads shuffle, plus GC-safe
+//! constructors and readers.
+//!
+//! Workload records are real managed-heap object graphs — that is the whole
+//! point: the serializers (and Skyway) operate on objects with headers,
+//! references, and padding, not on Rust structs.
+
+use std::sync::Arc;
+
+use mheap::stdlib::define_core_classes;
+use mheap::{Addr, ClassPath, FieldType, KlassDef, PrimType, Vm};
+
+use crate::{Error, Result};
+
+/// A directed edge record.
+pub const EDGE: &str = "graph.Edge";
+/// An adjacency record: a node and its neighbor array.
+pub const ADJ: &str = "graph.Adj";
+/// A rank record (PageRank state).
+pub const RANK: &str = "graph.Rank";
+/// A contribution message (PageRank shuffle payload).
+pub const CONTRIB: &str = "graph.Contrib";
+/// A label record / message (ConnectedComponents).
+pub const LABEL: &str = "graph.Label";
+/// A triangle query message: "is `b` adjacent to `a`?".
+pub const QUERY: &str = "graph.Query";
+/// A word-count record: word string + count.
+pub const WORD_COUNT: &str = "wc.WordCount";
+/// A closure descriptor (what closure serialization ships).
+pub const CLOSURE: &str = "spark.Closure";
+
+/// Registers all engine/workload classes (plus the core library) on a
+/// classpath. Idempotent.
+pub fn define_spark_classes(cp: &Arc<ClassPath>) {
+    define_core_classes(cp);
+    cp.define_all([
+        KlassDef::new(
+            EDGE,
+            None,
+            vec![("src", FieldType::Prim(PrimType::Long)), ("dst", FieldType::Prim(PrimType::Long))],
+        ),
+        KlassDef::new(
+            ADJ,
+            None,
+            vec![("node", FieldType::Prim(PrimType::Long)), ("neighbors", FieldType::Ref)],
+        ),
+        KlassDef::new(
+            RANK,
+            None,
+            vec![("node", FieldType::Prim(PrimType::Long)), ("rank", FieldType::Prim(PrimType::Double))],
+        ),
+        KlassDef::new(
+            CONTRIB,
+            None,
+            vec![("node", FieldType::Prim(PrimType::Long)), ("value", FieldType::Prim(PrimType::Double))],
+        ),
+        KlassDef::new(
+            LABEL,
+            None,
+            vec![("node", FieldType::Prim(PrimType::Long)), ("label", FieldType::Prim(PrimType::Long))],
+        ),
+        KlassDef::new(
+            QUERY,
+            None,
+            vec![("a", FieldType::Prim(PrimType::Long)), ("b", FieldType::Prim(PrimType::Long))],
+        ),
+        KlassDef::new(
+            WORD_COUNT,
+            None,
+            vec![("word", FieldType::Ref), ("count", FieldType::Prim(PrimType::Int))],
+        ),
+        KlassDef::new(
+            CLOSURE,
+            None,
+            vec![("name", FieldType::Ref), ("stage", FieldType::Prim(PrimType::Int)), ("captured", FieldType::Ref)],
+        ),
+    ]);
+}
+
+/// All class names a Spark-like job can shuffle, for serializer
+/// registries (the "MyRegistrator" burden of §2.1, automated here).
+pub fn spark_class_names() -> Vec<&'static str> {
+    vec![
+        EDGE,
+        ADJ,
+        RANK,
+        CONTRIB,
+        LABEL,
+        QUERY,
+        WORD_COUNT,
+        CLOSURE,
+        mheap::stdlib::STRING,
+        mheap::stdlib::INTEGER,
+        mheap::stdlib::LONG,
+        mheap::stdlib::DOUBLE,
+        mheap::stdlib::PAIR,
+        mheap::stdlib::ARRAY_LIST,
+        mheap::stdlib::HASH_MAP,
+        mheap::stdlib::HASH_NODE,
+        "[C",
+        "[I",
+        "[J",
+        "[Ljava.lang.Object;",
+    ]
+}
+
+/// Allocates an edge record.
+///
+/// # Errors
+/// Allocation errors.
+pub fn new_edge(vm: &mut Vm, src: i64, dst: i64) -> Result<Addr> {
+    let k = vm.load_class(EDGE).map_err(Error::Heap)?;
+    let e = vm.alloc_instance(k).map_err(Error::Heap)?;
+    vm.set_long(e, "src", src).map_err(Error::Heap)?;
+    vm.set_long(e, "dst", dst).map_err(Error::Heap)?;
+    Ok(e)
+}
+
+/// Reads an edge record.
+///
+/// # Errors
+/// Field errors.
+pub fn read_edge(vm: &Vm, e: Addr) -> Result<(i64, i64)> {
+    Ok((vm.get_long(e, "src").map_err(Error::Heap)?, vm.get_long(e, "dst").map_err(Error::Heap)?))
+}
+
+/// Allocates an adjacency record with a long[] of neighbors.
+///
+/// # Errors
+/// Allocation errors.
+pub fn new_adj(vm: &mut Vm, node: i64, neighbors: &[i64]) -> Result<Addr> {
+    let arr_k = vm.load_class("[J").map_err(Error::Heap)?;
+    let arr = vm.alloc_array(arr_k, neighbors.len() as u64).map_err(Error::Heap)?;
+    for (i, &n) in neighbors.iter().enumerate() {
+        vm.array_set_raw(arr, i as u64, n as u64).map_err(Error::Heap)?;
+    }
+    let t = vm.push_temp_root(arr);
+    let k = vm.load_class(ADJ).map_err(Error::Heap)?;
+    let adj = vm.alloc_instance(k).map_err(Error::Heap)?;
+    let arr = vm.temp_root(t);
+    vm.pop_temp_root();
+    vm.set_long(adj, "node", node).map_err(Error::Heap)?;
+    vm.set_ref(adj, "neighbors", arr).map_err(Error::Heap)?;
+    Ok(adj)
+}
+
+/// Reads an adjacency record.
+///
+/// # Errors
+/// Field errors.
+pub fn read_adj(vm: &Vm, adj: Addr) -> Result<(i64, Vec<i64>)> {
+    let node = vm.get_long(adj, "node").map_err(Error::Heap)?;
+    let arr = vm.get_ref(adj, "neighbors").map_err(Error::Heap)?;
+    let len = vm.array_len(arr).map_err(Error::Heap)?;
+    let mut out = Vec::with_capacity(len as usize);
+    for i in 0..len {
+        out.push(vm.array_get_raw(arr, i).map_err(Error::Heap)? as i64);
+    }
+    Ok((node, out))
+}
+
+/// Allocates a two-long record of the given class (`RANK`-shaped records).
+fn new_two_long(vm: &mut Vm, class: &str, a_name: &str, a: i64, b_name: &str, b: i64) -> Result<Addr> {
+    let k = vm.load_class(class).map_err(Error::Heap)?;
+    let r = vm.alloc_instance(k).map_err(Error::Heap)?;
+    vm.set_long(r, a_name, a).map_err(Error::Heap)?;
+    vm.set_long(r, b_name, b).map_err(Error::Heap)?;
+    Ok(r)
+}
+
+/// Allocates a rank record.
+///
+/// # Errors
+/// Allocation errors.
+pub fn new_rank(vm: &mut Vm, node: i64, rank: f64) -> Result<Addr> {
+    let k = vm.load_class(RANK).map_err(Error::Heap)?;
+    let r = vm.alloc_instance(k).map_err(Error::Heap)?;
+    vm.set_long(r, "node", node).map_err(Error::Heap)?;
+    vm.set_double(r, "rank", rank).map_err(Error::Heap)?;
+    Ok(r)
+}
+
+/// Reads a rank record.
+///
+/// # Errors
+/// Field errors.
+pub fn read_rank(vm: &Vm, r: Addr) -> Result<(i64, f64)> {
+    Ok((vm.get_long(r, "node").map_err(Error::Heap)?, vm.get_double(r, "rank").map_err(Error::Heap)?))
+}
+
+/// Allocates a contribution message.
+///
+/// # Errors
+/// Allocation errors.
+pub fn new_contrib(vm: &mut Vm, node: i64, value: f64) -> Result<Addr> {
+    let k = vm.load_class(CONTRIB).map_err(Error::Heap)?;
+    let r = vm.alloc_instance(k).map_err(Error::Heap)?;
+    vm.set_long(r, "node", node).map_err(Error::Heap)?;
+    vm.set_double(r, "value", value).map_err(Error::Heap)?;
+    Ok(r)
+}
+
+/// Reads a contribution message.
+///
+/// # Errors
+/// Field errors.
+pub fn read_contrib(vm: &Vm, r: Addr) -> Result<(i64, f64)> {
+    Ok((vm.get_long(r, "node").map_err(Error::Heap)?, vm.get_double(r, "value").map_err(Error::Heap)?))
+}
+
+/// Allocates a label record/message.
+///
+/// # Errors
+/// Allocation errors.
+pub fn new_label(vm: &mut Vm, node: i64, label: i64) -> Result<Addr> {
+    new_two_long(vm, LABEL, "node", node, "label", label)
+}
+
+/// Reads a label record.
+///
+/// # Errors
+/// Field errors.
+pub fn read_label(vm: &Vm, r: Addr) -> Result<(i64, i64)> {
+    Ok((vm.get_long(r, "node").map_err(Error::Heap)?, vm.get_long(r, "label").map_err(Error::Heap)?))
+}
+
+/// Allocates a triangle query message.
+///
+/// # Errors
+/// Allocation errors.
+pub fn new_query(vm: &mut Vm, a: i64, b: i64) -> Result<Addr> {
+    new_two_long(vm, QUERY, "a", a, "b", b)
+}
+
+/// Reads a triangle query message.
+///
+/// # Errors
+/// Field errors.
+pub fn read_query(vm: &Vm, r: Addr) -> Result<(i64, i64)> {
+    Ok((vm.get_long(r, "a").map_err(Error::Heap)?, vm.get_long(r, "b").map_err(Error::Heap)?))
+}
+
+/// Allocates a word-count record (GC-safe: the string is temp-rooted while
+/// the record is allocated).
+///
+/// # Errors
+/// Allocation errors.
+pub fn new_word_count(vm: &mut Vm, word: &str, count: i32) -> Result<Addr> {
+    let s = vm.new_string(word).map_err(Error::Heap)?;
+    let t = vm.push_temp_root(s);
+    let k = vm.load_class(WORD_COUNT).map_err(Error::Heap)?;
+    let r = vm.alloc_instance(k).map_err(Error::Heap)?;
+    let s = vm.temp_root(t);
+    vm.pop_temp_root();
+    vm.set_ref(r, "word", s).map_err(Error::Heap)?;
+    vm.set_int(r, "count", count).map_err(Error::Heap)?;
+    Ok(r)
+}
+
+/// Reads a word-count record.
+///
+/// # Errors
+/// Field errors.
+pub fn read_word_count(vm: &Vm, r: Addr) -> Result<(String, i32)> {
+    let s = vm.get_ref(r, "word").map_err(Error::Heap)?;
+    Ok((vm.read_string(s).map_err(Error::Heap)?, vm.get_int(r, "count").map_err(Error::Heap)?))
+}
+
+/// Allocates a closure descriptor (what closure serialization ships from
+/// the driver to the workers, §2.1).
+///
+/// # Errors
+/// Allocation errors.
+pub fn new_closure(vm: &mut Vm, name: &str, stage: i32, captured: &str) -> Result<Addr> {
+    let n = vm.new_string(name).map_err(Error::Heap)?;
+    let tn = vm.push_temp_root(n);
+    let c = vm.new_string(captured).map_err(Error::Heap)?;
+    let tc = vm.push_temp_root(c);
+    let k = vm.load_class(CLOSURE).map_err(Error::Heap)?;
+    let r = vm.alloc_instance(k).map_err(Error::Heap)?;
+    let c = vm.temp_root(tc);
+    let n = vm.temp_root(tn);
+    vm.pop_temp_root();
+    vm.pop_temp_root();
+    vm.set_ref(r, "name", n).map_err(Error::Heap)?;
+    vm.set_ref(r, "captured", c).map_err(Error::Heap)?;
+    vm.set_int(r, "stage", stage).map_err(Error::Heap)?;
+    Ok(r)
+}
+
+/// Stable 64-bit hash for shuffle partitioning (FNV-1a).
+pub fn hash64(x: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in x.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Stable 64-bit hash of a string (FNV-1a).
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}

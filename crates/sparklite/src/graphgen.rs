@@ -1,0 +1,210 @@
+//! Synthetic graph generators standing in for the paper's Table 1 inputs.
+//!
+//! The paper evaluates on LiveJournal, Orkut, UK-2005, and Twitter-2010.
+//! Those datasets cannot be shipped with a reproduction; instead an R-MAT
+//! generator produces graphs with the same *relative* sizes (edge and
+//! vertex counts scaled by a common factor) and the skewed degree
+//! distributions the workload shapes depend on. Social graphs use
+//! symmetric R-MAT parameters; web graphs use more skewed ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which Table 1 input a synthetic graph stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// LiveJournal: 69 M edges / 4.8 M vertices (social network).
+    LiveJournal,
+    /// Orkut: 117 M edges / 3 M vertices (social network).
+    Orkut,
+    /// UK-2005: 936 M edges / 39.5 M vertices (web graph).
+    Uk2005,
+    /// Twitter-2010: 1.5 B edges / 41.6 M vertices (social network).
+    Twitter2010,
+}
+
+impl GraphKind {
+    /// Short label used in figures (`LJ`, `OR`, `UK`, `TW`).
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphKind::LiveJournal => "LJ",
+            GraphKind::Orkut => "OR",
+            GraphKind::Uk2005 => "UK",
+            GraphKind::Twitter2010 => "TW",
+        }
+    }
+
+    /// Full dataset name as in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphKind::LiveJournal => "LiveJournal",
+            GraphKind::Orkut => "Orkut",
+            GraphKind::Uk2005 => "UK-2005",
+            GraphKind::Twitter2010 => "Twitter-2010",
+        }
+    }
+
+    /// Description as in Table 1.
+    pub fn description(self) -> &'static str {
+        match self {
+            GraphKind::LiveJournal | GraphKind::Orkut | GraphKind::Twitter2010 => "Social network",
+            GraphKind::Uk2005 => "Web graph",
+        }
+    }
+
+    /// Paper-scale (edges, vertices).
+    pub fn paper_scale(self) -> (u64, u64) {
+        match self {
+            GraphKind::LiveJournal => (69_000_000, 4_800_000),
+            GraphKind::Orkut => (117_000_000, 3_000_000),
+            GraphKind::Uk2005 => (936_000_000, 39_500_000),
+            GraphKind::Twitter2010 => (1_500_000_000, 41_600_000),
+        }
+    }
+
+    /// R-MAT quadrant probabilities: (a, b, c) with d = 1-a-b-c. Web
+    /// graphs are more skewed than social networks.
+    fn rmat_params(self) -> (f64, f64, f64) {
+        match self {
+            GraphKind::LiveJournal | GraphKind::Orkut | GraphKind::Twitter2010 => {
+                (0.45, 0.22, 0.22)
+            }
+            GraphKind::Uk2005 => (0.57, 0.19, 0.19),
+        }
+    }
+
+    /// All four inputs in Table 1 order.
+    pub const ALL: [GraphKind; 4] =
+        [GraphKind::LiveJournal, GraphKind::Orkut, GraphKind::Uk2005, GraphKind::Twitter2010];
+}
+
+/// A generated graph: directed edge list plus vertex-count bound.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Which dataset this stands in for.
+    pub kind: GraphKind,
+    /// Directed edges (may contain duplicates, like raw crawl data).
+    pub edges: Vec<(u64, u64)>,
+    /// Number of vertex ids (0..n_vertices).
+    pub n_vertices: u64,
+    /// The scale divisor applied to the paper-scale counts.
+    pub scale_divisor: u64,
+}
+
+impl Graph {
+    /// Number of edges.
+    pub fn n_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+}
+
+/// Generates the synthetic stand-in for `kind`, scaled down by
+/// `scale_divisor` (e.g. 1000 → LiveJournal becomes 69 k edges / 4.8 k
+/// vertices). Deterministic for a given (kind, divisor, seed).
+pub fn generate(kind: GraphKind, scale_divisor: u64, seed: u64) -> Graph {
+    let (pe, pv) = kind.paper_scale();
+    let n_edges = (pe / scale_divisor).max(16) as usize;
+    let n_vertices = (pv / scale_divisor).max(16);
+    let (a, b, c) = kind.rmat_params();
+    let mut rng = StdRng::seed_from_u64(seed ^ (kind as u64) << 32 ^ scale_divisor);
+    let levels = 64 - (n_vertices - 1).leading_zeros();
+    let mut edges = Vec::with_capacity(n_edges);
+    while edges.len() < n_edges {
+        let mut src: u64 = 0;
+        let mut dst: u64 = 0;
+        for _ in 0..levels {
+            let r: f64 = rng.gen();
+            let (sbit, dbit) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src = (src << 1) | sbit;
+            dst = (dst << 1) | dbit;
+        }
+        src %= n_vertices;
+        dst %= n_vertices;
+        if src != dst {
+            edges.push((src, dst));
+        }
+    }
+    Graph { kind, edges, n_vertices, scale_divisor }
+}
+
+/// Partitions edges across `n_workers` by source-vertex hash — the
+/// co-partitioning the iterative workloads rely on.
+pub fn partition_edges(graph: &Graph, n_workers: usize) -> Vec<Vec<(u64, u64)>> {
+    let mut parts = vec![Vec::new(); n_workers];
+    for &(s, d) in &graph.edges {
+        let h = crate::classes::hash64(s);
+        parts[(h % n_workers as u64) as usize].push((s, d));
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_counts_preserve_ratios() {
+        let lj = generate(GraphKind::LiveJournal, 1000, 1);
+        let tw = generate(GraphKind::Twitter2010, 1000, 1);
+        assert_eq!(lj.n_edges(), 69_000);
+        assert_eq!(tw.n_edges(), 1_500_000);
+        // Twitter/LJ edge ratio ≈ 21.7 as in Table 1.
+        let ratio = tw.n_edges() as f64 / lj.n_edges() as f64;
+        assert!((ratio - 21.7).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(GraphKind::Orkut, 10_000, 7);
+        let b = generate(GraphKind::Orkut, 10_000, 7);
+        assert_eq!(a.edges, b.edges);
+        let c = generate(GraphKind::Orkut, 10_000, 8);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn no_self_loops_and_ids_in_range() {
+        let g = generate(GraphKind::Uk2005, 100_000, 3);
+        for &(s, d) in &g.edges {
+            assert_ne!(s, d);
+            assert!(s < g.n_vertices && d < g.n_vertices);
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = generate(GraphKind::Twitter2010, 10_000, 5);
+        let mut deg = std::collections::HashMap::new();
+        for &(s, _) in &g.edges {
+            *deg.entry(s).or_insert(0u64) += 1;
+        }
+        let max = *deg.values().max().unwrap();
+        let mean = g.n_edges() as f64 / deg.len() as f64;
+        assert!(
+            (max as f64) > mean * 5.0,
+            "R-MAT should produce hubs (max {max}, mean {mean:.1})"
+        );
+    }
+
+    #[test]
+    fn partitioning_covers_all_edges() {
+        let g = generate(GraphKind::LiveJournal, 10_000, 2);
+        let parts = partition_edges(&g, 3);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, g.edges.len());
+        // Same source always lands in the same partition.
+        for (i, p) in parts.iter().enumerate() {
+            for &(s, _) in p {
+                assert_eq!((crate::classes::hash64(s) % 3) as usize, i);
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's Figure 2 program: a Spark job that reads date strings,
+//! parses them into `Date` objects (with `Year4D`/`Month2D`/`Day2D`
+//! sub-objects, exactly the class structure of the figure), and `collect`s
+//! the results to the driver — the example the paper uses to explain
+//! closure vs data serialization.
+//!
+//! Run with: `cargo run --release --example date_parsing`
+
+use mheap::{Addr, FieldType, KlassDef, PrimType, Vm};
+use simnet::Category;
+use sparklite::engine::{SerializerKind, SparkCluster, SparkConfig};
+
+fn define_date_classes(sc: &SparkCluster) {
+    let cp = sc.classpath();
+    cp.define_all([
+        KlassDef::new(
+            "Date",
+            None,
+            vec![("year", FieldType::Ref), ("month", FieldType::Ref), ("day", FieldType::Ref)],
+        ),
+        KlassDef::new("Year4D", None, vec![("value", FieldType::Prim(PrimType::Int))]),
+        KlassDef::new("Month2D", None, vec![("value", FieldType::Prim(PrimType::Int))]),
+        KlassDef::new("Day2D", None, vec![("value", FieldType::Prim(PrimType::Int))]),
+    ]);
+}
+
+/// `DateParser.parse`: turns `"YYYY-MM-DD"` into a `Date` object graph.
+fn parse(vm: &mut Vm, s: &str) -> sparklite::Result<Addr> {
+    let mut it = s.split('-');
+    let (y, m, d) = (
+        it.next().and_then(|v| v.parse().ok()).unwrap_or(1970),
+        it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+        it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+    );
+    let part = |vm: &mut Vm, class: &str, value: i32| -> sparklite::Result<Addr> {
+        let k = vm.load_class(class).map_err(sparklite::Error::Heap)?;
+        let o = vm.alloc_instance(k).map_err(sparklite::Error::Heap)?;
+        vm.set_int(o, "value", value).map_err(sparklite::Error::Heap)?;
+        Ok(o)
+    };
+    let year = part(vm, "Year4D", y)?;
+    let ty = vm.push_temp_root(year);
+    let month = part(vm, "Month2D", m)?;
+    let tm = vm.push_temp_root(month);
+    let day = part(vm, "Day2D", d)?;
+    let td = vm.push_temp_root(day);
+    let k = vm.load_class("Date").map_err(sparklite::Error::Heap)?;
+    let date = vm.alloc_instance(k).map_err(sparklite::Error::Heap)?;
+    let day = vm.temp_root(td);
+    let month = vm.temp_root(tm);
+    let year = vm.temp_root(ty);
+    vm.pop_temp_root();
+    vm.pop_temp_root();
+    vm.pop_temp_root();
+    vm.set_ref(date, "year", year).map_err(sparklite::Error::Heap)?;
+    vm.set_ref(date, "month", month).map_err(sparklite::Error::Heap)?;
+    vm.set_ref(date, "day", day).map_err(sparklite::Error::Heap)?;
+    Ok(date)
+}
+
+fn to_string(vm: &Vm, date: Addr) -> sparklite::Result<String> {
+    let g = |f: &str| -> sparklite::Result<i32> {
+        let o = vm.get_ref(date, f).map_err(sparklite::Error::Heap)?;
+        vm.get_int(o, "value").map_err(sparklite::Error::Heap)
+    };
+    Ok(format!("Date [year={} month={} day={}]", g("year")?, g("month")?, g("day")?))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // "dates.txt", pre-partitioned across the workers.
+    let lines: Vec<Vec<String>> = vec![
+        vec!["2018-03-24".into(), "2018-03-25".into()],
+        vec!["2018-03-26".into(), "2018-03-27".into()],
+        vec!["2018-03-28".into()],
+    ];
+
+    for kind in SerializerKind::ALL {
+        let mut sc = SparkCluster::new(&SparkConfig {
+            n_workers: 3,
+            serializer: kind,
+            ..SparkConfig::default()
+        })?;
+        define_date_classes(&sc);
+        // The §2.1 manual-registration step, needed only for Kryo.
+        sc.register_classes(["Date", "Year4D", "Month2D", "Day2D"]);
+
+        // Closure serialization: the driver ships the lambda (and the
+        // captured DateParser) to every worker, always via the Java
+        // serializer (§2.1).
+        sc.ship_closure("SimpleSparkJob.map", 0, "DateParser")?;
+
+        // textFileStream → map(parse) on the workers.
+        let text = sc.create_dataset(lines.clone(), |vm, line: &String| {
+            vm.new_string(line).map_err(sparklite::Error::Heap)
+        })?;
+        let dates = sc.transform(
+            &text,
+            |vm, records| {
+                records
+                    .iter()
+                    .map(|&r| vm.read_string(r).map_err(sparklite::Error::Heap))
+                    .collect()
+            },
+            |vm, line| parse(vm, line),
+        )?;
+        sc.release(text)?;
+
+        // collect(): data serialization brings every Date (and its Year4D /
+        // Month2D / Day2D objects) back to the driver.
+        let mut collected = sc.collect(&dates, |vm, records| {
+            records.iter().map(|&d| to_string(vm, d)).collect()
+        })?;
+        sc.release(dates)?;
+        collected.sort();
+
+        let p = sc.aggregate_profile();
+        println!(
+            "{:<7} collected {} dates, {} S/D calls, ser+deser {:.2} ms",
+            kind.label(),
+            collected.len(),
+            p.ser_invocations + p.deser_invocations,
+            (p.ns(Category::Ser) + p.ns(Category::Deser)) as f64 / 1e6
+        );
+        if kind == SerializerKind::Skyway {
+            for d in &collected {
+                println!("  {d}");
+            }
+        }
+    }
+    Ok(())
+}

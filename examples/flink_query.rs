@@ -1,0 +1,41 @@
+//! A TPC-H-derived query on the Flink-like engine with the built-in row
+//! serializer vs Skyway — a miniature of the paper's §5.3 experiment.
+//!
+//! Run with: `cargo run --release --example flink_query`
+
+use flinklite::engine::{boot, FlinkConfig, FlinkSerializer};
+use flinklite::queries::{reference, run_query, QueryId};
+use flinklite::tpchgen::generate;
+use simnet::Category;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = generate(200, 7);
+    let q = QueryId::QC;
+    println!("{}: {}", q.label(), q.description());
+    println!("database: {} rows total\n", db.total_rows());
+
+    let expected = reference(&db, q);
+    for ser in FlinkSerializer::ALL {
+        let mut sc = boot(
+            &FlinkConfig { serializer: ser, heap_bytes: 128 << 20, ..FlinkConfig::default() },
+            q.schema(),
+        )?;
+        let got = run_query(&mut sc, &db, q)?;
+        assert_eq!(got, expected, "engine result must match the reference");
+        let p = sc.aggregate_profile();
+        println!(
+            "{:<14} total {:>7.1} ms  (ser {:>6.1}, deser {:>6.1}, S/D calls {})",
+            ser.label(),
+            p.total_ns() as f64 / 1e6,
+            p.ns(Category::Ser) as f64 / 1e6,
+            p.ns(Category::Deser) as f64 / 1e6,
+            p.ser_invocations + p.deser_invocations,
+        );
+    }
+
+    println!("\ntop pending orders by potential revenue:");
+    for (key, rev_cents, _, _, tag) in expected.iter().take(5) {
+        println!("  {key:<14} order {tag:<8} revenue {:.2}", *rev_cents as f64 / 100.0);
+    }
+    Ok(())
+}

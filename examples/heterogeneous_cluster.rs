@@ -1,0 +1,80 @@
+//! Heterogeneous-cluster transfer (paper §3.1): the sender adjusts each
+//! object's format while copying it into the output buffer, so a receiver
+//! running a *different* object format pays nothing.
+//!
+//! Run with: `cargo run --release --example heterogeneous_cluster`
+
+use std::sync::Arc;
+
+use mheap::stdlib::define_core_classes;
+use mheap::{ClassPath, HeapConfig, LayoutSpec, Vm};
+use serlab::Serializer;
+use simnet::{NodeId, Profile};
+use skyway::{ShuffleController, SkywaySerializer, TypeDirectory};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let classpath = ClassPath::new();
+    define_core_classes(&classpath);
+
+    // Sender: the Skyway object format (3-word header, 8-byte array length).
+    let mut sender = Vm::new("big-endianish", &HeapConfig::default(), Arc::clone(&classpath))?;
+    // Receiver: a compact stock format (2-word header, 4-byte array length).
+    let mut receiver = Vm::new(
+        "compact",
+        &HeapConfig { spec: LayoutSpec::COMPACT, ..HeapConfig::default() },
+        classpath,
+    )?;
+    println!(
+        "sender instance header: {} bytes; receiver instance header: {} bytes",
+        sender.spec().instance_header(),
+        receiver.spec().instance_header()
+    );
+
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+    dir.bootstrap_driver(&sender)?;
+    dir.worker_startup(NodeId(1))?;
+
+    // A list of strings on the sender.
+    let list = sender.new_list(8)?;
+    let lh = sender.handle(list);
+    for word in ["format", "adjustment", "is", "sender-side"] {
+        let s = sender.new_string(word)?;
+        let list = sender.resolve(lh)?;
+        sender.list_push(list, s)?;
+    }
+
+    // The serializer is told the RECEIVER's format; clones are written in
+    // that format during the traversal.
+    let sky_tx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::COMPACT,
+    );
+    let sky_rx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(1),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::COMPACT,
+    );
+
+    let mut p = Profile::new();
+    let list = sender.resolve(lh)?;
+    let bytes = sky_tx.serialize(&mut sender, &[list], &mut p)?;
+    let stats = sky_tx.last_send_stats();
+    println!(
+        "shipped {} objects, {} bytes (receiver-format headers: {} bytes)",
+        stats.objects, stats.total_bytes, stats.header_bytes
+    );
+
+    let roots = sky_rx.deserialize(&mut receiver, &bytes, &mut p)?;
+    let rlist = roots[0];
+    let mut words = Vec::new();
+    for i in 0..receiver.list_len(rlist)? {
+        let s = receiver.list_get(rlist, i)?;
+        words.push(receiver.read_string(s)?);
+    }
+    println!("received on the compact-format heap: {}", words.join(" "));
+    assert_eq!(words.join(" "), "format adjustment is sender-side");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the Skyway reproduction workspace.
+//!
+//! See the individual crates for the real content:
+//! [`mheap`] (managed-heap substrate), [`simnet`] (cluster/cost model),
+//! [`serlab`] (baseline serializers), [`skyway`] (the paper's contribution),
+//! [`sparklite`] and [`flinklite`] (the big-data engines under test).
+pub use flinklite;
+pub use mheap;
+pub use serlab;
+pub use simnet;
+pub use skyway;
+pub use sparklite;

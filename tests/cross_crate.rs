@@ -1,0 +1,210 @@
+//! Cross-crate integration tests: the full stack (heap → serializers →
+//! Skyway → engines) working together, plus end-to-end invariants the
+//! paper's claims rest on.
+
+use std::sync::Arc;
+
+use mheap::{ClassPath, HeapConfig, LayoutSpec, Vm};
+use serlab::jsbs::{build_dataset, define_jsbs_classes, jsbs_class_names, verify_media_content};
+use serlab::{JavaSerializer, KryoRegistry, KryoSerializer, Serializer};
+use simnet::{Category, NodeId, Profile};
+use skyway::{ShuffleController, SkywaySerializer, TypeDirectory};
+use sparklite::engine::{SerializerKind, SparkCluster, SparkConfig};
+use sparklite::graphgen::{generate, GraphKind};
+use sparklite::workloads::run_pagerank;
+
+/// All serializers rebuild the same structures; Skyway additionally
+/// preserves identity hashes. One dataset, one pass, three serializers,
+/// cross-checked.
+#[test]
+fn serializers_agree_on_structure() {
+    let cp = ClassPath::new();
+    define_jsbs_classes(&cp);
+    let heap = HeapConfig::default().with_capacity(64 << 20);
+    let mut sender = Vm::new("sender", &heap, Arc::clone(&cp)).unwrap();
+    let dir = Arc::new(TypeDirectory::new(4, NodeId(0)));
+    dir.bootstrap_driver(&sender).unwrap();
+
+    let handles = build_dataset(&mut sender, 15).unwrap();
+    let roots: Vec<_> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+
+    let kreg = {
+        let r = KryoRegistry::new();
+        r.register_all(jsbs_class_names()).unwrap();
+        Arc::new(r)
+    };
+    let serializers: Vec<Box<dyn Serializer>> = vec![
+        Box::new(JavaSerializer::new()),
+        Box::new(KryoSerializer::manual(kreg)),
+        Box::new(SkywaySerializer::new(
+            Arc::clone(&dir),
+            NodeId(0),
+            Arc::new(ShuffleController::new()),
+            LayoutSpec::SKYWAY,
+        )),
+    ];
+    for (i, s) in serializers.iter().enumerate() {
+        let node = NodeId(i + 1);
+        dir.worker_startup(node).unwrap();
+        let mut receiver = Vm::new(format!("r{i}"), &heap, Arc::clone(&cp)).unwrap();
+        let mut p = Profile::new();
+        let bytes = s.serialize(&mut sender, &roots, &mut p).unwrap();
+        let rx: Box<dyn Serializer> = if s.name() == "skyway" {
+            Box::new(SkywaySerializer::new(
+                Arc::clone(&dir),
+                node,
+                Arc::new(ShuffleController::new()),
+                LayoutSpec::SKYWAY,
+            ))
+        } else {
+            // Stateless baselines deserialize with the same instance.
+            continue_with(&mut receiver, s.as_ref(), &bytes, &mut p);
+            continue;
+        };
+        let rebuilt = rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+        for (j, &mc) in rebuilt.iter().enumerate() {
+            assert!(verify_media_content(&receiver, mc, j as u64).unwrap());
+        }
+    }
+}
+
+fn continue_with(receiver: &mut Vm, s: &dyn Serializer, bytes: &[u8], p: &mut Profile) {
+    let rebuilt = s.deserialize(receiver, bytes, p).unwrap();
+    for (j, &mc) in rebuilt.iter().enumerate() {
+        assert!(verify_media_content(receiver, mc, j as u64).unwrap(), "{}", s.name());
+    }
+}
+
+/// The paper's core cost claim, end to end: on the same workload, Skyway
+/// spends less on deserialization than Kryo, Kryo less than Java — while
+/// all three compute identical results.
+#[test]
+fn sd_cost_ordering_holds_end_to_end() {
+    let graph = generate(GraphKind::LiveJournal, 20_000, 99);
+    let mut costs = Vec::new();
+    let mut answers = Vec::new();
+    for kind in SerializerKind::ALL {
+        let mut sc = SparkCluster::new(&SparkConfig {
+            n_workers: 3,
+            serializer: kind,
+            heap_bytes: 64 << 20,
+            ..SparkConfig::default()
+        })
+        .unwrap();
+        let top = run_pagerank(&mut sc, &graph, 3, 5).unwrap();
+        let p = sc.aggregate_profile();
+        costs.push((kind, p.ns(Category::Deser)));
+        answers.push(top);
+    }
+    assert_eq!(answers[0], answers[1]);
+    assert_eq!(answers[1], answers[2]);
+    // Deserialization is Skyway's robust win (paper Table 2: Des geomean
+    // 0.16 vs Kryo's 0.26); serialization times can tie in unoptimized
+    // builds, so the test pins the deserialization ordering.
+    let get = |k: SerializerKind| costs.iter().find(|(kk, _)| *kk == k).unwrap().1;
+    assert!(
+        get(SerializerKind::Skyway) < get(SerializerKind::Kryo),
+        "skyway Des {} >= kryo {}",
+        get(SerializerKind::Skyway),
+        get(SerializerKind::Kryo)
+    );
+    assert!(
+        get(SerializerKind::Kryo) < get(SerializerKind::Java),
+        "kryo Des {} >= java {}",
+        get(SerializerKind::Kryo),
+        get(SerializerKind::Java)
+    );
+}
+
+/// Registry traffic stays sub-linear in objects: a full engine run sends
+/// class-name strings at most once per class per node (paper §4.1).
+#[test]
+fn registry_strings_bounded_by_classes_not_objects() {
+    let graph = generate(GraphKind::LiveJournal, 20_000, 7);
+    let mut sc = SparkCluster::new(&SparkConfig {
+        n_workers: 3,
+        serializer: SerializerKind::Skyway,
+        heap_bytes: 64 << 20,
+        ..SparkConfig::default()
+    })
+    .unwrap();
+    run_pagerank(&mut sc, &graph, 3, 5).unwrap();
+    let p = sc.aggregate_profile();
+    assert!(p.objects_transferred > 5_000, "{} objects", p.objects_transferred);
+    let stats = sc.type_directory().stats();
+    // 4 nodes × ~20 classes × ~25 bytes/name is the right order; objects
+    // number in the tens of thousands.
+    assert!(
+        stats.string_bytes < 8_000,
+        "registry shipped {} string bytes",
+        stats.string_bytes
+    );
+    assert!(stats.messages < 500);
+}
+
+/// Skyway keeps working when the receiving VM has never loaded a workload
+/// class — on-demand loading through the registry (paper §4.1).
+#[test]
+fn receiver_loads_classes_on_demand() {
+    let cp = ClassPath::new();
+    define_jsbs_classes(&cp);
+    let heap = HeapConfig::default().with_capacity(64 << 20);
+    let mut sender = Vm::new("sender", &heap, Arc::clone(&cp)).unwrap();
+    let mut receiver = Vm::new("receiver", &heap, Arc::clone(&cp)).unwrap();
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+    dir.bootstrap_driver(&sender).unwrap();
+    dir.worker_startup(NodeId(1)).unwrap();
+
+    let handles = build_dataset(&mut sender, 5).unwrap();
+    let roots: Vec<_> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+    assert_eq!(receiver.klasses().len(), 0, "receiver must start with no classes");
+
+    let sky_tx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(0),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::SKYWAY,
+    );
+    let sky_rx = SkywaySerializer::new(
+        Arc::clone(&dir),
+        NodeId(1),
+        Arc::new(ShuffleController::new()),
+        LayoutSpec::SKYWAY,
+    );
+    let mut p = Profile::new();
+    let bytes = sky_tx.serialize(&mut sender, &roots, &mut p).unwrap();
+    let rebuilt = sky_rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
+    assert!(receiver.klasses().len() >= 7, "classes loaded on demand");
+    for (j, &mc) in rebuilt.iter().enumerate() {
+        assert!(verify_media_content(&receiver, mc, j as u64).unwrap());
+    }
+}
+
+/// A full Flink-like query and a full Spark-like workload coexist in one
+/// process without cross-talk (separate classpaths, directories, clusters).
+#[test]
+fn engines_coexist() {
+    let graph = generate(GraphKind::Orkut, 100_000, 5);
+    let mut spark = SparkCluster::new(&SparkConfig {
+        n_workers: 2,
+        serializer: SerializerKind::Skyway,
+        heap_bytes: 48 << 20,
+        ..SparkConfig::default()
+    })
+    .unwrap();
+    let db = flinklite::tpchgen::generate(40, 3);
+    let q = flinklite::queries::QueryId::QA;
+    let mut flink = flinklite::engine::boot(
+        &flinklite::engine::FlinkConfig {
+            serializer: flinklite::engine::FlinkSerializer::Skyway,
+            heap_bytes: 48 << 20,
+            ..flinklite::engine::FlinkConfig::default()
+        },
+        q.schema(),
+    )
+    .unwrap();
+    let pr = run_pagerank(&mut spark, &graph, 2, 3).unwrap();
+    let qa = flinklite::queries::run_query(&mut flink, &db, q).unwrap();
+    assert_eq!(qa, flinklite::queries::reference(&db, q));
+    assert!(!pr.is_empty());
+}
