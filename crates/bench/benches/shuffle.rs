@@ -22,12 +22,9 @@ fn bench_shuffle(c: &mut Criterion) {
                 let seeds: Vec<Vec<i64>> = (0..3)
                     .map(|w| (0..EDGES_PER_WORKER as i64).map(|i| i * 3 + w).collect())
                     .collect();
-                let ds = sc
-                    .create_dataset(seeds, |vm, &v| new_edge(vm, v, v + 1))
-                    .unwrap();
-                let shuffled = sc
-                    .shuffle(ds, |vm, r| Ok(hash64(read_edge(vm, r)?.1 as u64)))
-                    .unwrap();
+                let ds = sc.create_dataset(seeds, |vm, &v| new_edge(vm, v, v + 1)).unwrap();
+                let shuffled =
+                    sc.shuffle(ds, |vm, r| Ok(hash64(read_edge(vm, r)?.1 as u64))).unwrap();
                 let n = sc.count(&shuffled).unwrap();
                 assert_eq!(n, 3 * EDGES_PER_WORKER as u64);
                 sc.release(shuffled).unwrap();

@@ -15,9 +15,7 @@ use std::time::Instant;
 
 use mheap::{ClassPath, HeapConfig, LayoutSpec, Vm};
 use serlab::jsbs::{build_dataset, define_jsbs_classes, jsbs_class_names};
-use serlab::{
-    deserialize_profiled, serialize_profiled, KryoRegistry, KryoSerializer, Serializer,
-};
+use serlab::{deserialize_profiled, serialize_profiled, KryoRegistry, KryoSerializer, Serializer};
 use simnet::{NodeId, Profile};
 use skyway::{ShuffleController, SkywaySerializer, Tracking, TypeDirectory};
 
@@ -212,7 +210,11 @@ fn ablation_wire_compression(cp: &Arc<ClassPath>) {
             if compressed { "smaller" } else { "baseline" },
             p.ns(simnet::Category::Ser) as f64 / 1e6,
             p.ns(simnet::Category::Deser) as f64 / 1e6,
-            if compressed { "compressed: no baddr word / 4-byte array lengths on the wire" } else { "plain: heap format as-is" },
+            if compressed {
+                "compressed: no baddr word / 4-byte array lengths on the wire"
+            } else {
+                "plain: heap format as-is"
+            },
         );
     }
     println!("  trade-off: smaller streams vs a per-object expansion copy on receive");
@@ -228,4 +230,5 @@ fn main() {
     ablation_tracking(&cp);
     ablation_wire_compression(&cp);
     ablation_kryo_comparison(&cp);
+    skyway_bench::dump_metrics();
 }

@@ -26,8 +26,9 @@ fn main() {
 
     let cp = ClassPath::new();
     define_jsbs_classes(&cp);
-    let mut vm = Vm::new("sender", &HeapConfig::default().with_capacity(512 << 20), Arc::clone(&cp))
-        .expect("vm");
+    let mut vm =
+        Vm::new("sender", &HeapConfig::default().with_capacity(512 << 20), Arc::clone(&cp))
+            .expect("vm");
     let dir = Arc::new(TypeDirectory::new(1, NodeId(0)));
     dir.bootstrap_driver(&vm).expect("bootstrap");
     let handles = build_dataset(&mut vm, n_objects).expect("dataset");
@@ -78,7 +79,8 @@ fn main() {
     let overhead = stats.header_bytes + stats.padding_bytes + stats.marker_bytes;
     println!(
         "\nheaders+padding vs pointers within overhead: {:.0}% / {:.0}% (paper: 51%+34% vs 15%)",
-        100.0 * (stats.header_bytes + stats.padding_bytes) as f64 / (overhead + stats.pointer_bytes) as f64,
+        100.0 * (stats.header_bytes + stats.padding_bytes) as f64
+            / (overhead + stats.pointer_bytes) as f64,
         100.0 * stats.pointer_bytes as f64 / (overhead + stats.pointer_bytes) as f64
     );
 
@@ -90,4 +92,5 @@ fn main() {
         extra, extra_net_ms
     );
     println!("(compare against the S/D CPU time eliminated — see fig7 output)");
+    skyway_bench::dump_metrics();
 }

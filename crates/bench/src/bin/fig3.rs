@@ -14,7 +14,10 @@ use sparklite::graphgen::GraphKind;
 
 fn main() {
     let opts = RunOpts::from_args();
-    println!("Figure 3: TriangleCounting over synthetic LiveJournal (scale 1/{})", opts.scale_divisor);
+    println!(
+        "Figure 3: TriangleCounting over synthetic LiveJournal (scale 1/{})",
+        opts.scale_divisor
+    );
 
     let mut rows = Vec::new();
     let mut profiles = Vec::new();
@@ -55,4 +58,5 @@ fn main() {
             p.deser_invocations
         );
     }
+    skyway_bench::dump_metrics();
 }

@@ -146,11 +146,7 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
     let cpu = |n: &str| {
-        results
-            .iter()
-            .find(|e| e.name == n)
-            .map(|e| e.ser_ms + e.deser_ms)
-            .unwrap_or(f64::NAN)
+        results.iter().find(|e| e.name == n).map(|e| e.ser_ms + e.deser_ms).unwrap_or(f64::NAN)
     };
     // The table above is raw measured CPU; the headline also reports the
     // calibrated totals (the same JVM-vs-Rust S/D factor the engine
@@ -169,4 +165,5 @@ fn main() {
         calibrated("java") / calibrated("skyway"),
         calibrated("colfer") / calibrated("skyway"),
     );
+    skyway_bench::dump_metrics();
 }

@@ -53,7 +53,8 @@ fn main() {
     print_summary_row("Kryo", &kryo_norms);
     print_summary_row("Skyway", &sky_norms);
 
-    let overall_sky = skyway_bench::geomean(&sky_norms.iter().map(|n| n.overall).collect::<Vec<_>>());
+    let overall_sky =
+        skyway_bench::geomean(&sky_norms.iter().map(|n| n.overall).collect::<Vec<_>>());
     let overall_kryo =
         skyway_bench::geomean(&kryo_norms.iter().map(|n| n.overall).collect::<Vec<_>>());
     println!(
@@ -65,4 +66,5 @@ fn main() {
         "skyway vs kryo: {:.0}% faster (paper 16%)",
         (1.0 - overall_sky / overall_kryo) * 100.0
     );
+    skyway_bench::dump_metrics();
 }

@@ -9,7 +9,9 @@ use flinklite::engine::{boot, FlinkConfig, FlinkSerializer};
 use flinklite::queries::{run_query, QueryId};
 use flinklite::tpchgen::generate;
 use simnet::BreakdownRow;
-use skyway_bench::{normalize, print_breakdown, print_summary_header, print_summary_row, Normalized};
+use skyway_bench::{
+    normalize, print_breakdown, print_summary_header, print_summary_row, Normalized,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -66,8 +68,6 @@ fn main() {
     print_summary_header("Table 4: Skyway normalized to Flink's built-in serializer");
     print_summary_row("Skyway", &norms);
     let overall = skyway_bench::geomean(&norms.iter().map(|n| n.overall).collect::<Vec<_>>());
-    println!(
-        "\nmean improvement over built-in: {:.0}% (paper 19%)",
-        (1.0 - overall) * 100.0
-    );
+    println!("\nmean improvement over built-in: {:.0}% (paper 19%)", (1.0 - overall) * 100.0);
+    skyway_bench::dump_metrics();
 }

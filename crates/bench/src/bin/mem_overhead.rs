@@ -39,10 +39,7 @@ fn peak_for(spec: LayoutSpec, wl: Workload, opts: &RunOpts) -> u64 {
             run_triangle_count(&mut sc, &graph).expect("tc");
         }
     }
-    sc.worker_nodes()
-        .into_iter()
-        .map(|n| sc.vm(n).heap().peak_used())
-        .sum()
+    sc.worker_nodes().into_iter().map(|n| sc.vm(n).heap().peak_used()).sum()
 }
 
 fn main() {
@@ -51,26 +48,18 @@ fn main() {
         "Memory overhead of the baddr header word (synthetic LJ, scale 1/{})",
         opts.scale_divisor
     );
-    println!(
-        "{:<6} {:>16} {:>16} {:>10}",
-        "run", "stock peak B", "skyway peak B", "overhead"
-    );
+    println!("{:<6} {:>16} {:>16} {:>10}", "run", "stock peak B", "skyway peak B", "overhead");
     let mut ratios = Vec::new();
     for wl in Workload::ALL {
         let stock = peak_for(LayoutSpec::STOCK, wl, &opts);
         let sky = peak_for(LayoutSpec::SKYWAY, wl, &opts);
         let overhead = sky as f64 / stock as f64;
         ratios.push(overhead);
-        println!(
-            "{:<6} {:>16} {:>16} {:>9.1}%",
-            wl.label(),
-            stock,
-            sky,
-            (overhead - 1.0) * 100.0
-        );
+        println!("{:<6} {:>16} {:>16} {:>9.1}%", wl.label(), stock, sky, (overhead - 1.0) * 100.0);
     }
     println!(
         "\naverage overhead: {:.1}% (paper: 2.1%–21.8%, average 15.4%)",
         (geomean(&ratios) - 1.0) * 100.0
     );
+    skyway_bench::dump_metrics();
 }

@@ -7,8 +7,8 @@ fn main() {
     let opts = RunOpts::from_args();
     println!("Table 1: graph inputs (synthetic, scale divisor 1/{})", opts.scale_divisor);
     println!(
-        "{:<14} {:>14} {:>14} {:>12} {:>12}  {}",
-        "Graph", "paper #edges", "paper #verts", "gen #edges", "gen #verts", "Description"
+        "{:<14} {:>14} {:>14} {:>12} {:>12}  Description",
+        "Graph", "paper #edges", "paper #verts", "gen #edges", "gen #verts"
     );
     for kind in GraphKind::ALL {
         let (pe, pv) = kind.paper_scale();
@@ -23,4 +23,5 @@ fn main() {
             kind.description()
         );
     }
+    skyway_bench::dump_metrics();
 }

@@ -116,8 +116,8 @@ pub fn cluster(kind: SerializerKind, opts: &RunOpts) -> SparkCluster {
 /// edge list (so input size tracks the dataset scale).
 pub fn wordcount_lines(graph: &Graph, n_workers: usize) -> Vec<Vec<String>> {
     let words = [
-        "data", "heap", "object", "shuffle", "spark", "skyway", "buffer", "type", "klass",
-        "graph", "rank", "edge", "node", "byte", "stream",
+        "data", "heap", "object", "shuffle", "spark", "skyway", "buffer", "type", "klass", "graph",
+        "rank", "edge", "node", "byte", "stream",
     ];
     let mut parts = vec![Vec::new(); n_workers];
     for (i, &(s, d)) in graph.edges.iter().enumerate() {
@@ -167,7 +167,15 @@ pub fn run_cell_with_gc(
         }
     }
     let gc_ns: u64 = sc.worker_nodes().into_iter().map(|n| sc.vm(n).stats.gc_ns).sum();
-    (sc.aggregate_profile(), gc_ns)
+    let profile = sc.aggregate_profile();
+    // Mirror the cell's aggregate into the observability registry so a
+    // `--metrics-out` snapshot carries the Fig. 3 breakdown alongside the
+    // counters and the flight recorder.
+    obs::global().put_profile(
+        &format!("bench.{}.{g:?}.{kind:?}", wl.label()),
+        obs::ProfileSection::from(&profile),
+    );
+    (profile, gc_ns)
 }
 
 /// Prints a stacked-breakdown table (the shape of Fig. 3(a)/8 bars).
@@ -237,10 +245,7 @@ pub fn normalize(p: &Profile, base: &Profile) -> Normalized {
         write: r(p.ns(Category::WriteIo), base.ns(Category::WriteIo)),
         des: r(p.ns(Category::Deser), base.ns(Category::Deser)),
         read: r(p.ns(Category::ReadIo), base.ns(Category::ReadIo)),
-        size: r(
-            p.bytes_local + p.bytes_remote,
-            base.bytes_local + base.bytes_remote,
-        ),
+        size: r(p.bytes_local + p.bytes_remote, base.bytes_local + base.bytes_remote),
     }
 }
 
@@ -291,6 +296,33 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
             }
         }
         Err(e) => eprintln!("note: could not serialize {name} results: {e}"),
+    }
+}
+
+/// Parses `--metrics-out <path>` from the process arguments.
+pub fn metrics_out_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == "--metrics-out").map(|w| std::path::PathBuf::from(&w[1]))
+}
+
+/// When `--metrics-out <path>` was given, writes the process-wide
+/// observability snapshot ([`obs::Registry::snapshot`]) as pretty-printed
+/// JSON to that path. Call once at the end of a harness `main`. Failure to
+/// write is reported but non-fatal, matching [`write_json`].
+pub fn dump_metrics() {
+    let Some(path) = metrics_out_from_args() else {
+        return;
+    };
+    let snap = obs::global().snapshot();
+    match serde_json::to_string_pretty(&snap) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("note: could not write {}: {e}", path.display());
+            } else {
+                println!("(metrics snapshot written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("note: could not serialize metrics snapshot: {e}"),
     }
 }
 

@@ -121,7 +121,8 @@ impl OutputBuffer {
     fn phys(&self, logical: u64, len: usize) -> Result<usize> {
         let start = logical
             .checked_sub(self.flushed_bytes)
-            .ok_or(Error::BufferUnderflow { logical, flushed: self.flushed_bytes })? as usize;
+            .ok_or(Error::BufferUnderflow { logical, flushed: self.flushed_bytes })?
+            as usize;
         if start + len > self.data.len() {
             return Err(Error::BufferUnderflow { logical, flushed: self.flushed_bytes });
         }
@@ -288,10 +289,7 @@ mod tests {
         let (flags, parsed) = parse_frames(&blob).unwrap();
         assert_eq!(flags, 3);
         assert_eq!(parsed.len(), 1);
-        assert_eq!(
-            u64::from_le_bytes(parsed[0][0..8].try_into().unwrap()),
-            0x1122_3344_5566_7788
-        );
+        assert_eq!(u64::from_le_bytes(parsed[0][0..8].try_into().unwrap()), 0x1122_3344_5566_7788);
         assert_eq!(u64::from_le_bytes(parsed[0][8..16].try_into().unwrap()), TOP_MARK);
     }
 

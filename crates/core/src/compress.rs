@@ -80,13 +80,8 @@ pub fn expand_stream(
         let kid = vm.load_class(&name).map_err(Error::Heap)?;
         let k = vm.klasses().get(kid).map_err(Error::Heap)?;
         let lhdr = local_spec.instance_header();
-        let payload_exact = k
-            .fields
-            .iter()
-            .map(|f| f.offset + u64::from(f.ty.size()))
-            .max()
-            .unwrap_or(lhdr)
-            - lhdr;
+        let payload_exact =
+            k.fields.iter().map(|f| f.offset + u64::from(f.ty.size())).max().unwrap_or(lhdr) - lhdr;
         Ok(WireKlass {
             kind: k.kind,
             elem_size: match k.kind {
@@ -136,9 +131,9 @@ pub fn expand_stream(
             return Err(Error::BadFrame(format!("implausible wire tID {tid:#x}")));
         }
         let tid = tid as u32;
-        if !klasses.contains_key(&tid) {
+        if let std::collections::hash_map::Entry::Vacant(e) = klasses.entry(tid) {
             let wk = resolve(tid)?;
-            klasses.insert(tid, wk);
+            e.insert(wk);
         }
         let wk = &klasses[&tid];
         let (wsize, lsize) = match wk.kind {

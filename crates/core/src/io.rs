@@ -57,7 +57,8 @@ impl<'a> SkywayFileOutputStream<'a> {
         cfg: SendConfig,
         name: impl Into<String>,
     ) -> Result<Self> {
-        let sender = GraphSender::new(vm, dir, node, controller.sid(), controller.next_stream(), cfg)?;
+        let sender =
+            GraphSender::new(vm, dir, node, controller.sid(), controller.next_stream(), cfg)?;
         Ok(SkywayFileOutputStream { sender, node, name: name.into() })
     }
 
@@ -138,7 +139,8 @@ impl<'a> SkywaySocketOutputStream<'a> {
         controller: &ShuffleController,
         cfg: SendConfig,
     ) -> Result<Self> {
-        let sender = GraphSender::new(vm, dir, src, controller.sid(), controller.next_stream(), cfg)?;
+        let sender =
+            GraphSender::new(vm, dir, src, controller.sid(), controller.next_stream(), cfg)?;
         Ok(SkywaySocketOutputStream { sender, src, dst })
     }
 
@@ -150,7 +152,9 @@ impl<'a> SkywaySocketOutputStream<'a> {
     pub fn write_object(&mut self, root: Addr, cluster: &mut Cluster) -> Result<()> {
         self.sender.write_root(root)?;
         for chunk in self.sender.take_ready_chunks() {
-            cluster.net_send(self.src, self.dst, frame_chunk_msg(&chunk)).map_err(Error::Cluster)?;
+            cluster
+                .net_send(self.src, self.dst, frame_chunk_msg(&chunk))
+                .map_err(Error::Cluster)?;
         }
         Ok(())
     }

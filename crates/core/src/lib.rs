@@ -69,13 +69,13 @@ pub mod sender;
 pub mod serializer;
 pub mod stream;
 
-pub use receiver::{GraphReceiver, ReceiveStats};
-pub use registry::{RegistryStats, TypeDirectory};
-pub use sender::{send_roots_parallel, GraphSender, SendConfig, SendStats, StreamOut, Tracking};
 pub use io::{
     SkywayFileInputStream, SkywayFileOutputStream, SkywaySocketInputStream,
     SkywaySocketOutputStream,
 };
+pub use receiver::{GraphReceiver, ReceiveStats};
+pub use registry::{RegistryStats, TypeDirectory};
+pub use sender::{send_roots_parallel, GraphSender, SendConfig, SendStats, StreamOut, Tracking};
 pub use serializer::SkywaySerializer;
 pub use stream::{
     scrub_baddrs, ShuffleController, SkywayObjectInputStream, SkywayObjectOutputStream,

@@ -15,9 +15,10 @@
 //!   accounts for the new pointers.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mheap::layout::mark;
-use mheap::{Addr, KlassId, KlassKind, Vm, FILLER_WORD};
+use mheap::{Addr, KlassId, KlassKind, Vm, CARD_SIZE, FILLER_WORD};
 use simnet::NodeId;
 
 use crate::buffer::{TOP_MARK, TOP_REF};
@@ -56,6 +57,38 @@ pub struct ReceiveStats {
     pub chunks: u64,
     /// Classes loaded on demand during absolutization.
     pub classes_loaded: u64,
+    /// Reference slots rewritten from relative to absolute addresses.
+    pub ref_fixups: u64,
+    /// Card-table entries dirtied to cover the input buffers.
+    pub cards_dirtied: u64,
+}
+
+/// Cached observability handles for the receiver's linear scan.
+#[derive(Debug)]
+struct ReceiverMetrics {
+    registry: Arc<obs::Registry>,
+    objects: Arc<obs::Counter>,
+    bytes: Arc<obs::Counter>,
+    chunks: Arc<obs::Counter>,
+    ref_fixups: Arc<obs::Counter>,
+    classes_loaded: Arc<obs::Counter>,
+    cards_dirtied: Arc<obs::Counter>,
+    chunk_bytes: Arc<obs::Histogram>,
+}
+
+impl ReceiverMetrics {
+    fn new(registry: Arc<obs::Registry>) -> Self {
+        ReceiverMetrics {
+            objects: registry.counter("skyway.receiver.objects_absorbed"),
+            bytes: registry.counter("skyway.receiver.bytes_absorbed"),
+            chunks: registry.counter("skyway.receiver.chunks_absorbed"),
+            ref_fixups: registry.counter("skyway.receiver.ref_fixups"),
+            classes_loaded: registry.counter("skyway.receiver.classes_loaded"),
+            cards_dirtied: registry.counter("skyway.receiver.cards_dirtied"),
+            chunk_bytes: registry.histogram("skyway.receiver.chunk_bytes"),
+            registry,
+        }
+    }
 }
 
 /// The receiver side of one stream: accumulates chunks, then absolutizes.
@@ -68,6 +101,7 @@ pub struct GraphReceiver<'a> {
     tid_cache: HashMap<u32, KlassId>,
     facts_cache: HashMap<u32, TidFacts>,
     stats: ReceiveStats,
+    metrics: ReceiverMetrics,
 }
 
 impl<'a> std::fmt::Debug for GraphReceiver<'a> {
@@ -92,7 +126,16 @@ impl<'a> GraphReceiver<'a> {
             tid_cache: HashMap::new(),
             facts_cache: HashMap::new(),
             stats: ReceiveStats::default(),
+            metrics: ReceiverMetrics::new(Arc::clone(obs::global())),
         }
+    }
+
+    /// Reports into `registry` instead of the process-wide default
+    /// (scoped registries keep test assertions exact).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.metrics = ReceiverMetrics::new(registry);
+        self
     }
 
     fn facts_for_tid(&mut self, tid: u32, hooks: Option<&UpdateRegistry>) -> Result<&TidFacts> {
@@ -127,7 +170,7 @@ impl<'a> GraphReceiver<'a> {
     /// [`mheap::Error::OldGenFull`] (wrapped) when the heap cannot host the
     /// buffer; alignment errors for corrupt chunks.
     pub fn push_chunk(&mut self, bytes: &[u8]) -> Result<()> {
-        if bytes.len() % 8 != 0 {
+        if !bytes.len().is_multiple_of(8) {
             return Err(Error::BadFrame(format!("chunk length {} not 8-aligned", bytes.len())));
         }
         if bytes.is_empty() {
@@ -143,6 +186,9 @@ impl<'a> GraphReceiver<'a> {
         self.next_logical += bytes.len() as u64;
         self.stats.chunks += 1;
         self.stats.bytes += bytes.len() as u64;
+        self.metrics.chunks.inc();
+        self.metrics.bytes.add(bytes.len() as u64);
+        self.metrics.chunk_bytes.record(bytes.len() as u64);
         Ok(())
     }
 
@@ -163,6 +209,8 @@ impl<'a> GraphReceiver<'a> {
     fn absolutize_slot(&mut self, obj: Addr, off: u64) -> Result<()> {
         let v = self.vm.heap().arena().load_word(obj.0 + off).map_err(Error::Heap)?;
         let abs = if v == 0 { Addr::NULL } else { self.translate(v - 1)? };
+        self.stats.ref_fixups += 1;
+        self.metrics.ref_fixups.inc();
         self.vm.heap().arena().store_word(obj.0 + off, abs.0).map_err(Error::Heap)
     }
 
@@ -175,6 +223,10 @@ impl<'a> GraphReceiver<'a> {
         let kid = self.vm.load_class(&name).map_err(Error::Heap)?;
         if self.vm.klasses().len() > loaded_before {
             self.stats.classes_loaded += 1;
+            self.metrics.classes_loaded.inc();
+            self.metrics
+                .registry
+                .record(obs::Event::ClassLoaded { class: name.clone(), tid: u64::from(tid) });
         }
         // Make sure the local klass knows its tid too (it may serve as a
         // sender later).
@@ -199,6 +251,7 @@ impl<'a> GraphReceiver<'a> {
         let mut next_is_root = false;
         let chunk_list = self.chunks.clone();
         for c in &chunk_list {
+            let objects_before = self.stats.objects;
             let mut at = c.base.0;
             let end = c.base.0 + c.len;
             while at < end {
@@ -216,11 +269,7 @@ impl<'a> GraphReceiver<'a> {
                     }
                     roots.push(self.translate(l - 1)?);
                     self.vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
-                    self.vm
-                        .heap()
-                        .arena()
-                        .store_word(at + 8, FILLER_WORD)
-                        .map_err(Error::Heap)?;
+                    self.vm.heap().arena().store_word(at + 8, FILLER_WORD).map_err(Error::Heap)?;
                     at += 16;
                     continue;
                 }
@@ -244,9 +293,7 @@ impl<'a> GraphReceiver<'a> {
                 // Mark words arrive sanitized; a forwarding bit here means
                 // the stream is corrupt (this is untrusted input, so it is
                 // a validation error, not an assertion).
-                if mark::is_forwarded(
-                    self.vm.heap().arena().load_word(at).map_err(Error::Heap)?,
-                ) {
+                if mark::is_forwarded(self.vm.heap().arena().load_word(at).map_err(Error::Heap)?) {
                     return Err(Error::BadFrame(format!(
                         "object at logical {at:#x} carries a forwarding mark"
                     )));
@@ -281,7 +328,10 @@ impl<'a> GraphReceiver<'a> {
                     }
                     KlassKind::Instance => {
                         for i in 0..facts.ref_offsets.len() {
-                            self.absolutize_slot(obj, self.facts_cache[&(tid_word as u32)].ref_offsets[i])?;
+                            self.absolutize_slot(
+                                obj,
+                                self.facts_cache[&(tid_word as u32)].ref_offsets[i],
+                            )?;
                         }
                     }
                     KlassKind::PrimArray(_) => {}
@@ -294,10 +344,22 @@ impl<'a> GraphReceiver<'a> {
                     pending_hooks.push((obj, hook_idx));
                 }
                 self.stats.objects += 1;
+                self.metrics.objects.inc();
                 at += size;
             }
             // New pointers now live in the old generation: tell the GC.
             self.vm.heap_mut().dirty_card_range(c.base, c.len);
+            let cards = if c.len == 0 {
+                0
+            } else {
+                (c.base.0 + c.len - 1) / CARD_SIZE - c.base.0 / CARD_SIZE + 1
+            };
+            self.stats.cards_dirtied += cards;
+            self.metrics.cards_dirtied.add(cards);
+            self.metrics.registry.record(obs::Event::ChunkAbsorbed {
+                bytes: c.len,
+                objects: self.stats.objects - objects_before,
+            });
         }
         // Post-transfer field updates (§3.3 registerUpdate).
         if let Some(h) = hooks {

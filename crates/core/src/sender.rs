@@ -20,6 +20,7 @@
 //! receiver's format*, so only the sender pays (§3.1).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use mheap::layout::{baddr, mark};
 use mheap::{Addr, KlassKind, LayoutSpec, Vm};
@@ -84,6 +85,9 @@ pub struct SendStats {
     pub marker_bytes: u64,
     /// Objects found via the hash-table fallback rather than `baddr`.
     pub fallback_hits: u64,
+    /// `baddr` CAS races lost to a concurrent stream (each falls back to
+    /// the thread-local table and duplicates the object per stream).
+    pub cas_conflicts: u64,
 }
 
 /// A finished per-destination stream: chunks plus statistics.
@@ -113,6 +117,31 @@ struct KlassFacts {
     ref_offsets: Vec<u64>,
 }
 
+/// Cached observability handles for the sender hot loop: resolved once at
+/// construction so per-object updates are single relaxed atomics.
+#[derive(Debug)]
+struct SenderMetrics {
+    registry: Arc<obs::Registry>,
+    objects: Arc<obs::Counter>,
+    bytes_cloned: Arc<obs::Counter>,
+    cas_conflicts: Arc<obs::Counter>,
+    fallback_hits: Arc<obs::Counter>,
+    chunk_bytes: Arc<obs::Histogram>,
+}
+
+impl SenderMetrics {
+    fn new(registry: Arc<obs::Registry>) -> Self {
+        SenderMetrics {
+            objects: registry.counter("skyway.sender.objects_visited"),
+            bytes_cloned: registry.counter("skyway.sender.bytes_cloned"),
+            cas_conflicts: registry.counter("skyway.sender.cas_conflicts"),
+            fallback_hits: registry.counter("skyway.sender.fallback_hits"),
+            chunk_bytes: registry.histogram("skyway.sender.chunk_bytes"),
+            registry,
+        }
+    }
+}
+
 /// The sender-side traversal state for one (destination, stream) pair.
 pub struct GraphSender<'a> {
     vm: &'a Vm,
@@ -127,6 +156,7 @@ pub struct GraphSender<'a> {
     gray: VecDeque<(Addr, u64, u64)>,
     stats: SendStats,
     klass_facts: HashMap<u32, KlassFacts>,
+    metrics: SenderMetrics,
 }
 
 impl<'a> std::fmt::Debug for GraphSender<'a> {
@@ -170,7 +200,16 @@ impl<'a> GraphSender<'a> {
             gray: VecDeque::new(),
             stats: SendStats::default(),
             klass_facts: HashMap::new(),
+            metrics: SenderMetrics::new(Arc::clone(obs::global())),
         })
+    }
+
+    /// Reports into `registry` instead of the process-wide default
+    /// (scoped registries keep test assertions exact).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.metrics = SenderMetrics::new(registry);
+        self
     }
 
     /// Resolves (and caches) the per-klass facts for the klass word of
@@ -185,13 +224,9 @@ impl<'a> GraphSender<'a> {
         if !self.klass_facts.contains_key(&kw) {
             let k = self.vm.klasses().get(mheap::KlassId(kw)).map_err(Error::Heap)?;
             let hdr = self.vm.spec().instance_header();
-            let payload_exact = k
-                .fields
-                .iter()
-                .map(|f| f.offset + u64::from(f.ty.size()))
-                .max()
-                .unwrap_or(hdr)
-                - hdr;
+            let payload_exact =
+                k.fields.iter().map(|f| f.offset + u64::from(f.ty.size())).max().unwrap_or(hdr)
+                    - hdr;
             let facts = KlassFacts {
                 kind: k.kind,
                 tid: u64::from(self.dir.tid_for(self.node, &k)?),
@@ -233,6 +268,7 @@ impl<'a> GraphSender<'a> {
                 // the thread-local table (or doesn't exist yet).
                 if let Some(&rel) = self.fallback.get(&obj.0) {
                     self.stats.fallback_hits += 1;
+                    self.metrics.fallback_hits.inc();
                     return Ok(Some(rel));
                 }
                 Ok(None)
@@ -254,6 +290,7 @@ impl<'a> GraphSender<'a> {
                 let old = arena.load_word_atomic(off).map_err(Error::Heap)?;
                 if baddr::sid_of(old) == self.sid {
                     // Another stream claimed it between lookup and claim.
+                    self.note_cas_conflict();
                     self.fallback.insert(obj.0, logical);
                     return Ok(());
                 }
@@ -261,12 +298,21 @@ impl<'a> GraphSender<'a> {
                 match arena.cas_word(off, old, new).map_err(Error::Heap)? {
                     Ok(_) => Ok(()),
                     Err(_) => {
+                        self.note_cas_conflict();
                         self.fallback.insert(obj.0, logical);
                         Ok(())
                     }
                 }
             }
         }
+    }
+
+    /// Records one lost `baddr` CAS race in both the per-stream stats and
+    /// the flight recorder.
+    fn note_cas_conflict(&mut self) {
+        self.stats.cas_conflicts += 1;
+        self.metrics.cas_conflicts.inc();
+        self.metrics.registry.record(obs::Event::CasConflict { sid: u32::from(self.sid) });
     }
 
     /// Object size *in the receiver's format* (facts precomputed).
@@ -302,6 +348,7 @@ impl<'a> GraphSender<'a> {
     fn clone_object(&mut self, obj: Addr, logical: u64, size: u64) -> Result<()> {
         self.out.place(logical, size)?;
         self.stats.objects += 1;
+        self.metrics.objects.inc();
         let facts = self.facts_for(obj)?.clone();
         let sspec = self.vm.spec();
         let rspec = self.cfg.receiver_spec;
@@ -325,9 +372,7 @@ impl<'a> GraphSender<'a> {
                 // every object as a whole" fast path; no per-field access.
                 if payload > 0 {
                     let dst = self.out.slice_mut(logical + hdr, payload as usize)?;
-                    arena
-                        .read_bytes(obj.0 + sspec.instance_header(), dst)
-                        .map_err(Error::Heap)?;
+                    arena.read_bytes(obj.0 + sspec.instance_header(), dst).map_err(Error::Heap)?;
                 }
                 // Relativize reference slots within the clone.
                 let shdr = sspec.instance_header();
@@ -355,9 +400,7 @@ impl<'a> GraphSender<'a> {
                 self.stats.padding_bytes += size - hdr - bytes;
                 if bytes > 0 {
                     let dst = self.out.slice_mut(logical + hdr, bytes as usize)?;
-                    arena
-                        .read_bytes(obj.0 + sspec.array_header(), dst)
-                        .map_err(Error::Heap)?;
+                    arena.read_bytes(obj.0 + sspec.array_header(), dst).map_err(Error::Heap)?;
                 }
             }
             KlassKind::RefArray => {
@@ -425,7 +468,17 @@ impl<'a> GraphSender<'a> {
     /// Completes the stream.
     pub fn finish(mut self) -> StreamOut {
         self.stats.total_bytes = self.out.total_bytes();
-        StreamOut { stream: self.stream, chunks: self.out.finish(), stats: self.stats }
+        self.metrics.bytes_cloned.add(self.stats.total_bytes);
+        let chunks = self.out.finish();
+        for c in &chunks {
+            // Inlined note_chunk_sent: `self.out` is consumed above, so only
+            // field accesses (not whole-`self` methods) are allowed here.
+            self.metrics.chunk_bytes.record(c.len() as u64);
+            self.metrics
+                .registry
+                .record(obs::Event::ChunkSent { sid: u32::from(self.sid), bytes: c.len() as u64 });
+        }
+        StreamOut { stream: self.stream, chunks, stats: self.stats }
     }
 
     /// Bytes produced so far (streaming diagnostics).
@@ -436,7 +489,19 @@ impl<'a> GraphSender<'a> {
     /// Chunks that have already flushed (streaming carriers drain these so
     /// transfer overlaps with the traversal, §3.2).
     pub fn take_ready_chunks(&mut self) -> Vec<Vec<u8>> {
-        self.out.take_ready_chunks()
+        let chunks = self.out.take_ready_chunks();
+        for c in &chunks {
+            self.note_chunk_sent(c.len());
+        }
+        chunks
+    }
+
+    /// Records one emitted chunk in the histogram and the flight recorder.
+    fn note_chunk_sent(&self, bytes: usize) {
+        self.metrics.chunk_bytes.record(bytes as u64);
+        self.metrics
+            .registry
+            .record(obs::Event::ChunkSent { sid: u32::from(self.sid), bytes: bytes as u64 });
     }
 
     /// The receiver object format this sender is writing for.
@@ -467,14 +532,13 @@ pub fn send_roots_parallel(
     for (i, &r) in roots.iter().enumerate() {
         partitions[i % n_threads].push(r);
     }
-    let results: Vec<Result<StreamOut>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<StreamOut>> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .iter()
             .enumerate()
             .map(|(t, part)| {
-                scope.spawn(move |_| -> Result<StreamOut> {
-                    let mut sender =
-                        GraphSender::new(vm, dir, node, sid, (t as u16) + 1, cfg)?;
+                scope.spawn(move || -> Result<StreamOut> {
+                    let mut sender = GraphSender::new(vm, dir, node, sid, (t as u16) + 1, cfg)?;
                     for &root in part {
                         sender.write_root(root)?;
                     }
@@ -483,7 +547,6 @@ pub fn send_roots_parallel(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sender thread panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    });
     results.into_iter().collect()
 }

@@ -55,12 +55,21 @@ impl ShuffleController {
     pub fn start_phase(&self) -> bool {
         let p = self.phase.fetch_add(1, Ordering::AcqRel) + 1;
         self.stream_counter.store(0, Ordering::Release);
-        (p - 1) % 255 == 0
+        let wrapped = (p - 1).is_multiple_of(255);
+        let reg = obs::global();
+        reg.counter("skyway.shuffle.phases_started").inc();
+        reg.gauge("skyway.shuffle.current_phase").set(p as i64);
+        if wrapped {
+            reg.counter("skyway.shuffle.sid_wraps").inc();
+        }
+        reg.record(obs::Event::ShuffleStarted { sid: u32::from(self.sid()), phase: p });
+        wrapped
     }
 
     /// Allocates a fresh stream id within the current phase (each
     /// destination buffer / sender thread gets its own).
     pub fn next_stream(&self) -> u16 {
+        obs::global().counter("skyway.shuffle.streams_allocated").inc();
         (self.stream_counter.fetch_add(1, Ordering::AcqRel) % 0xfffe) as u16 + 1
     }
 }
@@ -78,6 +87,9 @@ pub fn scrub_baddrs(vm: &mut Vm) -> Result<()> {
         Ok(())
     })
     .map_err(Error::Heap)?;
+    let reg = obs::global();
+    reg.counter("skyway.shuffle.baddr_scrubs").inc();
+    reg.counter("skyway.shuffle.baddr_words_scrubbed").add(addrs.len() as u64);
     for a in addrs {
         vm.heap().arena().store_word(a + off, 0).map_err(Error::Heap)?;
     }
@@ -172,6 +184,13 @@ impl<'a> SkywayObjectOutputStream<'a> {
         Ok(SkywayObjectOutputStream { sender, roots_written: 0 })
     }
 
+    /// Reports into `registry` instead of the process-wide default.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: std::sync::Arc<obs::Registry>) -> Self {
+        self.sender = self.sender.with_metrics(registry);
+        self
+    }
+
     /// Transfers the object graph rooted at `root` — the drop-in
     /// counterpart of `stream.writeObject(o)`.
     ///
@@ -211,6 +230,13 @@ impl<'a> SkywayObjectInputStream<'a> {
     /// Opens an input stream into `vm`.
     pub fn new(vm: &'a mut Vm, dir: &'a TypeDirectory, node: NodeId) -> Self {
         SkywayObjectInputStream { receiver: GraphReceiver::new(vm, dir, node) }
+    }
+
+    /// Reports into `registry` instead of the process-wide default.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: std::sync::Arc<obs::Registry>) -> Self {
+        self.receiver = self.receiver.with_metrics(registry);
+        self
     }
 
     /// Appends one received chunk (streaming arrival).

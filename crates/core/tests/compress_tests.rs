@@ -157,12 +157,9 @@ fn plain_receiver_rejects_compressed_stream_gracefully() {
     let (dir, mut sender, _) = setup();
     let cp = ClassPath::new();
     define_jsbs_classes(&cp);
-    let mut stock_receiver = Vm::new(
-        "stock",
-        &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() },
-        cp,
-    )
-    .unwrap();
+    let mut stock_receiver =
+        Vm::new("stock", &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() }, cp)
+            .unwrap();
     let handles = build_dataset(&mut sender, 2).unwrap();
     let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
     let tx = serializer(&dir, 0, true);

@@ -1,0 +1,149 @@
+//! End-to-end observability: a known three-object graph goes through a full
+//! `SkywayObjectOutputStream` → `SkywayObjectInputStream` transfer plus a
+//! receiver-side GC, all reporting into one private `obs::Registry`, and the
+//! resulting snapshot carries exact counter values, flight-recorder events,
+//! and survives a JSON round-trip.
+
+use std::sync::Arc;
+
+use mheap::stdlib::define_core_classes;
+use mheap::{ClassPath, FieldType, HeapConfig, KlassDef, PrimType, Vm};
+use simnet::{NodeId, Profile};
+use skyway::sender::SendConfig;
+use skyway::{ShuffleController, SkywayObjectInputStream, SkywayObjectOutputStream, TypeDirectory};
+
+fn classpath() -> Arc<ClassPath> {
+    let cp = ClassPath::new();
+    define_core_classes(&cp);
+    cp.define(KlassDef::new(
+        "ObsNode",
+        None,
+        vec![
+            ("tag", FieldType::Prim(PrimType::Long)),
+            ("left", FieldType::Ref),
+            ("right", FieldType::Ref),
+        ],
+    ));
+    cp
+}
+
+/// Builds the known graph: a → {b, c}, b → c (c shared, reached twice).
+fn build_graph(vm: &mut Vm) -> mheap::Addr {
+    let k = vm.load_class("ObsNode").unwrap();
+    let c = vm.alloc_instance(k).unwrap();
+    vm.set_long(c, "tag", 3).unwrap();
+    let hc = vm.handle(c);
+    let b = vm.alloc_instance(k).unwrap();
+    vm.set_long(b, "tag", 2).unwrap();
+    let hb = vm.handle(b);
+    let a = vm.alloc_instance(k).unwrap();
+    vm.set_long(a, "tag", 1).unwrap();
+    let ha = vm.handle(a);
+    let (a, b, c) = (vm.resolve(ha).unwrap(), vm.resolve(hb).unwrap(), vm.resolve(hc).unwrap());
+    vm.set_ref(a, "left", b).unwrap();
+    vm.set_ref(a, "right", c).unwrap();
+    let (b, c) = (vm.resolve(hb).unwrap(), vm.resolve(hc).unwrap());
+    vm.set_ref(b, "left", c).unwrap();
+    vm.resolve(ha).unwrap()
+}
+
+#[test]
+fn full_transfer_reports_exact_metrics_and_roundtrips_as_json() {
+    let reg = Arc::new(obs::Registry::new());
+    let cp = classpath();
+    let svm = Vm::new("tx", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp))
+        .unwrap()
+        .with_metrics(Arc::clone(&reg));
+    let mut svm = svm;
+    let mut rvm = Vm::new("rx", &HeapConfig::small().with_capacity(8 << 20), cp)
+        .unwrap()
+        .with_metrics(Arc::clone(&reg));
+    let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+    dir.bootstrap_driver(&svm).unwrap();
+    dir.worker_startup(NodeId(1)).unwrap();
+
+    let root = build_graph(&mut svm);
+    let controller = ShuffleController::new();
+
+    // --- send ---
+    let mut out =
+        SkywayObjectOutputStream::new(&svm, &dir, NodeId(0), &controller, SendConfig::for_vm(&svm))
+            .unwrap()
+            .with_metrics(Arc::clone(&reg));
+    out.write_object(root).unwrap();
+    let stream_out = out.finish();
+    assert!(stream_out.stats.total_bytes > 0);
+
+    // --- receive ---
+    let mut input =
+        SkywayObjectInputStream::new(&mut rvm, &dir, NodeId(1)).with_metrics(Arc::clone(&reg));
+    for chunk in &stream_out.chunks {
+        input.push_chunk(chunk).unwrap();
+    }
+    let (roots, rstats) = input.read_objects(None).unwrap();
+    assert_eq!(roots.len(), 1);
+    assert_eq!(rvm.get_long(roots[0], "tag").unwrap(), 1);
+
+    // --- a GC on the receiver, into the same registry ---
+    rvm.minor_gc().unwrap();
+
+    // Bridge a simnet Profile through the registry too.
+    let mut profile = Profile::new();
+    profile.add_ns(simnet::Category::Ser, 1234);
+    profile.bytes_remote = stream_out.stats.total_bytes;
+    reg.put_profile("test.transfer", obs::ProfileSection::from(&profile));
+
+    let snap = reg.snapshot();
+
+    // Sender: exactly the 3 objects of the graph, all bytes accounted.
+    assert_eq!(snap.counter("skyway.sender.objects_visited"), 3);
+    assert_eq!(snap.counter("skyway.sender.bytes_cloned"), stream_out.stats.total_bytes);
+    assert_eq!(snap.counter("skyway.sender.cas_conflicts"), 0);
+
+    // Receiver: 3 objects, every ref slot fixed up (2 slots × 3 objects,
+    // nulls included — the linear scan rewrites them all), the on-demand
+    // class load observed, and the chunk accounting exact.
+    assert_eq!(snap.counter("skyway.receiver.objects_absorbed"), 3);
+    assert_eq!(snap.counter("skyway.receiver.ref_fixups"), 6);
+    assert_eq!(snap.counter("skyway.receiver.ref_fixups"), rstats.ref_fixups);
+    assert!(snap.counter("skyway.receiver.classes_loaded") >= 1);
+    assert_eq!(snap.counter("skyway.receiver.chunks_absorbed"), stream_out.chunks.len() as u64);
+    assert_eq!(
+        snap.counter("skyway.receiver.bytes_absorbed"),
+        stream_out.chunks.iter().map(|c| c.len() as u64).sum::<u64>()
+    );
+    assert_eq!(snap.counter("skyway.receiver.cards_dirtied"), rstats.cards_dirtied);
+    assert!(rstats.cards_dirtied > 0);
+
+    // GC: the receiver's minor collection landed in the same registry.
+    assert_eq!(snap.counter("mheap.gc.minor_gcs"), 1);
+    let pause = snap.histograms.get("mheap.gc.pause_ns").expect("gc pause histogram");
+    assert_eq!(pause.count, 1);
+
+    // Flight recorder saw the phases of the transfer.
+    let kinds: Vec<&str> = snap.events.iter().map(|e| e.event.kind()).collect();
+    assert!(kinds.contains(&"chunk_sent"), "events: {kinds:?}");
+    assert!(kinds.contains(&"chunk_absorbed"), "events: {kinds:?}");
+    assert!(kinds.contains(&"class_loaded"), "events: {kinds:?}");
+    assert!(kinds.contains(&"gc_pause"), "events: {kinds:?}");
+
+    // Profile bridge made it into the snapshot.
+    let sect = snap.profiles.get("test.transfer").expect("profile section");
+    assert_eq!(sect.ser_ns, 1234);
+    assert_eq!(sect.bytes_remote, stream_out.stats.total_bytes);
+
+    // --- JSON round-trip ---
+    let json = serde_json::to_string_pretty(&snap).unwrap();
+    assert!(json.contains("skyway.sender.objects_visited"));
+    let back: obs::Snapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn scoped_registries_do_not_cross_talk() {
+    let reg_a = Arc::new(obs::Registry::new());
+    let reg_b = Arc::new(obs::Registry::new());
+    reg_a.counter("skyway.sender.objects_visited").add(7);
+    assert_eq!(reg_b.snapshot().counter("skyway.sender.objects_visited"), 0);
+    assert_eq!(reg_a.snapshot().counter("skyway.sender.objects_visited"), 7);
+}

@@ -49,10 +49,7 @@ fn graph_spec(max_nodes: usize) -> impl Strategy<Value = GraphSpec> {
         })
         .prop_map(|(tags, lefts, rights, roots)| {
             let clamp = |v: Vec<Option<usize>>| {
-                v.into_iter()
-                    .enumerate()
-                    .map(|(i, e)| e.filter(|&t| t < i))
-                    .collect::<Vec<_>>()
+                v.into_iter().enumerate().map(|(i, e)| e.filter(|&t| t < i)).collect::<Vec<_>>()
             };
             GraphSpec { tags, lefts: clamp(lefts), rights: clamp(rights), roots }
         })
@@ -135,7 +132,8 @@ fn canonicalize(vm: &Vm, root: Addr) -> Vec<(i64, i16, Option<usize>, Option<usi
 
 fn transfer_env() -> (Arc<TypeDirectory>, Vm, Vm) {
     let cp = classpath();
-    let sender = Vm::new("s", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp)).unwrap();
+    let sender =
+        Vm::new("s", &HeapConfig::small().with_capacity(8 << 20), Arc::clone(&cp)).unwrap();
     let receiver = Vm::new("r", &HeapConfig::small().with_capacity(8 << 20), cp).unwrap();
     let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
     dir.bootstrap_driver(&sender).unwrap();

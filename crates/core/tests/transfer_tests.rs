@@ -9,7 +9,7 @@ use serlab::jsbs::{build_dataset, define_jsbs_classes, verify_media_content};
 use serlab::Serializer;
 use simnet::{NodeId, Profile};
 use skyway::{
-    send_roots_parallel, scrub_baddrs, SendConfig, ShuffleController, SkywayObjectInputStream,
+    scrub_baddrs, send_roots_parallel, SendConfig, ShuffleController, SkywayObjectInputStream,
     SkywayObjectOutputStream, SkywaySerializer, Tracking, TypeDirectory, UpdateRegistry,
 };
 
@@ -21,7 +21,8 @@ fn classpath() -> Arc<ClassPath> {
 
 fn setup_pair() -> (Arc<TypeDirectory>, Vm, Vm) {
     let cp = classpath();
-    let sender = Vm::new("n0", &HeapConfig::default().with_capacity(24 << 20), Arc::clone(&cp)).unwrap();
+    let sender =
+        Vm::new("n0", &HeapConfig::default().with_capacity(24 << 20), Arc::clone(&cp)).unwrap();
     let receiver = Vm::new("n1", &HeapConfig::default().with_capacity(24 << 20), cp).unwrap();
     let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
     dir.bootstrap_driver(&sender).unwrap();
@@ -230,16 +231,9 @@ fn parallel_send_with_shared_objects() {
         pair_handles.push(sender.handle(pr));
     }
     let roots: Vec<Addr> = pair_handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
-    let streams = send_roots_parallel(
-        &sender,
-        &dir,
-        NodeId(0),
-        7,
-        &roots,
-        4,
-        SendConfig::for_vm(&sender),
-    )
-    .unwrap();
+    let streams =
+        send_roots_parallel(&sender, &dir, NodeId(0), 7, &roots, 4, SendConfig::for_vm(&sender))
+            .unwrap();
     assert_eq!(streams.len(), 4);
 
     // Each stream is independent; receive them all.
@@ -266,12 +260,9 @@ fn heterogeneous_format_adjustment() {
     // adjusts object formats while copying (§3.1).
     let cp = classpath();
     let mut sender = Vm::new("n0", &HeapConfig::small(), Arc::clone(&cp)).unwrap();
-    let mut receiver = Vm::new(
-        "n1",
-        &HeapConfig { spec: LayoutSpec::COMPACT, ..HeapConfig::small() },
-        cp,
-    )
-    .unwrap();
+    let mut receiver =
+        Vm::new("n1", &HeapConfig { spec: LayoutSpec::COMPACT, ..HeapConfig::small() }, cp)
+            .unwrap();
     let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
     dir.bootstrap_driver(&sender).unwrap();
     dir.worker_startup(NodeId(1)).unwrap();
@@ -347,12 +338,8 @@ fn hashtable_tracking_works_without_baddr_word() {
         Arc::clone(&cp),
     )
     .unwrap();
-    let mut receiver = Vm::new(
-        "n1",
-        &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() },
-        cp,
-    )
-    .unwrap();
+    let mut receiver =
+        Vm::new("n1", &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() }, cp).unwrap();
     let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
     dir.bootstrap_driver(&sender).unwrap();
     dir.worker_startup(NodeId(1)).unwrap();
@@ -379,12 +366,8 @@ fn hashtable_tracking_works_without_baddr_word() {
 #[test]
 fn baddr_tracking_on_stock_heap_is_rejected() {
     let cp = classpath();
-    let sender = Vm::new(
-        "n0",
-        &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() },
-        cp,
-    )
-    .unwrap();
+    let sender =
+        Vm::new("n0", &HeapConfig { spec: LayoutSpec::STOCK, ..HeapConfig::small() }, cp).unwrap();
     let dir = TypeDirectory::new(1, NodeId(0));
     let controller = ShuffleController::new();
     let cfg = SendConfig {

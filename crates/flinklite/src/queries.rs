@@ -15,9 +15,8 @@ use sparklite::SparkCluster;
 
 use crate::rowser::RowSchema;
 use crate::tables::{
-    new_customer, new_lineitem, new_orders, new_partsupp, new_result, read_customer,
-    read_lineitem, read_orders, read_partsupp, read_result, ResultVal, CUSTOMER, LINEITEM,
-    ORDERS, PARTSUPP,
+    new_customer, new_lineitem, new_orders, new_partsupp, new_result, read_customer, read_lineitem,
+    read_orders, read_partsupp, read_result, ResultVal, CUSTOMER, LINEITEM, ORDERS, PARTSUPP,
 };
 use crate::tpchgen::{partition, TpchData, DATE_MAX, YEAR_DAYS};
 use crate::{Error, Result};
@@ -53,8 +52,12 @@ impl QueryId {
     pub fn description(self) -> &'static str {
         match self {
             QueryId::QA => "Report pricing details for all items shipped within the last 120 days.",
-            QueryId::QB => "List the minimum cost supplier for each region for each item in the database.",
-            QueryId::QC => "Retrieve the shipping priority and potential revenue of all pending orders.",
+            QueryId::QB => {
+                "List the minimum cost supplier for each region for each item in the database."
+            }
+            QueryId::QC => {
+                "Retrieve the shipping priority and potential revenue of all pending orders."
+            }
             QueryId::QD => "Count the number of late orders in each quarter of a given year.",
             QueryId::QE => "Report all items returned by customers sorted by the lost revenue.",
         }
@@ -114,11 +117,14 @@ fn normalize(mut rows: Vec<ResultVal>) -> Vec<(String, i64, i64, i64, i64)> {
     out
 }
 
+/// A normalized query result row: group key plus four numeric columns.
+pub type QueryRow = (String, i64, i64, i64, i64);
+
 /// Runs a query end-to-end, returning normalized result tuples.
 ///
 /// # Errors
 /// Engine errors.
-pub fn run_query(sc: &mut SparkCluster, db: &TpchData, q: QueryId) -> Result<Vec<(String, i64, i64, i64, i64)>> {
+pub fn run_query(sc: &mut SparkCluster, db: &TpchData, q: QueryId) -> Result<Vec<QueryRow>> {
     let rows = match q {
         QueryId::QA => run_qa(sc, db)?,
         QueryId::QB => run_qb(sc, db)?,
@@ -216,16 +222,17 @@ fn ref_qa(db: &TpchData) -> Vec<ResultVal> {
     let mut m: HashMap<String, (f64, f64, f64, i64)> = HashMap::new();
     for v in &db.lineitem {
         if v.shipdate >= QA_CUTOFF {
-            let e = m
-                .entry(format!("{}|{}", v.returnflag, v.linestatus))
-                .or_insert((0.0, 0.0, 0.0, 0));
+            let e =
+                m.entry(format!("{}|{}", v.returnflag, v.linestatus)).or_insert((0.0, 0.0, 0.0, 0));
             e.0 += v.quantity;
             e.1 += v.extendedprice;
             e.2 += v.extendedprice * (1.0 - v.discount);
             e.3 += 1;
         }
     }
-    m.into_iter().map(|(key, (q, p, d, c))| ResultVal { key, v1: q, v2: p, v3: d, tag: c }).collect()
+    m.into_iter()
+        .map(|(key, (q, p, d, c))| ResultVal { key, v1: q, v2: p, v3: d, tag: c })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -237,11 +244,8 @@ fn run_qb(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
     // join, it rides to every worker driver-side.
     let region_of_nation: HashMap<i64, i64> =
         db.nation.iter().map(|n| (n.nationkey, n.regionkey)).collect();
-    let region_of_supp: HashMap<i64, i64> = db
-        .supplier
-        .iter()
-        .map(|s| (s.suppkey, region_of_nation[&s.nationkey]))
-        .collect();
+    let region_of_supp: HashMap<i64, i64> =
+        db.supplier.iter().map(|s| (s.suppkey, region_of_nation[&s.nationkey])).collect();
 
     let ps = sc
         .create_dataset(partition(&db.partsupp, sc.n_workers()), |vm, v| {
@@ -298,11 +302,8 @@ fn run_qb(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
 fn ref_qb(db: &TpchData) -> Vec<ResultVal> {
     let region_of_nation: HashMap<i64, i64> =
         db.nation.iter().map(|n| (n.nationkey, n.regionkey)).collect();
-    let region_of_supp: HashMap<i64, i64> = db
-        .supplier
-        .iter()
-        .map(|s| (s.suppkey, region_of_nation[&s.nationkey]))
-        .collect();
+    let region_of_supp: HashMap<i64, i64> =
+        db.supplier.iter().map(|s| (s.suppkey, region_of_nation[&s.nationkey])).collect();
     let mut best: HashMap<(i64, i64), (f64, i64)> = HashMap::new();
     for v in &db.partsupp {
         let region = region_of_supp.get(&v.suppkey).copied().unwrap_or(0);
@@ -332,12 +333,8 @@ const QC_TOP: usize = 10;
 
 fn run_qc(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
     // Customers of the segment (dimension side of the first join).
-    let building: std::collections::HashSet<i64> = db
-        .customer
-        .iter()
-        .filter(|c| c.mktsegment == QC_SEGMENT)
-        .map(|c| c.custkey)
-        .collect();
+    let building: std::collections::HashSet<i64> =
+        db.customer.iter().filter(|c| c.mktsegment == QC_SEGMENT).map(|c| c.custkey).collect();
 
     // Orders filtered by date + segment membership, shuffled by orderkey.
     let orders = sc
@@ -429,12 +426,8 @@ fn run_qc(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
 }
 
 fn ref_qc(db: &TpchData) -> Vec<ResultVal> {
-    let building: std::collections::HashSet<i64> = db
-        .customer
-        .iter()
-        .filter(|c| c.mktsegment == QC_SEGMENT)
-        .map(|c| c.custkey)
-        .collect();
+    let building: std::collections::HashSet<i64> =
+        db.customer.iter().filter(|c| c.mktsegment == QC_SEGMENT).map(|c| c.custkey).collect();
     let orders: HashMap<i64, i32> = db
         .orders
         .iter()
@@ -574,9 +567,7 @@ fn run_qd(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
     for p in partials {
         *m.entry(p.key).or_insert(0) += p.tag;
     }
-    Ok(m.into_iter()
-        .map(|(key, c)| ResultVal { key, v1: 0.0, v2: 0.0, v3: 0.0, tag: c })
-        .collect())
+    Ok(m.into_iter().map(|(key, c)| ResultVal { key, v1: 0.0, v2: 0.0, v3: 0.0, tag: c }).collect())
 }
 
 fn ref_qd(db: &TpchData) -> Vec<ResultVal> {
@@ -593,10 +584,7 @@ fn ref_qd(db: &TpchData) -> Vec<ResultVal> {
             *per_q.entry(format!("Q{}", q + 1)).or_insert(0) += 1;
         }
     }
-    per_q
-        .into_iter()
-        .map(|(key, c)| ResultVal { key, v1: 0.0, v2: 0.0, v3: 0.0, tag: c })
-        .collect()
+    per_q.into_iter().map(|(key, c)| ResultVal { key, v1: 0.0, v2: 0.0, v3: 0.0, tag: c }).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -738,7 +726,9 @@ fn run_qe(sc: &mut SparkCluster, db: &TpchData) -> Result<Vec<ResultVal>> {
         })
         .map_err(Error::Engine)?;
     sc.release(named).map_err(Error::Engine)?;
-    all.sort_by(|a, b| b.v1.partial_cmp(&a.v1).unwrap_or(std::cmp::Ordering::Equal).then(a.tag.cmp(&b.tag)));
+    all.sort_by(|a, b| {
+        b.v1.partial_cmp(&a.v1).unwrap_or(std::cmp::Ordering::Equal).then(a.tag.cmp(&b.tag))
+    });
     all.truncate(QE_TOP);
     Ok(all)
 }
@@ -765,7 +755,9 @@ fn ref_qe(db: &TpchData) -> Vec<ResultVal> {
             tag: cust,
         })
         .collect();
-    all.sort_by(|a, b| b.v1.partial_cmp(&a.v1).unwrap_or(std::cmp::Ordering::Equal).then(a.tag.cmp(&b.tag)));
+    all.sort_by(|a, b| {
+        b.v1.partial_cmp(&a.v1).unwrap_or(std::cmp::Ordering::Equal).then(a.tag.cmp(&b.tag))
+    });
     all.truncate(QE_TOP);
     all
 }

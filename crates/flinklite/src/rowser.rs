@@ -49,8 +49,7 @@ impl RowSchema {
     /// Declares that downstream operators only read `fields` of `class`
     /// — receiving nodes lazily skip everything else.
     pub fn project(mut self, class: &str, fields: &[&str]) -> Self {
-        self.lazy
-            .insert(class.to_owned(), fields.iter().map(|s| (*s).to_owned()).collect());
+        self.lazy.insert(class.to_owned(), fields.iter().map(|s| (*s).to_owned()).collect());
         self
     }
 
@@ -112,7 +111,13 @@ impl FlinkRowSerializer {
         Self::read_prim(r, p).map(|_| ())
     }
 
-    fn write_row(&self, vm: &Vm, w: &mut ByteWriter, row: Addr, profile: &mut Profile) -> FlinkResult<()> {
+    fn write_row(
+        &self,
+        vm: &Vm,
+        w: &mut ByteWriter,
+        row: Addr,
+        profile: &mut Profile,
+    ) -> FlinkResult<()> {
         profile.ser_invocations += 1;
         profile.objects_transferred += 1;
         let k = vm.klass_of(row).map_err(FlinkError::Heap)?;
@@ -127,7 +132,8 @@ impl FlinkRowSerializer {
         for f in plan.iter() {
             match f.ty {
                 FieldType::Prim(p) => {
-                    let bits = vm.read_prim_raw(row, f.offset, p.size()).map_err(FlinkError::Heap)?;
+                    let bits =
+                        vm.read_prim_raw(row, f.offset, p.size()).map_err(FlinkError::Heap)?;
                     Self::write_prim(w, p, bits);
                 }
                 FieldType::Ref => {
@@ -218,7 +224,12 @@ impl Serializer for FlinkRowSerializer {
         "flink-builtin"
     }
 
-    fn serialize(&self, vm: &mut Vm, roots: &[Addr], profile: &mut Profile) -> serlab::Result<Vec<u8>> {
+    fn serialize(
+        &self,
+        vm: &mut Vm,
+        roots: &[Addr],
+        profile: &mut Profile,
+    ) -> serlab::Result<Vec<u8>> {
         let mut w = ByteWriter::with_capacity(roots.len() * 48);
         w.varint(roots.len() as u64);
         for &row in roots {
@@ -227,7 +238,12 @@ impl Serializer for FlinkRowSerializer {
         Ok(w.into_bytes())
     }
 
-    fn deserialize(&self, vm: &mut Vm, bytes: &[u8], profile: &mut Profile) -> serlab::Result<Vec<Addr>> {
+    fn deserialize(
+        &self,
+        vm: &mut Vm,
+        bytes: &[u8],
+        profile: &mut Profile,
+    ) -> serlab::Result<Vec<Addr>> {
         let mut r = ByteReader::new(bytes);
         let n = r.varint()? as usize;
         let mut arena = RebuildArena::new(vm);

@@ -263,7 +263,11 @@ pub fn read_orders(vm: &Vm, row: Addr) -> Result<OrdersVal> {
         orderdate: vm.get_int(row, "orderdate").map_err(Error::Heap)?,
         totalprice: vm.get_double(row, "totalprice").map_err(Error::Heap)?,
         shippriority: vm.get_int(row, "shippriority").map_err(Error::Heap)?,
-        orderpriority: if p.is_null() { String::new() } else { vm.read_string(p).map_err(Error::Heap)? },
+        orderpriority: if p.is_null() {
+            String::new()
+        } else {
+            vm.read_string(p).map_err(Error::Heap)?
+        },
     })
 }
 
@@ -317,7 +321,11 @@ pub fn read_customer(vm: &Vm, row: Addr) -> Result<CustomerVal> {
         nationkey: vm.get_long(row, "nationkey").map_err(Error::Heap)?,
         acctbal: vm.get_double(row, "acctbal").map_err(Error::Heap)?,
         name: if n.is_null() { String::new() } else { vm.read_string(n).map_err(Error::Heap)? },
-        mktsegment: if m.is_null() { String::new() } else { vm.read_string(m).map_err(Error::Heap)? },
+        mktsegment: if m.is_null() {
+            String::new()
+        } else {
+            vm.read_string(m).map_err(Error::Heap)?
+        },
     })
 }
 

@@ -81,11 +81,7 @@ pub fn generate(scale_units: usize, seed: u64) -> TpchData {
     let n_suppliers = (n_customers / 15).max(4) as i64;
 
     let nation: Vec<NationVal> = (0..25)
-        .map(|i| NationVal {
-            nationkey: i,
-            regionkey: i % 5,
-            name: format!("NATION_{i:02}"),
-        })
+        .map(|i| NationVal { nationkey: i, regionkey: i % 5, name: format!("NATION_{i:02}") })
         .collect();
 
     let customer: Vec<CustomerVal> = (0..n_customers as i64)

@@ -53,11 +53,9 @@ fn skyway_runs_have_no_sd_invocations() {
 #[test]
 fn builtin_invocations_scale_with_rows() {
     let db = generate(60, 3);
-    let mut sc = boot(
-        &FlinkConfig { heap_bytes: 48 << 20, ..FlinkConfig::default() },
-        QueryId::QC.schema(),
-    )
-    .unwrap();
+    let mut sc =
+        boot(&FlinkConfig { heap_bytes: 48 << 20, ..FlinkConfig::default() }, QueryId::QC.schema())
+            .unwrap();
     run_query(&mut sc, &db, QueryId::QC).unwrap();
     let p = sc.aggregate_profile();
     assert!(p.ser_invocations > 1000, "{}", p.ser_invocations);
@@ -128,8 +126,7 @@ fn lazy_projection_skips_unwanted_columns() {
 fn lazy_projection_shrinks_receiver_heap_usage() {
     // The savings are real: no char-array allocations for skipped strings.
     let schema_full = Arc::new(RowSchema::new(tpch_class_names()));
-    let schema_lazy =
-        Arc::new(RowSchema::new(tpch_class_names()).project(LINEITEM, &["orderkey"]));
+    let schema_lazy = Arc::new(RowSchema::new(tpch_class_names()).project(LINEITEM, &["orderkey"]));
     let mut used = Vec::new();
     for schema in [schema_full, schema_lazy] {
         let (mut a, mut b) = lazy_test_vms();
@@ -149,12 +146,7 @@ fn lazy_projection_shrinks_receiver_heap_usage() {
         ser.deserialize(&mut b, &bytes, &mut p).unwrap();
         used.push(b.stats.bytes_allocated - before);
     }
-    assert!(
-        used[1] < used[0],
-        "lazy deserialization allocated {} >= full {}",
-        used[1],
-        used[0]
-    );
+    assert!(used[1] < used[0], "lazy deserialization allocated {} >= full {}", used[1], used[0]);
 }
 
 #[test]

@@ -36,6 +36,8 @@ impl Vm {
     /// with a full collection.
     pub fn minor_gc(&mut self) -> Result<()> {
         let gc_start = std::time::Instant::now();
+        let promoted_before = self.stats.bytes_promoted;
+        let mut cards_scanned: u64 = 0;
         let mut copied: Vec<Addr> = Vec::new();
 
         // 1. Evacuate handle and temp roots.
@@ -62,6 +64,7 @@ impl Vm {
             let mut a = addr.0 & !(crate::heap::CARD_SIZE - 1);
             let end = addr.0 + size;
             while a < end {
+                cards_scanned += 1;
                 if vm.heap().is_card_dirty(Addr(a.max(addr.0))) {
                     dirty_objs.push(addr);
                     break;
@@ -105,8 +108,25 @@ impl Vm {
         // 4. Reset eden and the (now dead) from-space; swap survivors.
         self.heap.reset_young_after_minor()?;
         self.stats.minor_gcs += 1;
-        self.stats.gc_ns += gc_start.elapsed().as_nanos() as u64;
+        let pause_ns = gc_start.elapsed().as_nanos() as u64;
+        self.stats.gc_ns += pause_ns;
+        self.note_gc(false, pause_ns, self.stats.bytes_promoted - promoted_before, cards_scanned);
         Ok(())
+    }
+
+    /// Reports one completed collection to the metrics registry.
+    fn note_gc(&self, full: bool, pause_ns: u64, promoted_bytes: u64, cards_scanned: u64) {
+        let reg = &self.metrics;
+        reg.counter(if full { "mheap.gc.full_gcs" } else { "mheap.gc.minor_gcs" }).inc();
+        reg.histogram("mheap.gc.pause_ns").record(pause_ns);
+        reg.counter("mheap.gc.promoted_bytes").add(promoted_bytes);
+        reg.counter("mheap.gc.cards_scanned").add(cards_scanned);
+        reg.record(obs::Event::GcPause {
+            vm: self.name.clone(),
+            full,
+            ns: pause_ns,
+            promoted_bytes,
+        });
     }
 
     /// Copies one young object out of the collected region, leaving a
@@ -134,10 +154,8 @@ impl Vm {
         let (dest, promoted) = match dest {
             Some(d) => (d, false),
             None => {
-                let d = self
-                    .heap
-                    .bump_old(size)
-                    .ok_or(Error::PromotionFailed { requested: size })?;
+                let d =
+                    self.heap.bump_old(size).ok_or(Error::PromotionFailed { requested: size })?;
                 (d, true)
             }
         };
@@ -262,7 +280,11 @@ impl Vm {
         }
 
         self.stats.full_gcs += 1;
-        self.stats.gc_ns += gc_start.elapsed().as_nanos() as u64;
+        let pause_ns = gc_start.elapsed().as_nanos() as u64;
+        self.stats.gc_ns += pause_ns;
+        // The sliding compaction promotes nothing and scans no cards — it
+        // rebuilds the card table from scratch instead.
+        self.note_gc(true, pause_ns, 0, 0);
 
         // ---- clean the young generation with a minor pass ----
         // Only when the compacted old generation can absorb a worst-case

@@ -169,7 +169,7 @@ impl Heap {
         let s0 = Space::new(eden.end, eden.end + survivor);
         let s1 = Space::new(s0.end, s0.end + survivor);
         let old = Space::new(s1.end, capacity);
-        let n_cards = (old.size() + CARD_SIZE - 1) / CARD_SIZE;
+        let n_cards = old.size().div_ceil(CARD_SIZE);
         Ok(Heap {
             arena,
             spec: config.spec,
@@ -198,6 +198,7 @@ impl Heap {
     }
 
     /// The survivor space objects are currently evacuated *from*.
+    #[allow(clippy::wrong_self_convention)] // GC "from-space", not a conversion
     pub(crate) fn from_space(&self) -> Space {
         if self.from_is_s0 {
             self.s0

@@ -352,12 +352,7 @@ impl KlassTable {
     /// # Errors
     /// [`Error::UnknownKlass`] for ids never issued by this table.
     pub fn get(&self, id: KlassId) -> Result<Arc<Klass>> {
-        self.inner
-            .read()
-            .klasses
-            .get(id.0 as usize)
-            .cloned()
-            .ok_or(Error::UnknownKlass(id.0))
+        self.inner.read().klasses.get(id.0 as usize).cloned().ok_or(Error::UnknownKlass(id.0))
     }
 
     /// Resolves a klass by name, if loaded.
@@ -408,9 +403,7 @@ impl KlassTable {
             return self.insert(name.to_owned(), Some(object_id), kind, Vec::new(), spec);
         }
 
-        let def = classpath
-            .lookup(name)
-            .ok_or_else(|| Error::ClassNotFound(name.to_owned()))?;
+        let def = classpath.lookup(name).ok_or_else(|| Error::ClassNotFound(name.to_owned()))?;
         let super_id = match &def.super_name {
             Some(s) => Some(self.load(s, classpath, spec)?),
             None => {
@@ -464,12 +457,7 @@ impl KlassTable {
         for (fname, ty) in own {
             let size = u64::from(ty.size());
             cursor = (cursor + size - 1) & !(size - 1); // align to field size
-            fields.push(Field {
-                name: fname,
-                ty,
-                offset: cursor,
-                declared_in: name.clone(),
-            });
+            fields.push(Field { name: fname, ty, offset: cursor, declared_in: name.clone() });
             cursor += size;
         }
         let instance_size = align8(cursor);
@@ -633,10 +621,7 @@ mod tests {
     fn unknown_class_errors() {
         let cp = cp();
         let t = KlassTable::new();
-        assert!(matches!(
-            t.load("NoSuch", &cp, LayoutSpec::SKYWAY),
-            Err(Error::ClassNotFound(_))
-        ));
+        assert!(matches!(t.load("NoSuch", &cp, LayoutSpec::SKYWAY), Err(Error::ClassNotFound(_))));
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod verify;
 pub mod vm;
 
 pub use heap::{Gen, Heap, HeapConfig, Space, CARD_SIZE, FILLER_WORD};
-pub use klass::{ClassPath, Field, FieldType, Klass, KlassDef, KlassId, KlassKind, KlassTable, PrimType};
+pub use klass::{
+    ClassPath, Field, FieldType, Klass, KlassDef, KlassId, KlassKind, KlassTable, PrimType,
+};
 pub use layout::{Addr, LayoutSpec};
 pub use object::Value;
 pub use verify::{ClassStat, HeapFault};

@@ -133,7 +133,12 @@ impl Arena {
     /// # Errors
     /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
     #[inline]
-    pub fn cas_word(&self, off: u64, expected: u64, new: u64) -> Result<std::result::Result<u64, u64>> {
+    pub fn cas_word(
+        &self,
+        off: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<std::result::Result<u64, u64>> {
         let o = self.check_aligned(off, 8)?;
         // SAFETY: bounds and alignment checked.
         let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };

@@ -241,10 +241,9 @@ impl Vm {
             crate::klass::KlassKind::PrimArray(p) if p == val.prim_type() => {
                 self.array_set_raw(obj, idx, val.to_bits())
             }
-            crate::klass::KlassKind::PrimArray(_) => Err(Error::FieldTypeMismatch {
-                class: k.name.clone(),
-                field: format!("[{idx}]"),
-            }),
+            crate::klass::KlassKind::PrimArray(_) => {
+                Err(Error::FieldTypeMismatch { class: k.name.clone(), field: format!("[{idx}]") })
+            }
             _ => Err(Error::NotAnArray(k.name.clone())),
         }
     }

@@ -35,7 +35,11 @@ pub const HASH_NODE: &str = "java.util.HashMap$Node";
 /// Registers all core class definitions on a classpath. Idempotent.
 pub fn define_core_classes(cp: &Arc<ClassPath>) {
     cp.define_all([
-        KlassDef::new(STRING, None, vec![("value", FieldType::Ref), ("hash", FieldType::Prim(PrimType::Int))]),
+        KlassDef::new(
+            STRING,
+            None,
+            vec![("value", FieldType::Ref), ("hash", FieldType::Prim(PrimType::Int))],
+        ),
         KlassDef::new(INTEGER, None, vec![("value", FieldType::Prim(PrimType::Int))]),
         KlassDef::new(LONG, None, vec![("value", FieldType::Prim(PrimType::Long))]),
         KlassDef::new(DOUBLE, None, vec![("value", FieldType::Prim(PrimType::Double))]),
@@ -506,10 +510,7 @@ mod tests {
         // zero out the cached hash of one key and give it a fresh one.
         let k0 = vm.resolve(keys[0]).unwrap();
         let m = vm.heap().arena().load_word(k0.0).unwrap();
-        vm.heap()
-            .arena()
-            .store_word(k0.0, crate::layout::mark::with_hash(m, 0))
-            .unwrap();
+        vm.heap().arena().store_word(k0.0, crate::layout::mark::with_hash(m, 0)).unwrap();
         vm.identity_hash(k0).unwrap();
         let map = vm.resolve(mh).unwrap();
         // Very likely inconsistent now (hash changed); rehash must fix it.

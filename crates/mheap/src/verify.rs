@@ -128,10 +128,7 @@ impl Vm {
                             at += size;
                         }
                         Err(_) => {
-                            let kw = self
-                                .heap()
-                                .arena()
-                                .load_word(at + self.spec().klass_off())?;
+                            let kw = self.heap().arena().load_word(at + self.spec().klass_off())?;
                             faults.push(HeapFault::BadKlassWord { obj: at, word: kw });
                             // Cannot size an unknown object; stop this space.
                             break;
@@ -268,10 +265,7 @@ mod tests {
         let _h = v.handle(n);
         // Forge a reference beyond the heap.
         let f = v.klasses().get(k).unwrap().field_by_name("next").unwrap().clone();
-        v.heap()
-            .arena()
-            .store_word(n.0 + f.offset, v.heap().capacity() + 64)
-            .unwrap();
+        v.heap().arena().store_word(n.0 + f.offset, v.heap().capacity() + 64).unwrap();
         let faults = v.verify_heap().unwrap();
         assert!(matches!(faults.as_slice(), [HeapFault::DanglingRef { .. }]));
     }

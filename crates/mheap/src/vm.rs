@@ -34,18 +34,11 @@ impl HandleTable {
     }
 
     fn get(&self, h: Handle) -> Result<Addr> {
-        self.slots
-            .get(h.0 as usize)
-            .copied()
-            .flatten()
-            .ok_or(Error::BadHandle(h.0))
+        self.slots.get(h.0 as usize).copied().flatten().ok_or(Error::BadHandle(h.0))
     }
 
     fn set(&mut self, h: Handle, addr: Addr) -> Result<()> {
-        let slot = self
-            .slots
-            .get_mut(h.0 as usize)
-            .ok_or(Error::BadHandle(h.0))?;
+        let slot = self.slots.get_mut(h.0 as usize).ok_or(Error::BadHandle(h.0))?;
         if slot.is_none() {
             return Err(Error::BadHandle(h.0));
         }
@@ -54,10 +47,7 @@ impl HandleTable {
     }
 
     fn drop_handle(&mut self, h: Handle) -> Result<()> {
-        let slot = self
-            .slots
-            .get_mut(h.0 as usize)
-            .ok_or(Error::BadHandle(h.0))?;
+        let slot = self.slots.get_mut(h.0 as usize).ok_or(Error::BadHandle(h.0))?;
         if slot.take().is_none() {
             return Err(Error::BadHandle(h.0));
         }
@@ -95,6 +85,8 @@ pub struct Vm {
     pub(crate) temp_roots: Vec<Addr>,
     /// Statistics (public for reporting).
     pub stats: VmStats,
+    /// Where GC metrics and flight-recorder events are reported.
+    pub(crate) metrics: Arc<obs::Registry>,
 }
 
 impl std::fmt::Debug for Vm {
@@ -114,7 +106,11 @@ impl Vm {
     ///
     /// # Errors
     /// Propagates arena/config errors from [`Heap::new`].
-    pub fn new(name: impl Into<String>, config: &HeapConfig, classpath: Arc<ClassPath>) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        config: &HeapConfig,
+        classpath: Arc<ClassPath>,
+    ) -> Result<Self> {
         Ok(Vm {
             name: name.into(),
             heap: Heap::new(config)?,
@@ -123,7 +119,16 @@ impl Vm {
             handles: HandleTable::default(),
             temp_roots: Vec::new(),
             stats: VmStats::default(),
+            metrics: Arc::clone(obs::global()),
         })
+    }
+
+    /// Reports GC metrics into `registry` instead of the process-wide
+    /// default (scoped observation, e.g. in tests).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.metrics = registry;
+        self
     }
 
     /// Boots a VM with a default-sized heap.

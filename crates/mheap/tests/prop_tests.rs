@@ -44,10 +44,7 @@ fn graph_spec(max_nodes: usize) -> impl Strategy<Value = GraphSpec> {
             let n = tags.len();
             // Only allow edges to strictly earlier nodes.
             let clamp = |v: Vec<Option<usize>>| {
-                v.into_iter()
-                    .enumerate()
-                    .map(|(i, e)| e.filter(|&t| t < i))
-                    .collect::<Vec<_>>()
+                v.into_iter().enumerate().map(|(i, e)| e.filter(|&t| t < i)).collect::<Vec<_>>()
             };
             let _ = n;
             GraphSpec { tags, lefts: clamp(lefts), rights: clamp(rights) }

@@ -1,0 +1,230 @@
+//! `skyway-obs`: the observability layer for the Skyway reproduction.
+//!
+//! Every shuffle, GC, and transfer path in the workspace reports into this
+//! crate: lock-free [`Counter`]s/[`Gauge`]s/[`Histogram`]s keyed by dotted
+//! names in a [`Registry`], and a bounded [`FlightRecorder`] ring of
+//! structured [`Event`]s (shuffle phases, chunks, on-demand class loads,
+//! GC pauses, baddr-CAS conflicts). A [`Registry::snapshot`] is an owned
+//! [`Snapshot`] document that serializes to JSON and renders as a
+//! human-readable table.
+//!
+//! Instrumented components default to the process-wide [`global`]
+//! registry but accept an explicit `Arc<Registry>` so tests can assert
+//! exact values without cross-test interference.
+//!
+//! Naming convention: `crate.component.metric`, e.g.
+//! `skyway.sender.bytes_cloned`, `mheap.gc.pause_ns`,
+//! `serlab.kryo.serialize_ns`.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod recorder;
+mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, ScopedTimer, HISTOGRAM_BUCKETS};
+pub use recorder::{Event, FlightRecorder, TimedEvent};
+pub use snapshot::{HistogramSnapshot, ProfileSection, Snapshot};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Default flight-recorder capacity for registries created with
+/// [`Registry::new`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+type MetricMap<T> = RwLock<BTreeMap<String, Arc<T>>>;
+
+/// A named collection of metrics plus a flight recorder.
+///
+/// Metric handles are `Arc`s: call sites on hot paths look a metric up
+/// once (read lock, or one write lock on first use) and then update it
+/// with plain relaxed atomics.
+#[derive(Debug)]
+pub struct Registry {
+    counters: MetricMap<Counter>,
+    gauges: MetricMap<Gauge>,
+    histograms: MetricMap<Histogram>,
+    profiles: RwLock<BTreeMap<String, ProfileSection>>,
+    recorder: FlightRecorder,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A registry with the default event capacity.
+    pub fn new() -> Self {
+        Registry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A registry whose flight recorder retains `capacity` events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Registry {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            profiles: RwLock::new(BTreeMap::new()),
+            recorder: FlightRecorder::new(capacity),
+        }
+    }
+
+    fn get_or_insert<T: Default>(map: &MetricMap<T>, name: &str) -> Arc<T> {
+        if let Some(m) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+            return Arc::clone(m);
+        }
+        let mut w = map.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(w.entry(name.to_owned()).or_default())
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Self::get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Self::get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Self::get_or_insert(&self.histograms, name)
+    }
+
+    /// A drop-timer recording elapsed nanoseconds into the histogram
+    /// named `name`.
+    pub fn timer(&self, name: &str) -> ScopedTimer {
+        ScopedTimer::new(self.histogram(name))
+    }
+
+    /// Pushes an event into the flight recorder; returns its sequence
+    /// number.
+    pub fn record(&self, event: Event) -> u64 {
+        self.recorder.record(event)
+    }
+
+    /// The flight recorder itself.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Attaches (or replaces) a named profile ledger so it appears in
+    /// snapshots alongside the metrics.
+    pub fn put_profile(&self, label: &str, section: ProfileSection) {
+        self.profiles.write().unwrap_or_else(|e| e.into_inner()).insert(label.to_owned(), section);
+    }
+
+    /// Captures everything into an owned, serializable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), HistogramSnapshot::capture(v)))
+            .collect();
+        let profiles = self.profiles.read().unwrap_or_else(|e| e.into_inner()).clone();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            profiles,
+            events: self.recorder.events(),
+            events_dropped: self.recorder.dropped(),
+        }
+    }
+
+    /// Zeroes every metric and clears the event ring. Metric handles
+    /// stay valid. Intended for tests and between bench repetitions.
+    pub fn reset(&self) {
+        for c in self.counters.read().unwrap_or_else(|e| e.into_inner()).values() {
+            c.reset();
+        }
+        for g in self.gauges.read().unwrap_or_else(|e| e.into_inner()).values() {
+            g.reset();
+        }
+        for h in self.histograms.read().unwrap_or_else(|e| e.into_inner()).values() {
+            h.reset();
+        }
+        self.profiles.write().unwrap_or_else(|e| e.into_inner()).clear();
+        self.recorder.clear();
+    }
+}
+
+/// The process-wide registry instrumented components default to.
+pub fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let r = Registry::new();
+        r.counter("x").add(2);
+        r.counter("x").add(3);
+        assert_eq!(r.counter("x").get(), 5);
+        r.gauge("g").add(-4);
+        assert_eq!(r.gauge("g").get(), -4);
+        r.histogram("h").record(9);
+        assert_eq!(r.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_captures_all_sections() {
+        let r = Registry::with_event_capacity(8);
+        r.counter("c").add(7);
+        r.gauge("g").set(1);
+        r.histogram("h").record(100);
+        r.record(Event::Marker { label: "m".into() });
+        r.put_profile("run", ProfileSection { ser_ns: 5, ..Default::default() });
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), 7);
+        assert_eq!(s.gauge("g"), 1);
+        assert_eq!(s.histograms["h"].count, 1);
+        assert_eq!(s.profiles["run"].ser_ns, 5);
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events_dropped, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_without_invalidating_handles() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(10);
+        r.record(Event::Marker { label: "m".into() });
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert!(r.recorder().events().is_empty());
+        c.inc();
+        assert_eq!(r.snapshot().counter("c"), 1);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = Arc::clone(global());
+        let b = Arc::clone(global());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

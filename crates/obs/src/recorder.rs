@@ -1,0 +1,265 @@
+//! The flight recorder: a bounded ring buffer of structured events.
+//!
+//! Counters say *how much*; the recorder says *what happened, in what
+//! order*. Every notable moment on a transfer path — a shuffle phase
+//! opening, a chunk leaving the sender, a class faulted in on the
+//! receiver, a GC pause, a baddr-CAS visit conflict — is pushed here with
+//! a sequence number and a timestamp. When the ring is full the oldest
+//! events are dropped (and counted), so the recorder holds the most
+//! recent window at a fixed memory cost.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A structured observability event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A shuffle phase opened on the controller.
+    ShuffleStarted {
+        /// The stream identifier for the new phase.
+        sid: u32,
+        /// The monotonic phase number.
+        phase: u64,
+    },
+    /// The sender sealed and emitted one output chunk.
+    ChunkSent {
+        /// Stream identifier the chunk belongs to.
+        sid: u32,
+        /// Chunk payload size in bytes.
+        bytes: u64,
+    },
+    /// The receiver absorbed one input chunk into its heap.
+    ChunkAbsorbed {
+        /// Chunk payload size in bytes.
+        bytes: u64,
+        /// Objects materialized from the chunk.
+        objects: u64,
+    },
+    /// The receiver loaded a class on demand to satisfy an incoming tid.
+    ClassLoaded {
+        /// Fully qualified class name.
+        class: String,
+        /// The global type id that triggered the load.
+        tid: u64,
+    },
+    /// A garbage collection pause completed.
+    GcPause {
+        /// The VM (node) that paused.
+        vm: String,
+        /// True for a full collection, false for minor.
+        full: bool,
+        /// Pause duration in nanoseconds.
+        ns: u64,
+        /// Bytes promoted into the old generation.
+        promoted_bytes: u64,
+    },
+    /// A sender stream lost a baddr-header CAS race to another stream.
+    CasConflict {
+        /// Stream identifier that lost the race.
+        sid: u32,
+    },
+    /// A free-form annotation (test fixtures, bench phase markers).
+    Marker {
+        /// The annotation text.
+        label: String,
+    },
+}
+
+impl Event {
+    /// Short kind tag used in serialization and tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ShuffleStarted { .. } => "shuffle_started",
+            Event::ChunkSent { .. } => "chunk_sent",
+            Event::ChunkAbsorbed { .. } => "chunk_absorbed",
+            Event::ClassLoaded { .. } => "class_loaded",
+            Event::GcPause { .. } => "gc_pause",
+            Event::CasConflict { .. } => "cas_conflict",
+            Event::Marker { .. } => "marker",
+        }
+    }
+}
+
+// The vendored serde derive handles only structs and fieldless enums, so
+// the data-carrying `Event` serializes by hand as a tagged map:
+// `{"kind": "...", ...fields}`.
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> =
+            vec![("kind".to_owned(), Value::Str(self.kind().to_owned()))];
+        let mut put = |k: &str, v: Value| m.push((k.to_owned(), v));
+        match self {
+            Event::ShuffleStarted { sid, phase } => {
+                put("sid", sid.to_value());
+                put("phase", phase.to_value());
+            }
+            Event::ChunkSent { sid, bytes } => {
+                put("sid", sid.to_value());
+                put("bytes", bytes.to_value());
+            }
+            Event::ChunkAbsorbed { bytes, objects } => {
+                put("bytes", bytes.to_value());
+                put("objects", objects.to_value());
+            }
+            Event::ClassLoaded { class, tid } => {
+                put("class", class.to_value());
+                put("tid", tid.to_value());
+            }
+            Event::GcPause { vm, full, ns, promoted_bytes } => {
+                put("vm", vm.to_value());
+                put("full", full.to_value());
+                put("ns", ns.to_value());
+                put("promoted_bytes", promoted_bytes.to_value());
+            }
+            Event::CasConflict { sid } => put("sid", sid.to_value()),
+            Event::Marker { label } => put("label", label.to_value()),
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for Event {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let kind: String = serde::field(v, "kind")?;
+        match kind.as_str() {
+            "shuffle_started" => Ok(Event::ShuffleStarted {
+                sid: serde::field(v, "sid")?,
+                phase: serde::field(v, "phase")?,
+            }),
+            "chunk_sent" => Ok(Event::ChunkSent {
+                sid: serde::field(v, "sid")?,
+                bytes: serde::field(v, "bytes")?,
+            }),
+            "chunk_absorbed" => Ok(Event::ChunkAbsorbed {
+                bytes: serde::field(v, "bytes")?,
+                objects: serde::field(v, "objects")?,
+            }),
+            "class_loaded" => Ok(Event::ClassLoaded {
+                class: serde::field(v, "class")?,
+                tid: serde::field(v, "tid")?,
+            }),
+            "gc_pause" => Ok(Event::GcPause {
+                vm: serde::field(v, "vm")?,
+                full: serde::field(v, "full")?,
+                ns: serde::field(v, "ns")?,
+                promoted_bytes: serde::field(v, "promoted_bytes")?,
+            }),
+            "cas_conflict" => Ok(Event::CasConflict { sid: serde::field(v, "sid")? }),
+            "marker" => Ok(Event::Marker { label: serde::field(v, "label")? }),
+            other => Err(DeError(format!("unknown event kind {other:?}"))),
+        }
+    }
+}
+
+/// An [`Event`] stamped with its global sequence number and the
+/// nanoseconds since the recorder started.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Position in the global event order (monotonic, never reused).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub ts_ns: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Bounded ring buffer of [`TimedEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    seq: AtomicU64,
+    start: Instant,
+    ring: Mutex<VecDeque<TimedEvent>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` recent events.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            start: Instant::now(),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full. Returns the
+    /// event's sequence number.
+    pub fn record(&self, event: Event) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ts_ns = self.start.elapsed().as_nanos() as u64;
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(TimedEvent { seq, ts_ns, event });
+        seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        let retained = self.ring.lock().unwrap_or_else(|e| e.into_inner()).len() as u64;
+        self.total_recorded().saturating_sub(retained)
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all retained events (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(Event::Marker { label: format!("m{i}") });
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[2].seq, 4);
+        assert_eq!(r.total_recorded(), 5);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn events_serde_roundtrip() {
+        let originals = vec![
+            Event::ShuffleStarted { sid: 7, phase: 7 },
+            Event::ChunkSent { sid: 7, bytes: 4096 },
+            Event::ChunkAbsorbed { bytes: 4096, objects: 12 },
+            Event::ClassLoaded { class: "java.lang.String".into(), tid: 3 },
+            Event::GcPause { vm: "w1".into(), full: true, ns: 12345, promoted_bytes: 64 },
+            Event::CasConflict { sid: 9 },
+            Event::Marker { label: "phase-2".into() },
+        ];
+        for e in originals {
+            let v = e.to_value();
+            let back = Event::from_value(&v).unwrap();
+            assert_eq!(e, back);
+        }
+    }
+}

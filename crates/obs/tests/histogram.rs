@@ -1,0 +1,154 @@
+//! Histogram semantics: bucket partition of the u64 range, percentile
+//! interpolation arithmetic, and soundness under concurrent recording.
+
+use std::sync::Arc;
+
+use obs::{Histogram, HISTOGRAM_BUCKETS};
+
+#[test]
+fn buckets_partition_the_u64_range() {
+    // Buckets must tile [0, u64::MAX] contiguously with no gaps or overlap,
+    // and every bound must map back into its own bucket.
+    for i in 0..HISTOGRAM_BUCKETS {
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        assert!(lo <= hi, "bucket {i} bounds inverted");
+        assert_eq!(Histogram::bucket_index(lo), i, "lo of bucket {i}");
+        assert_eq!(Histogram::bucket_index(hi), i, "hi of bucket {i}");
+        if i + 1 < HISTOGRAM_BUCKETS {
+            let (next_lo, _) = Histogram::bucket_bounds(i + 1);
+            assert_eq!(hi + 1, next_lo, "gap between buckets {i} and {}", i + 1);
+        } else {
+            assert_eq!(hi, u64::MAX, "last bucket must end at u64::MAX");
+        }
+    }
+    assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+}
+
+#[test]
+fn recorded_samples_land_in_their_buckets() {
+    let h = Histogram::new();
+    for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+        h.record(v);
+    }
+    let counts = h.bucket_counts();
+    assert_eq!(counts[0], 1); // 0
+    assert_eq!(counts[1], 1); // 1
+    assert_eq!(counts[2], 2); // 2, 3
+    assert_eq!(counts[3], 2); // 4, 7
+    assert_eq!(counts[4], 1); // 8..15
+    assert_eq!(counts[10], 1); // 512..1023
+    assert_eq!(counts[11], 1); // 1024..2047
+    assert_eq!(counts[64], 1); // top bucket
+    assert_eq!(counts.iter().sum::<u64>(), h.count());
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+}
+
+#[test]
+fn percentile_interpolates_within_a_single_bucket() {
+    // Ten samples of 8 all land in bucket 4, bounds [8, 15]. The estimator
+    // interpolates rank position linearly across the bucket's bounds:
+    //   p50 → rank 5, 5/10 into the bucket → 8 + round(7 * 0.5)  = 12
+    //   p100 → rank 10, 10/10 into it      → 8 + 7               = 15
+    //   p0  → rank clamps to 1, 1/10 in    → 8 + round(0.7)      = 9
+    let h = Histogram::new();
+    for _ in 0..10 {
+        h.record(8);
+    }
+    assert_eq!(h.percentile(50.0), 12);
+    assert_eq!(h.percentile(100.0), 15);
+    assert_eq!(h.percentile(0.0), 9);
+}
+
+#[test]
+fn percentile_walks_cumulative_buckets() {
+    // Five 1s (bucket 1: [1,1]) and five 2s (bucket 2: [2,3]).
+    let h = Histogram::new();
+    for _ in 0..5 {
+        h.record(1);
+        h.record(2);
+    }
+    // rank 2 of 10 falls in bucket 1, whose bounds collapse to exactly 1.
+    assert_eq!(h.percentile(20.0), 1);
+    // rank 6 is the first sample of bucket 2: 2 + round(1 * 1/5) = 2.
+    assert_eq!(h.percentile(60.0), 2);
+    // rank 10 is the last sample of bucket 2: 2 + round(1 * 5/5) = 3.
+    assert_eq!(h.percentile(100.0), 3);
+}
+
+#[test]
+fn percentiles_are_monotone_and_bounded() {
+    let h = Histogram::new();
+    // Deterministic pseudo-random samples (xorshift).
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..1000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.record(x % 1_000_000);
+    }
+    let mut last = 0;
+    for p in 0..=100 {
+        let v = h.percentile(p as f64);
+        assert!(v >= last, "percentile must be non-decreasing at p={p}");
+        last = v;
+    }
+    // An interpolated percentile never escapes the bucket of the true max.
+    let (_, hi) = Histogram::bucket_bounds(Histogram::bucket_index(h.max()));
+    assert!(h.percentile(100.0) <= hi);
+    assert!(h.percentile(0.0) >= Histogram::bucket_bounds(Histogram::bucket_index(h.min())).0);
+}
+
+#[test]
+fn empty_histogram_is_all_zeros() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.percentile(50.0), 0);
+    assert_eq!(h.mean(), 0.0);
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Arc::new(Histogram::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    h.record(1 << t); // thread t owns bucket t+1 exclusively
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS).map(|t| (1u64 << t) * PER_THREAD).sum();
+    assert_eq!(h.sum(), expected_sum);
+    let counts = h.bucket_counts();
+    for t in 0..THREADS {
+        assert_eq!(counts[(t + 1) as usize], PER_THREAD, "bucket {}", t + 1);
+    }
+    assert_eq!(h.min(), 1);
+    assert_eq!(h.max(), 1 << (THREADS - 1));
+}
+
+#[test]
+fn concurrent_counter_increments_are_exact() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25_000;
+    let c = Arc::new(obs::Counter::new());
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+}

@@ -79,7 +79,14 @@ pub fn serialize_profiled(
 ) -> Result<Vec<u8>> {
     let t = Instant::now();
     let r = s.serialize(vm, roots, profile);
-    profile.add_ns(Category::Ser, t.elapsed().as_nanos() as u64);
+    let ns = t.elapsed().as_nanos() as u64;
+    profile.add_ns(Category::Ser, ns);
+    let reg = obs::global();
+    reg.histogram(&format!("serlab.{}.serialize_ns", s.name())).record(ns);
+    if let Ok(bytes) = &r {
+        reg.counter(&format!("serlab.{}.ser_bytes", s.name())).add(bytes.len() as u64);
+        reg.counter(&format!("serlab.{}.ser_calls", s.name())).inc();
+    }
     r
 }
 
@@ -95,7 +102,14 @@ pub fn deserialize_profiled(
 ) -> Result<Vec<Addr>> {
     let t = Instant::now();
     let r = s.deserialize(vm, bytes, profile);
-    profile.add_ns(Category::Deser, t.elapsed().as_nanos() as u64);
+    let ns = t.elapsed().as_nanos() as u64;
+    profile.add_ns(Category::Deser, ns);
+    let reg = obs::global();
+    reg.histogram(&format!("serlab.{}.deserialize_ns", s.name())).record(ns);
+    if r.is_ok() {
+        reg.counter(&format!("serlab.{}.deser_bytes", s.name())).add(bytes.len() as u64);
+        reg.counter(&format!("serlab.{}.deser_calls", s.name())).inc();
+    }
     r
 }
 

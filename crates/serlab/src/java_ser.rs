@@ -184,7 +184,8 @@ fn write_object(
                     .clone();
                 match f.ty {
                     FieldType::Prim(p) => {
-                        let bits = vm.read_prim_raw(obj, f.offset, p.size()).map_err(Error::Heap)?;
+                        let bits =
+                            vm.read_prim_raw(obj, f.offset, p.size()).map_err(Error::Heap)?;
                         write_prim_fixed(w, p, bits);
                     }
                     FieldType::Ref => {
@@ -328,9 +329,10 @@ fn read_object(
                     let obj = arena.get(vm, id);
                     // Reflective set: resolve the field by name again.
                     let k = vm.klass_of(obj).map_err(Error::Heap)?;
-                    let f = k.field_by_name_reflective(fname).cloned().ok_or_else(|| {
-                        Error::Malformed(format!("no field {fname} in {cname}"))
-                    })?;
+                    let f = k
+                        .field_by_name_reflective(fname)
+                        .cloned()
+                        .ok_or_else(|| Error::Malformed(format!("no field {fname} in {cname}")))?;
                     vm.write_prim_raw(obj, f.offset, p.size(), bits).map_err(Error::Heap)?;
                 }
             }

@@ -86,9 +86,8 @@ pub fn build_media_content(vm: &mut Vm, seed: u64) -> Result<Handle> {
     let media = vm.alloc_instance(media_k).map_err(Error::Heap)?;
     let mh = vm.handle(media);
 
-    let uri = vm
-        .new_string(&format!("http://javaone.com/keynote_{seed}.mpg"))
-        .map_err(Error::Heap)?;
+    let uri =
+        vm.new_string(&format!("http://javaone.com/keynote_{seed}.mpg")).map_err(Error::Heap)?;
     let media = vm.resolve(mh).map_err(Error::Heap)?;
     vm.set_ref(media, "uri", uri).map_err(Error::Heap)?;
 
@@ -129,7 +128,10 @@ pub fn build_media_content(vm: &mut Vm, seed: u64) -> Result<Handle> {
         let img = vm.alloc_instance(image_k).map_err(Error::Heap)?;
         let ih = vm.handle(img);
         let uri = vm
-            .new_string(&format!("http://javaone.com/keynote_{}_{seed}.jpg", if i == 0 { "large" } else { "small" }))
+            .new_string(&format!(
+                "http://javaone.com/keynote_{}_{seed}.jpg",
+                if i == 0 { "large" } else { "small" }
+            ))
             .map_err(Error::Heap)?;
         let img = vm.resolve(ih).map_err(Error::Heap)?;
         vm.set_ref(img, "uri", uri).map_err(Error::Heap)?;
@@ -179,7 +181,8 @@ pub fn verify_media_content(vm: &Vm, mc: Addr, seed: u64) -> Result<bool> {
         return Ok(false);
     }
     let uri = vm.get_ref(media, "uri").map_err(Error::Heap)?;
-    if vm.read_string(uri).map_err(Error::Heap)? != format!("http://javaone.com/keynote_{seed}.mpg") {
+    if vm.read_string(uri).map_err(Error::Heap)? != format!("http://javaone.com/keynote_{seed}.mpg")
+    {
         return Ok(false);
     }
     if vm.get_int(media, "width").map_err(Error::Heap)? != 640 {

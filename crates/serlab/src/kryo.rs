@@ -84,12 +84,7 @@ impl KryoRegistry {
 
     /// Id of a registered class.
     fn id_of(&self, name: &str) -> Result<u32> {
-        self.inner
-            .read()
-            .ids
-            .get(name)
-            .copied()
-            .ok_or_else(|| Error::Unregistered(name.to_owned()))
+        self.inner.read().ids.get(name).copied().ok_or_else(|| Error::Unregistered(name.to_owned()))
     }
 
     /// Name behind an id.

@@ -200,21 +200,29 @@ impl SchemaSerializer {
             Tagging::FieldNumber => {
                 let t = r.varint()?;
                 if t != expect_idx as u64 + 1 {
-                    return Err(Error::Malformed(format!("field tag {t}, expected {}", expect_idx + 1)));
+                    return Err(Error::Malformed(format!(
+                        "field tag {t}, expected {}",
+                        expect_idx + 1
+                    )));
                 }
                 Ok(())
             }
             Tagging::FieldId16 => {
                 let t = r.u16()?;
                 if t != expect_idx as u16 + 1 {
-                    return Err(Error::Malformed(format!("field id {t}, expected {}", expect_idx + 1)));
+                    return Err(Error::Malformed(format!(
+                        "field id {t}, expected {}",
+                        expect_idx + 1
+                    )));
                 }
                 Ok(())
             }
             Tagging::FieldName => {
                 let n = r.string()?;
                 if n != expect_name {
-                    return Err(Error::Malformed(format!("field name {n}, expected {expect_name}")));
+                    return Err(Error::Malformed(format!(
+                        "field name {n}, expected {expect_name}"
+                    )));
                 }
                 Ok(())
             }
@@ -342,10 +350,9 @@ impl SchemaSerializer {
                             if self.cfg.runtime_dispatch {
                                 // Name-resolved store.
                                 let k2 = vm.klass_of(obj).map_err(Error::Heap)?;
-                                let f2 = k2
-                                    .field_by_name_reflective(&f.name)
-                                    .cloned()
-                                    .ok_or_else(|| Error::Malformed(format!("no field {}", f.name)))?;
+                                let f2 = k2.field_by_name_reflective(&f.name).cloned().ok_or_else(
+                                    || Error::Malformed(format!("no field {}", f.name)),
+                                )?;
                                 vm.write_prim_raw(obj, f2.offset, p.size(), bits)
                                     .map_err(Error::Heap)?;
                             } else {

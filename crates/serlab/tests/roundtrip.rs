@@ -17,8 +17,11 @@ use simnet::Profile;
 fn setup() -> (Arc<ClassPath>, Vm, Vm) {
     let cp = ClassPath::new();
     define_jsbs_classes(&cp);
-    let sender = Vm::new("sender", &HeapConfig::default().with_capacity(16 << 20), Arc::clone(&cp)).unwrap();
-    let receiver = Vm::new("receiver", &HeapConfig::default().with_capacity(16 << 20), Arc::clone(&cp)).unwrap();
+    let sender =
+        Vm::new("sender", &HeapConfig::default().with_capacity(16 << 20), Arc::clone(&cp)).unwrap();
+    let receiver =
+        Vm::new("receiver", &HeapConfig::default().with_capacity(16 << 20), Arc::clone(&cp))
+            .unwrap();
     (cp, sender, receiver)
 }
 
@@ -179,10 +182,7 @@ fn byte_sizes_rank_as_expected() {
     assert_eq!(colfer.name(), "colfer");
     let colfer_bytes = colfer.serialize(&mut sender, &roots, &mut p).unwrap().len();
 
-    assert!(
-        java_bytes > kryo_bytes,
-        "java ({java_bytes}) should out-bloat kryo ({kryo_bytes})"
-    );
+    assert!(java_bytes > kryo_bytes, "java ({java_bytes}) should out-bloat kryo ({kryo_bytes})");
     assert!(
         kryo_bytes >= colfer_bytes,
         "kryo ({kryo_bytes}) should not be smaller than colfer ({colfer_bytes})"

@@ -166,7 +166,12 @@ impl Cluster {
     ///
     /// # Errors
     /// [`Error::UnknownNode`].
-    pub fn disk_write(&mut self, node: NodeId, name: impl Into<String>, data: Vec<u8>) -> Result<()> {
+    pub fn disk_write(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        data: Vec<u8>,
+    ) -> Result<()> {
         self.check(node)?;
         let len = data.len() as u64;
         let p = &mut self.profiles[node.0];
@@ -292,7 +297,13 @@ impl Cluster {
     ///
     /// # Errors
     /// [`Error::UnknownNode`].
-    pub fn rpc(&mut self, requester: NodeId, responder: NodeId, req_bytes: u64, resp_bytes: u64) -> Result<()> {
+    pub fn rpc(
+        &mut self,
+        requester: NodeId,
+        responder: NodeId,
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) -> Result<()> {
         self.check(requester)?;
         self.check(responder)?;
         let rtt = self.cfg.net_ns(req_bytes) + self.cfg.net_ns(resp_bytes);
@@ -330,10 +341,7 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         let mut c = cluster();
-        assert!(matches!(
-            c.disk_read(NodeId(0), "nope"),
-            Err(Error::NoSuchFile { .. })
-        ));
+        assert!(matches!(c.disk_read(NodeId(0), "nope"), Err(Error::NoSuchFile { .. })));
     }
 
     #[test]
@@ -367,10 +375,7 @@ mod tests {
     #[test]
     fn recv_without_send_errors() {
         let mut c = cluster();
-        assert!(matches!(
-            c.net_recv(NodeId(0), NodeId(1)),
-            Err(Error::NothingToReceive { .. })
-        ));
+        assert!(matches!(c.net_recv(NodeId(0), NodeId(1)), Err(Error::NothingToReceive { .. })));
     }
 
     #[test]
@@ -404,9 +409,6 @@ mod tests {
     #[test]
     fn unknown_node_rejected() {
         let mut c = cluster();
-        assert!(matches!(
-            c.disk_write(NodeId(9), "f", vec![]),
-            Err(Error::UnknownNode(9))
-        ));
+        assert!(matches!(c.disk_write(NodeId(9), "f", vec![]), Err(Error::UnknownNode(9))));
     }
 }

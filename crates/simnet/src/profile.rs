@@ -144,6 +144,27 @@ impl Profile {
     }
 }
 
+impl From<&Profile> for obs::ProfileSection {
+    fn from(p: &Profile) -> Self {
+        obs::ProfileSection {
+            compute_ns: p.ns(Category::Compute),
+            ser_ns: p.ns(Category::Ser),
+            write_io_ns: p.ns(Category::WriteIo),
+            deser_ns: p.ns(Category::Deser),
+            read_io_ns: p.ns(Category::ReadIo),
+            net_ns: p.net_ns,
+            bytes_local: p.bytes_local,
+            bytes_remote: p.bytes_remote,
+            bytes_spilled: p.bytes_spilled,
+            ser_invocations: p.ser_invocations,
+            deser_invocations: p.deser_invocations,
+            objects_transferred: p.objects_transferred,
+            rpc_messages: p.rpc_messages,
+            rpc_bytes: p.rpc_bytes,
+        }
+    }
+}
+
 impl std::fmt::Display for Profile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for cat in Category::ALL {

@@ -37,7 +37,10 @@ pub fn define_spark_classes(cp: &Arc<ClassPath>) {
         KlassDef::new(
             EDGE,
             None,
-            vec![("src", FieldType::Prim(PrimType::Long)), ("dst", FieldType::Prim(PrimType::Long))],
+            vec![
+                ("src", FieldType::Prim(PrimType::Long)),
+                ("dst", FieldType::Prim(PrimType::Long)),
+            ],
         ),
         KlassDef::new(
             ADJ,
@@ -47,17 +50,26 @@ pub fn define_spark_classes(cp: &Arc<ClassPath>) {
         KlassDef::new(
             RANK,
             None,
-            vec![("node", FieldType::Prim(PrimType::Long)), ("rank", FieldType::Prim(PrimType::Double))],
+            vec![
+                ("node", FieldType::Prim(PrimType::Long)),
+                ("rank", FieldType::Prim(PrimType::Double)),
+            ],
         ),
         KlassDef::new(
             CONTRIB,
             None,
-            vec![("node", FieldType::Prim(PrimType::Long)), ("value", FieldType::Prim(PrimType::Double))],
+            vec![
+                ("node", FieldType::Prim(PrimType::Long)),
+                ("value", FieldType::Prim(PrimType::Double)),
+            ],
         ),
         KlassDef::new(
             LABEL,
             None,
-            vec![("node", FieldType::Prim(PrimType::Long)), ("label", FieldType::Prim(PrimType::Long))],
+            vec![
+                ("node", FieldType::Prim(PrimType::Long)),
+                ("label", FieldType::Prim(PrimType::Long)),
+            ],
         ),
         KlassDef::new(
             QUERY,
@@ -72,7 +84,11 @@ pub fn define_spark_classes(cp: &Arc<ClassPath>) {
         KlassDef::new(
             CLOSURE,
             None,
-            vec![("name", FieldType::Ref), ("stage", FieldType::Prim(PrimType::Int)), ("captured", FieldType::Ref)],
+            vec![
+                ("name", FieldType::Ref),
+                ("stage", FieldType::Prim(PrimType::Int)),
+                ("captured", FieldType::Ref),
+            ],
         ),
     ]);
 }
@@ -160,7 +176,14 @@ pub fn read_adj(vm: &Vm, adj: Addr) -> Result<(i64, Vec<i64>)> {
 }
 
 /// Allocates a two-long record of the given class (`RANK`-shaped records).
-fn new_two_long(vm: &mut Vm, class: &str, a_name: &str, a: i64, b_name: &str, b: i64) -> Result<Addr> {
+fn new_two_long(
+    vm: &mut Vm,
+    class: &str,
+    a_name: &str,
+    a: i64,
+    b_name: &str,
+    b: i64,
+) -> Result<Addr> {
     let k = vm.load_class(class).map_err(Error::Heap)?;
     let r = vm.alloc_instance(k).map_err(Error::Heap)?;
     vm.set_long(r, a_name, a).map_err(Error::Heap)?;
@@ -185,7 +208,10 @@ pub fn new_rank(vm: &mut Vm, node: i64, rank: f64) -> Result<Addr> {
 /// # Errors
 /// Field errors.
 pub fn read_rank(vm: &Vm, r: Addr) -> Result<(i64, f64)> {
-    Ok((vm.get_long(r, "node").map_err(Error::Heap)?, vm.get_double(r, "rank").map_err(Error::Heap)?))
+    Ok((
+        vm.get_long(r, "node").map_err(Error::Heap)?,
+        vm.get_double(r, "rank").map_err(Error::Heap)?,
+    ))
 }
 
 /// Allocates a contribution message.
@@ -205,7 +231,10 @@ pub fn new_contrib(vm: &mut Vm, node: i64, value: f64) -> Result<Addr> {
 /// # Errors
 /// Field errors.
 pub fn read_contrib(vm: &Vm, r: Addr) -> Result<(i64, f64)> {
-    Ok((vm.get_long(r, "node").map_err(Error::Heap)?, vm.get_double(r, "value").map_err(Error::Heap)?))
+    Ok((
+        vm.get_long(r, "node").map_err(Error::Heap)?,
+        vm.get_double(r, "value").map_err(Error::Heap)?,
+    ))
 }
 
 /// Allocates a label record/message.
@@ -221,7 +250,10 @@ pub fn new_label(vm: &mut Vm, node: i64, label: i64) -> Result<Addr> {
 /// # Errors
 /// Field errors.
 pub fn read_label(vm: &Vm, r: Addr) -> Result<(i64, i64)> {
-    Ok((vm.get_long(r, "node").map_err(Error::Heap)?, vm.get_long(r, "label").map_err(Error::Heap)?))
+    Ok((
+        vm.get_long(r, "node").map_err(Error::Heap)?,
+        vm.get_long(r, "label").map_err(Error::Heap)?,
+    ))
 }
 
 /// Allocates a triangle query message.

@@ -13,7 +13,10 @@
 use std::sync::Arc;
 
 use mheap::{Addr, ClassPath, Handle, HeapConfig, LayoutSpec, Vm};
-use serlab::{deserialize_profiled, serialize_profiled, JavaSerializer, KryoRegistry, KryoSerializer, Serializer};
+use serlab::{
+    deserialize_profiled, serialize_profiled, JavaSerializer, KryoRegistry, KryoSerializer,
+    Serializer,
+};
 use simnet::{Category, Cluster, NodeId, Profile, SimConfig};
 use skyway::{scrub_baddrs, ShuffleController, SkywaySerializer, TypeDirectory};
 
@@ -122,6 +125,11 @@ impl std::fmt::Debug for SparkCluster {
     }
 }
 
+/// A per-node serializer factory: `(node, type directory, shuffle
+/// controller) → (serializer, skyway-style phase management applies)`.
+pub type SerializerFactory<'a> =
+    &'a dyn Fn(NodeId, &Arc<TypeDirectory>, &Arc<ShuffleController>) -> (Arc<dyn Serializer>, bool);
+
 impl SparkCluster {
     /// Boots a cluster: driver VM + worker VMs, shared classpath, type
     /// directory (Skyway) or class registry (Kryo), per-node serializers.
@@ -145,31 +153,24 @@ impl SparkCluster {
     pub fn new_custom(
         cfg: &SparkConfig,
         classpath: Arc<ClassPath>,
-        factory: &dyn Fn(NodeId, &Arc<TypeDirectory>, &Arc<ShuffleController>) -> (Arc<dyn Serializer>, bool),
+        factory: SerializerFactory<'_>,
         label: &str,
     ) -> Result<Self> {
         define_spark_classes(&classpath);
         Self::boot(cfg, classpath, Some((factory, label)))
     }
 
-    #[allow(clippy::type_complexity)]
     fn boot(
         cfg: &SparkConfig,
         classpath: Arc<ClassPath>,
-        custom: Option<(
-            &dyn Fn(NodeId, &Arc<TypeDirectory>, &Arc<ShuffleController>) -> (Arc<dyn Serializer>, bool),
-            &str,
-        )>,
+        custom: Option<(SerializerFactory<'_>, &str)>,
     ) -> Result<Self> {
         let n_nodes = cfg.n_workers + 1;
         let mut vms = Vec::with_capacity(n_nodes);
         for i in 0..n_nodes {
             let name = if i == 0 { "driver".to_owned() } else { format!("worker-{i}") };
-            let hc = HeapConfig {
-                capacity: cfg.heap_bytes,
-                spec: cfg.spec,
-                ..HeapConfig::default()
-            };
+            let hc =
+                HeapConfig { capacity: cfg.heap_bytes, spec: cfg.spec, ..HeapConfig::default() };
             let vm = Vm::new(name, &hc, Arc::clone(&classpath)).map_err(Error::Heap)?;
             // Pre-load every workload class, as a warmed-up JVM would have.
             for c in spark_class_names() {
@@ -180,9 +181,9 @@ impl SparkCluster {
 
         let dir = Arc::new(TypeDirectory::new(n_nodes, NodeId(0)));
         dir.bootstrap_driver(&vms[0]).map_err(Error::Skyway)?;
-        for i in 1..n_nodes {
+        for (i, vm) in vms.iter().enumerate().skip(1) {
             dir.worker_startup(NodeId(i)).map_err(Error::Skyway)?;
-            dir.register_loaded(NodeId(i), &vms[i]).map_err(Error::Skyway)?;
+            dir.register_loaded(NodeId(i), vm).map_err(Error::Skyway)?;
         }
 
         // Kryo registration: the consistent-order class list (automated
@@ -195,9 +196,8 @@ impl SparkCluster {
         let mut serializers: Vec<Arc<dyn Serializer>> = Vec::with_capacity(n_nodes);
         let mut controllers = Vec::with_capacity(n_nodes);
         let mut skyway_phases = custom.is_none() && cfg.serializer == SerializerKind::Skyway;
-        let kind_label = custom
-            .map(|(_, l)| l.to_owned())
-            .unwrap_or_else(|| cfg.serializer.label().to_owned());
+        let kind_label =
+            custom.map(|(_, l)| l.to_owned()).unwrap_or_else(|| cfg.serializer.label().to_owned());
         for i in 0..n_nodes {
             let controller = Arc::new(ShuffleController::new());
             let s: Arc<dyn Serializer> = match custom {
@@ -335,10 +335,7 @@ impl SparkCluster {
         build: impl Fn(&mut Vm, &T) -> Result<Addr>,
     ) -> Result<Dataset> {
         if seeds.len() != self.n_workers() {
-            return Err(Error::BadPartitioning {
-                expected: self.n_workers(),
-                got: seeds.len(),
-            });
+            return Err(Error::BadPartitioning { expected: self.n_workers(), got: seeds.len() });
         }
         let mut partitions = Vec::with_capacity(seeds.len());
         for (i, part) in seeds.into_iter().enumerate() {

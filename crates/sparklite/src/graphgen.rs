@@ -188,10 +188,7 @@ mod tests {
         }
         let max = *deg.values().max().unwrap();
         let mean = g.n_edges() as f64 / deg.len() as f64;
-        assert!(
-            (max as f64) > mean * 5.0,
-            "R-MAT should produce hubs (max {max}, mean {mean:.1})"
-        );
+        assert!((max as f64) > mean * 5.0, "R-MAT should produce hubs (max {max}, mean {mean:.1})");
     }
 
     #[test]

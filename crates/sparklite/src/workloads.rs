@@ -9,10 +9,9 @@
 
 use std::collections::HashMap;
 
-
 use crate::classes::{
-    self, new_adj, new_contrib, new_edge, new_label, new_query, new_rank, new_word_count,
-    read_adj, read_contrib, read_edge, read_label, read_query, read_rank, read_word_count,
+    self, new_adj, new_contrib, new_edge, new_label, new_query, new_rank, new_word_count, read_adj,
+    read_contrib, read_edge, read_label, read_query, read_rank, read_word_count,
 };
 use crate::engine::{Dataset, SparkCluster};
 use crate::graphgen::{partition_edges, Graph};
@@ -32,10 +31,7 @@ pub const TRIANGLE_DEGREE_CAP: usize = 256;
 ///
 /// # Errors
 /// Engine errors.
-pub fn run_wordcount(
-    sc: &mut SparkCluster,
-    lines: Vec<Vec<String>>,
-) -> Result<Vec<(String, i32)>> {
+pub fn run_wordcount(sc: &mut SparkCluster, lines: Vec<Vec<String>>) -> Result<Vec<(String, i32)>> {
     sc.ship_closure("wordcount.map", 0, "tokenizer")?;
     // Load lines as String records.
     let input = sc.create_dataset(lines, |vm, line: &String| {
@@ -154,12 +150,7 @@ pub fn run_pagerank(
     // Initial ranks, co-partitioned with the adjacency.
     let mut ranks = sc.transform(
         &adj,
-        |vm, records| {
-            records
-                .iter()
-                .map(|&r| Ok(read_adj(vm, r)?.0))
-                .collect::<Result<Vec<i64>>>()
-        },
+        |vm, records| records.iter().map(|&r| Ok(read_adj(vm, r)?.0)).collect::<Result<Vec<i64>>>(),
         |vm, &node| new_rank(vm, node, 1.0),
     )?;
 
@@ -220,9 +211,8 @@ pub fn run_pagerank(
     }
     sc.release(adj)?;
 
-    let mut all = sc.collect(&ranks, |vm, records| {
-        records.iter().map(|&r| read_rank(vm, r)).collect()
-    })?;
+    let mut all =
+        sc.collect(&ranks, |vm, records| records.iter().map(|&r| read_rank(vm, r)).collect())?;
     sc.release(ranks)?;
     all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     all.truncate(top_k);
@@ -264,12 +254,7 @@ pub fn run_connected_components(
     // Labels start as the node's own id (co-partitioned with adj).
     let mut labels = sc.transform(
         &adj,
-        |vm, records| {
-            records
-                .iter()
-                .map(|&r| Ok(read_adj(vm, r)?.0))
-                .collect::<Result<Vec<i64>>>()
-        },
+        |vm, records| records.iter().map(|&r| Ok(read_adj(vm, r)?.0)).collect::<Result<Vec<i64>>>(),
         |vm, &node| new_label(vm, node, node),
     )?;
 
@@ -342,9 +327,8 @@ pub fn run_connected_components(
     }
     sc.release(adj)?;
 
-    let all = sc.collect(&labels, |vm, records| {
-        records.iter().map(|&r| read_label(vm, r)).collect()
-    })?;
+    let all =
+        sc.collect(&labels, |vm, records| records.iter().map(|&r| read_label(vm, r)).collect())?;
     sc.release(labels)?;
     let distinct: std::collections::HashSet<i64> = all.into_iter().map(|(_, l)| l).collect();
     Ok(distinct.len())
@@ -466,7 +450,7 @@ pub fn run_triangle_count(sc: &mut SparkCluster, graph: &Graph) -> Result<u64> {
             let mut count = 0i64;
             for &q in query_recs {
                 let (a, b) = read_query(vm, q)?;
-                if adj.get(&a).map_or(false, |s| s.contains(&b)) {
+                if adj.get(&a).is_some_and(|s| s.contains(&b)) {
                     count += 1;
                 }
             }

@@ -31,9 +31,8 @@ fn empty_dataset_shuffles_to_empty() {
 #[test]
 fn single_worker_cluster_works() {
     let mut sc = cluster(1, SerializerKind::Skyway);
-    let ds = sc
-        .create_dataset(vec![(0..50i64).collect()], |vm, &v| new_edge(vm, v, v + 1))
-        .unwrap();
+    let ds =
+        sc.create_dataset(vec![(0..50i64).collect()], |vm, &v| new_edge(vm, v, v + 1)).unwrap();
     let out = sc.shuffle(ds, |vm, r| Ok(hash64(read_edge(vm, r)?.1 as u64))).unwrap();
     assert_eq!(sc.count(&out).unwrap(), 50);
     // Everything is a local fetch on one worker.
@@ -53,9 +52,7 @@ fn wrong_seed_partition_count_is_rejected() {
 #[test]
 fn double_release_is_an_error() {
     let mut sc = cluster(2, SerializerKind::Kryo);
-    let ds = sc
-        .create_dataset(vec![vec![1i64], vec![2]], |vm, &v| new_edge(vm, v, v))
-        .unwrap();
+    let ds = sc.create_dataset(vec![vec![1i64], vec![2]], |vm, &v| new_edge(vm, v, v)).unwrap();
     let ds2 = ds.clone();
     sc.release(ds).unwrap();
     assert!(sc.release(ds2).is_err(), "stale handles must be detected");
@@ -99,17 +96,12 @@ fn shuffle_routes_by_key_deterministically() {
 #[test]
 fn zip_transform_rejects_mismatched_partitioning() {
     let mut sc = cluster(2, SerializerKind::Kryo);
-    let a = sc
-        .create_dataset(vec![vec![1i64], vec![2]], |vm, &v| new_edge(vm, v, v))
-        .unwrap();
+    let a = sc.create_dataset(vec![vec![1i64], vec![2]], |vm, &v| new_edge(vm, v, v)).unwrap();
     // A dataset with swapped partition owners.
-    let mut b = sc
-        .create_dataset(vec![vec![3i64], vec![4]], |vm, &v| new_edge(vm, v, v))
-        .unwrap();
+    let mut b = sc.create_dataset(vec![vec![3i64], vec![4]], |vm, &v| new_edge(vm, v, v)).unwrap();
     b.partitions.reverse();
-    let r = sc.zip_transform(&a, &b, |_vm, _x, _y| Ok(Vec::<i64>::new()), |vm, &v| {
-        new_edge(vm, v, v)
-    });
+    let r =
+        sc.zip_transform(&a, &b, |_vm, _x, _y| Ok(Vec::<i64>::new()), |vm, &v| new_edge(vm, v, v));
     assert!(matches!(r, Err(sparklite::Error::BadPartitioning { .. })));
 }
 

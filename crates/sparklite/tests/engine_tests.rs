@@ -2,12 +2,12 @@
 //! all three serializers (Java, Kryo, Skyway), and the cost profiles show
 //! the structural properties the paper reports.
 
+use simnet::Category;
 use sparklite::engine::{SerializerKind, SparkCluster, SparkConfig};
 use sparklite::graphgen::{generate, GraphKind};
 use sparklite::workloads::{
     run_connected_components, run_pagerank, run_triangle_count, run_wordcount,
 };
-use simnet::Category;
 
 fn cluster(kind: SerializerKind) -> SparkCluster {
     SparkCluster::new(&SparkConfig {
@@ -21,10 +21,7 @@ fn cluster(kind: SerializerKind) -> SparkCluster {
 
 fn sample_lines() -> Vec<Vec<String>> {
     vec![
-        vec![
-            "the quick brown fox".to_owned(),
-            "jumps over the lazy dog".to_owned(),
-        ],
+        vec!["the quick brown fox".to_owned(), "jumps over the lazy dog".to_owned()],
         vec!["the dog barks".to_owned(), "the fox runs".to_owned()],
         vec!["quick quick slow".to_owned()],
     ]
@@ -72,7 +69,7 @@ fn connected_components_matches_reference() {
     // Reference union-find on the raw edge list.
     let n = g.n_vertices as usize;
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(p: &mut [usize], mut x: usize) -> usize {
         while p[x] != x {
             p[x] = p[p[x]];
             x = p[x];
@@ -118,7 +115,7 @@ fn triangle_count_matches_reference() {
         let hs: Vec<u64> = higher.iter().copied().collect();
         for i in 0..hs.len() {
             for j in (i + 1)..hs.len() {
-                if adj.get(&hs[i]).map_or(false, |s| s.contains(&hs[j])) {
+                if adj.get(&hs[i]).is_some_and(|s| s.contains(&hs[j])) {
                     expected += 1;
                 }
             }
@@ -140,11 +137,7 @@ fn skyway_profile_has_zero_sd_invocations() {
     let p = sc.aggregate_profile();
     // Closure serialization uses the Java serializer (a handful of calls);
     // DATA serialization must contribute none beyond that.
-    assert!(
-        p.ser_invocations < 100,
-        "skyway run recorded {} ser invocations",
-        p.ser_invocations
-    );
+    assert!(p.ser_invocations < 100, "skyway run recorded {} ser invocations", p.ser_invocations);
     assert!(p.objects_transferred > 1000);
     assert!(p.ns(Category::Ser) > 0, "traversal time must be charged as Ser");
     assert!(p.ns(Category::Deser) > 0, "absolutization time must be charged as Deser");
@@ -206,10 +199,9 @@ fn profiles_cover_all_five_components() {
 fn dataset_counting_and_release() {
     let mut sc = cluster(SerializerKind::Kryo);
     let ds = sc
-        .create_dataset(
-            vec![vec![1i64, 2, 3], vec![4, 5], vec![6]],
-            |vm, &v| sparklite::classes::new_edge(vm, v, v + 1),
-        )
+        .create_dataset(vec![vec![1i64, 2, 3], vec![4, 5], vec![6]], |vm, &v| {
+            sparklite::classes::new_edge(vm, v, v + 1)
+        })
         .unwrap();
     assert_eq!(sc.count(&ds).unwrap(), 6);
     sc.release(ds).unwrap();

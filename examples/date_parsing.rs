@@ -96,10 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dates = sc.transform(
             &text,
             |vm, records| {
-                records
-                    .iter()
-                    .map(|&r| vm.read_string(r).map_err(sparklite::Error::Heap))
-                    .collect()
+                records.iter().map(|&r| vm.read_string(r).map_err(sparklite::Error::Heap)).collect()
             },
             |vm, line| parse(vm, line),
         )?;
@@ -107,9 +104,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // collect(): data serialization brings every Date (and its Year4D /
         // Month2D / Day2D objects) back to the driver.
-        let mut collected = sc.collect(&dates, |vm, records| {
-            records.iter().map(|&d| to_string(vm, d)).collect()
-        })?;
+        let mut collected =
+            sc.collect(&dates, |vm, records| records.iter().map(|&d| to_string(vm, d)).collect())?;
         sc.release(dates)?;
         collected.sort();
 

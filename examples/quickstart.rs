@@ -8,7 +8,9 @@ use std::sync::Arc;
 use mheap::stdlib::define_core_classes;
 use mheap::{ClassPath, FieldType, HeapConfig, KlassDef, PrimType, Vm};
 use simnet::NodeId;
-use skyway::{SendConfig, ShuffleController, SkywayObjectInputStream, SkywayObjectOutputStream, TypeDirectory};
+use skyway::{
+    SendConfig, ShuffleController, SkywayObjectInputStream, SkywayObjectOutputStream, TypeDirectory,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A shared "classpath" of class definitions, as a cluster would have.
@@ -75,10 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let (roots, stats) = input.read_objects(None)?;
     let got = roots[0];
-    println!(
-        "received {} objects in {} input-buffer chunk(s)",
-        stats.objects, stats.chunks
-    );
+    println!("received {} objects in {} input-buffer chunk(s)", stats.objects, stats.chunks);
 
     // The graph is immediately usable — and the hashcode survived.
     assert_eq!(receiver.get_long(got, "id")?, 4711);

@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &rows {
         println!(
             "{:<8} {:>11.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
-            r.label, r.ms[0], r.ms[1], r.ms[2], r.ms[3], r.ms[4],
+            r.label,
+            r.ms[0],
+            r.ms[1],
+            r.ms[2],
+            r.ms[3],
+            r.ms[4],
             r.total_ms()
         );
     }

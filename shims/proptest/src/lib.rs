@@ -1,0 +1,687 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`/
+//! `prop_recursive`, integer-range and char-class string strategies,
+//! `any::<T>()`, [`Just`], `collection::vec`, `option::of`, tuple
+//! strategies, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Inputs are drawn from a PRNG seeded deterministically from the test
+//! name, so failures reproduce across runs. There is no shrinking: a
+//! failing case panics with the formatted assertion message directly.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies. Deterministic per test function.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for one generated test function.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ 0x5bd1_e995_9773_93e5)
+}
+
+// ---------------------------------------------------------------------------
+// config / case results
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject(String),
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, builds a second strategy from it, and draws from
+    /// that.
+    fn prop_flat_map<R, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        R: Strategy,
+        F: Fn(Self::Value) -> R,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps a strategy for the previous depth into one for the next.
+    /// `depth` bounds recursion; the size/branch hints are accepted for
+    /// API compatibility but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut current = BoxedStrategy::new(self);
+        for _ in 0..depth {
+            let deeper = BoxedStrategy::new(recurse(current.clone()));
+            current = BoxedStrategy::new(RecursionLevel { base: current, deeper });
+        }
+        current
+    }
+
+    /// Type-erases this strategy behind a cheaply cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+/// A cloneable, type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a concrete strategy.
+    pub fn new(s: impl Strategy<Value = T> + 'static) -> Self {
+        BoxedStrategy(Arc::new(s))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// One layer of a `prop_recursive` tower: mostly recurse, sometimes fall
+/// back to the shallower strategy so leaves appear at every depth.
+struct RecursionLevel<T> {
+    base: BoxedStrategy<T>,
+    deeper: BoxedStrategy<T>,
+}
+
+impl<T> Strategy for RecursionLevel<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        if rng.gen_bool(0.6) {
+            self.deeper.generate(rng)
+        } else {
+            self.base.generate(rng)
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, R, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    R: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    type Value = R::Value;
+    fn generate(&self, rng: &mut TestRng) -> R::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive strategies
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias 1-in-8 draws toward boundary values; they find edge
+                // bugs far more often than uniform draws do.
+                if rng.gen_range(0..8u32) == 0 {
+                    let specials = [0 as $t, 1 as $t, 2 as $t, <$t>::MAX, <$t>::MIN];
+                    specials[rng.gen_range(0..specials.len())]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen::<f64>() * 2e9 - 1e9
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// char-class string strategies: "[a-z0-9 αβ]{lo,hi}"
+// ---------------------------------------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_char_class(self);
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+    }
+}
+
+/// Parses the simple regex dialect `[class]{lo,hi}` (also `[class]{n}` and
+/// bare `[class]` meaning one char). The class supports `a-z` ranges and
+/// literal (including multibyte) characters.
+fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+    let chars: Vec<char> = pattern.chars().collect();
+    assert!(
+        chars.first() == Some(&'['),
+        "proptest shim: only `[chars]{{lo,hi}}` string patterns are supported, got {pattern:?}"
+    );
+    let mut alphabet = Vec::new();
+    let mut i = 1;
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "proptest shim: bad char range in {pattern:?}");
+            alphabet.extend(lo..=hi);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len() && !alphabet.is_empty(),
+        "proptest shim: unterminated or empty char class in {pattern:?}"
+    );
+    i += 1; // past ']'
+    if i >= chars.len() {
+        return (alphabet, 1, 1);
+    }
+    assert!(
+        chars[i] == '{' && chars[chars.len() - 1] == '}',
+        "proptest shim: expected `{{lo,hi}}` repetition in {pattern:?}"
+    );
+    let body: String = chars[i + 1..chars.len() - 1].iter().collect();
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = body.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "proptest shim: bad repetition bounds in {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+// ---------------------------------------------------------------------------
+// tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ---------------------------------------------------------------------------
+// collections
+// ---------------------------------------------------------------------------
+
+/// Length specifications accepted by [`collection::vec`].
+pub trait SizeRange {
+    /// Inclusive (lo, hi) length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "proptest shim: empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.lo..=self.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::*;
+
+    /// Strategy yielding `Some` about half the time.
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `Option<S::Value>`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests. Each `fn` body runs `config.cases` times with
+/// fresh inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;
+     $( $(#[$meta:meta])+
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(20).saturating_add(100),
+                        "proptest shim: too many rejected cases in {}",
+                        stringify!($name),
+                    );
+                    #[allow(unreachable_code)]
+                    let result: $crate::TestCaseResult = (|| {
+                        $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                        $body
+                        Ok(())
+                    })();
+                    match result {
+                        Ok(()) => passed += 1,
+                        Err($crate::TestCaseError::Reject(_)) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} of {} failed: {}",
+                                   passed + 1, stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// panicking in place) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) when the precondition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_rng("ranges");
+        for _ in 0..200 {
+            let v = Strategy::generate(&(2usize..10), &mut rng);
+            assert!((2..10).contains(&v));
+            let w = Strategy::generate(&(1u64..120), &mut rng);
+            assert!((1..120).contains(&w));
+        }
+    }
+
+    #[test]
+    fn char_class_strings_match_alphabet_and_len() {
+        let mut rng = crate::test_rng("strings");
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z0-9 αβγ✓]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || " αβγ✓".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_tuple_compose() {
+        let mut rng = crate::test_rng("compose");
+        let strat = crate::collection::vec((any::<u16>(), crate::option::of(0usize..4)), 3..7);
+        for _ in 0..50 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((3..7).contains(&v.len()));
+            for (_, o) in v {
+                if let Some(x) = o {
+                    assert!(x < 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_sees_upstream_value() {
+        let mut rng = crate::test_rng("flat_map");
+        let strat = (2usize..8)
+            .prop_flat_map(|n| crate::collection::vec(0..n, n))
+            .prop_map(|v| (v.len(), v));
+        for _ in 0..50 {
+            let (n, v) = Strategy::generate(&strat, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&e| e < n));
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf,
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> usize {
+            match self {
+                Tree::Leaf => 0,
+                Tree::Node(l, r) => 1 + l.depth().max(r.depth()),
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_bounds_depth() {
+        let mut rng = crate::test_rng("recursive");
+        let strat = Just(Tree::Leaf).prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(t.depth() <= 4);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never produced an inner node");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_and_assertions_work(a in 0u64..50, b in 0u64..50) {
+            prop_assume!(a != 3);
+            prop_assert!(a < 50, "a out of range: {}", a);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -134,11 +134,7 @@ fn registry_strings_bounded_by_classes_not_objects() {
     let stats = sc.type_directory().stats();
     // 4 nodes × ~20 classes × ~25 bytes/name is the right order; objects
     // number in the tens of thousands.
-    assert!(
-        stats.string_bytes < 8_000,
-        "registry shipped {} string bytes",
-        stats.string_bytes
-    );
+    assert!(stats.string_bytes < 8_000, "registry shipped {} string bytes", stats.string_bytes);
     assert!(stats.messages < 500);
 }
 
