@@ -20,8 +20,10 @@ use sparklite::graphgen::GraphKind;
 fn main() {
     let opts = RunOpts::from_args();
     println!(
-        "Figure 8(a): 4 workloads x 4 graphs x 3 serializers (scale 1/{}, {} PR iters)",
-        opts.scale_divisor, opts.pr_iters
+        "Figure 8(a): 4 workloads x 4 graphs x 3 serializers (scale 1/{}, {} PR iters{})",
+        opts.scale_divisor,
+        opts.pr_iters,
+        if opts.pipeline { ", pipelined skyway shuffle" } else { "" }
     );
 
     let mut kryo_norms: Vec<Normalized> = Vec::new();

@@ -59,6 +59,11 @@ pub struct RunOpts {
     pub heap_bytes: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Pipelined Skyway shuffle (`--pipeline`): cross-node transfers run
+    /// through the chunk-granularity pipeline engine instead of the
+    /// serialize → spill → fetch → deserialize barrier. Only affects
+    /// Skyway cells.
+    pub pipeline: bool,
 }
 
 impl Default for RunOpts {
@@ -70,29 +75,43 @@ impl Default for RunOpts {
             n_workers: 3,
             heap_bytes: 448 << 20,
             seed: 42,
+            pipeline: false,
         }
     }
 }
 
 impl RunOpts {
-    /// Reads `--scale N`, `--workers N`, `--iters N`, `--seed N` from the
-    /// process arguments, falling back to defaults.
+    /// Reads `--scale N`, `--workers N`, `--iters N`, `--seed N`, and the
+    /// valueless `--pipeline` from the process arguments, falling back to
+    /// defaults.
     pub fn from_args() -> Self {
         let mut o = RunOpts::default();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
-        while i + 1 < args.len() {
+        while i < args.len() {
             match args[i].as_str() {
-                "--scale" => o.scale_divisor = args[i + 1].parse().unwrap_or(o.scale_divisor),
-                "--workers" => o.n_workers = args[i + 1].parse().unwrap_or(o.n_workers),
-                "--iters" => o.pr_iters = args[i + 1].parse().unwrap_or(o.pr_iters),
-                "--seed" => o.seed = args[i + 1].parse().unwrap_or(o.seed),
-                _ => {
+                "--pipeline" => {
+                    o.pipeline = true;
                     i += 1;
-                    continue;
                 }
+                "--scale" if i + 1 < args.len() => {
+                    o.scale_divisor = args[i + 1].parse().unwrap_or(o.scale_divisor);
+                    i += 2;
+                }
+                "--workers" if i + 1 < args.len() => {
+                    o.n_workers = args[i + 1].parse().unwrap_or(o.n_workers);
+                    i += 2;
+                }
+                "--iters" if i + 1 < args.len() => {
+                    o.pr_iters = args[i + 1].parse().unwrap_or(o.pr_iters);
+                    i += 2;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    o.seed = args[i + 1].parse().unwrap_or(o.seed);
+                    i += 2;
+                }
+                _ => i += 1,
             }
-            i += 2;
         }
         o
     }
@@ -107,6 +126,7 @@ pub fn cluster(kind: SerializerKind, opts: &RunOpts) -> SparkCluster {
         n_workers: opts.n_workers,
         serializer: kind,
         heap_bytes: opts.heap_bytes,
+        pipeline: opts.pipeline,
         ..SparkConfig::default()
     })
     .expect("cluster boot")

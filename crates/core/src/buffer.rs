@@ -9,6 +9,9 @@
 //! space; objects never span a chunk boundary (the flush happens when the
 //! next object does not fit).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::{Error, Result};
 
 /// Marker word: the next object in the stream is a top-level (root) object
@@ -23,6 +26,68 @@ pub const TOP_REF: u64 = 0xffff_ffff_ffff_fff1;
 /// Default chunk size (1 MiB).
 pub const DEFAULT_CHUNK: usize = 1 << 20;
 
+/// A reusable pool of chunk backings shared between output buffers and the
+/// consumers that drain their chunks. In steady state a pipelined transfer
+/// cycles the same handful of `Vec`s — sender acquires, receiver releases —
+/// so per-chunk heap allocation drops to zero after warm-up.
+#[derive(Debug, Default)]
+pub struct ChunkPool {
+    free: parking_lot::Mutex<Vec<Vec<u8>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ChunkPool {
+    /// An empty pool.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ChunkPool::default())
+    }
+
+    /// Hands out an empty `Vec` with at least `cap` capacity, preferring a
+    /// recycled backing (a *hit*) over a fresh allocation (a *miss*).
+    pub fn acquire(&self, cap: usize) -> Vec<u8> {
+        let recycled = {
+            let mut free = self.free.lock();
+            let idx = free.iter().position(|v| v.capacity() >= cap);
+            idx.map(|i| free.swap_remove(i))
+        };
+        match recycled {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Returns a chunk backing to the pool (cleared, capacity kept).
+    pub fn release(&self, mut v: Vec<u8>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        v.clear();
+        self.free.lock().push(v);
+    }
+
+    /// Number of backings currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Acquisitions served from the pool so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that had to allocate fresh memory so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// An output buffer bound to one destination/stream.
 #[derive(Debug)]
 pub struct OutputBuffer {
@@ -34,6 +99,7 @@ pub struct OutputBuffer {
     /// Next logical allocation address (the paper's `ob.allocableAddr`).
     pub allocable_addr: u64,
     chunks: Vec<Vec<u8>>,
+    pool: Option<Arc<ChunkPool>>,
 }
 
 impl OutputBuffer {
@@ -45,6 +111,21 @@ impl OutputBuffer {
             flushed_bytes: 0,
             allocable_addr: 0,
             chunks: Vec::new(),
+            pool: None,
+        }
+    }
+
+    /// Creates a buffer whose chunk backings come from (and should be
+    /// released back to) `pool`. The backing for each chunk is acquired
+    /// lazily on first placement, so a final flush never strands a buffer.
+    pub fn new_pooled(chunk_limit: usize, pool: Arc<ChunkPool>) -> Self {
+        OutputBuffer {
+            data: Vec::new(),
+            chunk_limit: chunk_limit.max(64),
+            flushed_bytes: 0,
+            allocable_addr: 0,
+            chunks: Vec::new(),
+            pool: Some(pool),
         }
     }
 
@@ -76,6 +157,11 @@ impl OutputBuffer {
     pub fn place(&mut self, logical: u64, size: u64) -> Result<()> {
         if self.data.len() + size as usize > self.chunk_limit && !self.data.is_empty() {
             self.flush();
+        }
+        if self.data.capacity() == 0 {
+            if let Some(pool) = &self.pool {
+                self.data = pool.acquire(self.chunk_limit);
+            }
         }
         if logical != self.flushed_bytes + self.data.len() as u64 {
             return Err(Error::OutOfOrderPlacement {
@@ -299,6 +385,48 @@ mod tests {
         assert!(parse_frames(b"SKYW\x02\x00\x00\x00\x00\x00").is_err());
         let blob = frame_chunks(&[vec![1, 2, 3]], 0);
         assert!(parse_frames(&blob[..blob.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn pooled_buffer_recycles_backings() {
+        let pool = ChunkPool::new();
+        let mut b = OutputBuffer::new_pooled(64, Arc::clone(&pool));
+        b.emit(48).unwrap();
+        b.emit(48).unwrap(); // flush #1
+        let chunks = b.finish(); // flush #2
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(pool.misses(), 2, "cold pool allocates every backing");
+        assert_eq!(pool.hits(), 0);
+        for c in chunks {
+            pool.release(c);
+        }
+        assert_eq!(pool.idle(), 2);
+        // A second stream of the same shape runs entirely on recycled
+        // backings: zero new misses.
+        let mut b = OutputBuffer::new_pooled(64, Arc::clone(&pool));
+        b.emit(48).unwrap();
+        b.emit(48).unwrap();
+        let chunks = b.finish();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(pool.misses(), 2);
+        assert_eq!(pool.hits(), 2);
+        assert!(chunks.iter().all(|c| c.len() == 48));
+    }
+
+    #[test]
+    fn pool_acquire_respects_capacity() {
+        let pool = ChunkPool::new();
+        pool.release(Vec::with_capacity(16));
+        // Too small for the request: a miss, small backing stays parked.
+        let v = pool.acquire(1024);
+        assert!(v.capacity() >= 1024);
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.idle(), 1);
+        // Small request reuses the parked backing.
+        let v = pool.acquire(8);
+        assert!(v.capacity() >= 8);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.idle(), 0);
     }
 
     #[test]

@@ -63,16 +63,19 @@
 pub mod buffer;
 pub mod compress;
 pub mod io;
+pub mod pipeline;
 pub mod receiver;
 pub mod registry;
 pub mod sender;
 pub mod serializer;
 pub mod stream;
 
+pub use buffer::ChunkPool;
 pub use io::{
     SkywayFileInputStream, SkywayFileOutputStream, SkywaySocketInputStream,
     SkywaySocketOutputStream,
 };
+pub use pipeline::{sequential_transfer, PipelineConfig, PipelineEngine, PipelineReport};
 pub use receiver::{GraphReceiver, ReceiveStats};
 pub use registry::{RegistryStats, TypeDirectory};
 pub use sender::{send_roots_parallel, GraphSender, SendConfig, SendStats, StreamOut, Tracking};

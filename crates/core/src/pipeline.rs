@@ -1,0 +1,566 @@
+//! Chunk-granularity pipelined shuffle engine.
+//!
+//! The sequential path (`SkywaySerializer::serialize` → transport →
+//! `deserialize`) is a strict three-phase barrier: build every chunk, move
+//! every chunk, then absolutize everything in one pass — paying
+//! sum-of-phases wall-clock. This module overlaps the phases at chunk
+//! granularity: a sender thread walks the object graph and flushes chunks
+//! into a bounded channel while the receiving thread places and absolutizes
+//! each chunk as it arrives, so chunk *N* is being absolutized while chunk
+//! *N+1* is in flight and chunk *N+2* is still being cloned out of the
+//! sender heap (paper §4.3 streams output buffers the same way).
+//!
+//! The channel bound provides backpressure: a slow receiver stalls the
+//! sender instead of letting chunks pile up unboundedly. Chunk backings
+//! come from a [`ChunkPool`] shared by sender (acquire) and receiver
+//! (release), so steady-state transfer performs zero per-chunk heap
+//! allocations.
+//!
+//! Simulated time is charged with the overlap-aware [`LinkClock`] schedule
+//! rather than the whole-payload `net_ns` formula, and both the pipelined
+//! schedule and the sequential sum are reported so benchmarks can compare
+//! like for like.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mheap::{Addr, Vm};
+use simnet::{Cluster, LinkClock, NodeId, SimConfig};
+
+use crate::buffer::ChunkPool;
+use crate::receiver::{GraphReceiver, ReceiveStats};
+use crate::registry::TypeDirectory;
+use crate::sender::{GraphSender, SendConfig, SendStats, Tracking};
+use crate::stream::UpdateRegistry;
+use crate::Result;
+
+/// Default flush threshold for pipelined transfer. Much smaller than the
+/// sequential default (1 MiB): the pipeline's overlap window is one chunk,
+/// so finer chunks mean earlier first-byte and smoother overlap, at the
+/// cost of per-chunk bookkeeping the pool keeps negligible.
+pub const DEFAULT_PIPELINE_CHUNK: usize = 64 << 10;
+
+/// Default bound of the in-flight chunk channel.
+pub const DEFAULT_DEPTH: usize = 4;
+
+/// Configuration of the pipelined engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Flush threshold of the sender's output buffer in bytes.
+    pub chunk_limit: usize,
+    /// Maximum chunks in flight between sender and receiver (channel
+    /// bound; the backpressure window).
+    pub depth: usize,
+    /// Visited-tracking mode for the sender; `None` picks `Baddr` when the
+    /// sender heap carries the word, `HashTable` otherwise.
+    pub tracking: Option<Tracking>,
+    /// Cost-model parameters for the simulated-time schedule.
+    pub sim: SimConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            chunk_limit: DEFAULT_PIPELINE_CHUNK,
+            depth: DEFAULT_DEPTH,
+            tracking: None,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Cached observability handles (`skyway.pipeline.*`).
+#[derive(Debug)]
+struct PipelineMetrics {
+    registry: Arc<obs::Registry>,
+    chunks_in_flight: Arc<obs::Gauge>,
+    stall_ns: Arc<obs::Counter>,
+    pool_hits: Arc<obs::Counter>,
+    pool_misses: Arc<obs::Counter>,
+    chunk_stall_ns: Arc<obs::Histogram>,
+}
+
+impl PipelineMetrics {
+    fn new(registry: Arc<obs::Registry>) -> Self {
+        PipelineMetrics {
+            chunks_in_flight: registry.gauge(obs::names::PIPELINE_CHUNKS_IN_FLIGHT),
+            stall_ns: registry.counter(obs::names::PIPELINE_STALL_NS),
+            pool_hits: registry.counter(obs::names::PIPELINE_POOL_HITS),
+            pool_misses: registry.counter(obs::names::PIPELINE_POOL_MISSES),
+            chunk_stall_ns: registry.histogram(obs::names::PIPELINE_CHUNK_STALL_NS),
+            registry,
+        }
+    }
+}
+
+/// What one pipelined transfer did and what it would have cost.
+///
+/// All `*_ns` figures are *simulated* nanoseconds on the [`SimConfig`]
+/// timeline: measured CPU time scaled by `sd_cpu_scale` (the same
+/// calibration every serializer pays in `simnet`) and wire time from the
+/// bandwidth/latency model.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Sender-side composition statistics.
+    pub send_stats: SendStats,
+    /// Receiver-side statistics (identical to the sequential path's).
+    pub recv_stats: ReceiveStats,
+    /// Per-chunk wire sizes, in stream order.
+    pub chunk_bytes: Vec<u64>,
+    /// End-to-end simulated time of the overlapped schedule.
+    pub pipelined_ns: u64,
+    /// Simulated time the sequential three-phase barrier would have paid
+    /// for the same work: produce + whole-payload transfer + absolutize.
+    pub sequential_ns: u64,
+    /// Scaled sender traversal CPU time.
+    pub produce_ns: u64,
+    /// Wire-occupancy time of all chunks.
+    pub wire_ns: u64,
+    /// Scaled receiver absolutization CPU time (including final fixups).
+    pub absorb_ns: u64,
+    /// Real time the sender spent blocked on a full channel.
+    pub sender_stall_ns: u64,
+    /// Real time the receiver spent blocked on an empty channel.
+    pub receiver_stall_ns: u64,
+    /// Chunk-pool hits during this transfer.
+    pub pool_hits: u64,
+    /// Chunk-pool misses (fresh allocations) during this transfer.
+    pub pool_misses: u64,
+    /// High-water mark of chunks in flight.
+    pub max_in_flight: u64,
+}
+
+impl PipelineReport {
+    /// Fraction of sequential time the pipeline saved (0..1).
+    pub fn speedup(&self) -> f64 {
+        if self.sequential_ns == 0 {
+            return 0.0;
+        }
+        1.0 - self.pipelined_ns as f64 / self.sequential_ns as f64
+    }
+
+    /// Charges this transfer into a [`Cluster`]'s per-node profiles using
+    /// the chunk-granularity accounting: scaled traversal CPU as `Ser` on
+    /// `src`, scaled absolutization CPU as `Deser` on `dst`, and each chunk
+    /// through [`Cluster::net_send_chunk`] / [`Cluster::net_recv_chunk`]
+    /// so the stream pays wire time per chunk but latency once.
+    ///
+    /// # Errors
+    /// [`simnet::Error::UnknownNode`].
+    pub fn charge(&self, cluster: &mut Cluster, src: NodeId, dst: NodeId) -> simnet::Result<()> {
+        use simnet::Category;
+        cluster.profile_mut(src).add_ns(Category::Ser, self.produce_ns);
+        cluster.profile_mut(dst).add_ns(Category::Deser, self.absorb_ns);
+        for &len in &self.chunk_bytes {
+            // Replay sizes only: the payload already moved in-process.
+            cluster.net_send_chunk(src, dst, vec![0u8; len as usize])?;
+            cluster.net_recv_chunk(dst, src)?;
+        }
+        cluster.net_stream_done(src, dst);
+        Ok(())
+    }
+}
+
+/// One chunk in flight: its bytes plus the sender's cumulative traversal
+/// CPU time (unscaled) at the moment the chunk was ready.
+type InFlight = (Vec<u8>, u64);
+
+/// What the sender thread hands back at join: its send statistics plus
+/// raw (unscaled) produce and channel-stall nanoseconds.
+type SenderSide = (SendStats, u64, u64);
+
+/// The pipelined shuffle engine. Holds the shared [`ChunkPool`] so buffer
+/// backings survive across transfers — the second transfer of a similar
+/// shape allocates nothing.
+#[derive(Debug)]
+pub struct PipelineEngine {
+    cfg: PipelineConfig,
+    pool: Arc<ChunkPool>,
+    metrics: PipelineMetrics,
+}
+
+impl PipelineEngine {
+    /// An engine with a fresh pool.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        PipelineEngine {
+            cfg,
+            pool: ChunkPool::new(),
+            metrics: PipelineMetrics::new(Arc::clone(obs::global())),
+        }
+    }
+
+    /// Reports into `registry` instead of the process-wide default
+    /// (scoped registries keep test assertions exact).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.metrics = PipelineMetrics::new(registry);
+        self
+    }
+
+    /// The engine's chunk pool (shared with every transfer's sender).
+    pub fn pool(&self) -> &Arc<ChunkPool> {
+        &self.pool
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.cfg
+    }
+
+    /// Moves the object graphs of `roots` from `sender_vm` to
+    /// `receiver_vm`, overlapping traversal, transfer, and absolutization.
+    /// Returns the received roots (arrival order, same as the sequential
+    /// path) and the transfer report.
+    ///
+    /// `src`/`dst` are the nodes the VMs live on; `sid`/`stream` identify
+    /// the shuffle stream exactly as on the sequential path.
+    ///
+    /// # Errors
+    /// Heap/registry/corrupt-stream errors from either side; sender-side
+    /// errors surface even when the receiver finished cleanly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer(
+        &self,
+        sender_vm: &Vm,
+        receiver_vm: &mut Vm,
+        dir: &TypeDirectory,
+        src: NodeId,
+        dst: NodeId,
+        sid: u8,
+        stream: u16,
+        roots: &[Addr],
+        hooks: Option<&UpdateRegistry>,
+    ) -> Result<(Vec<Addr>, PipelineReport)> {
+        let send_cfg = SendConfig {
+            chunk_limit: self.cfg.chunk_limit,
+            receiver_spec: receiver_vm.spec(),
+            tracking: self.cfg.tracking.unwrap_or(if sender_vm.spec().with_baddr {
+                Tracking::Baddr
+            } else {
+                Tracking::HashTable
+            }),
+        };
+        let pool_hits0 = self.pool.hits();
+        let pool_misses0 = self.pool.misses();
+        let in_flight = AtomicI64::new(0);
+        let max_in_flight = AtomicU64::new(0);
+        let (tx, rx) = mpsc::sync_channel::<InFlight>(self.cfg.depth.max(1));
+
+        // Timeline entries: (cumulative produce ns when ready, bytes,
+        // absorb ns for this chunk). Scaled and scheduled after the join.
+        let mut timeline: Vec<(u64, u64, u64)> = Vec::new();
+        let mut receiver_stall_ns = 0u64;
+        let mut absorb_raw_ns = 0u64;
+        let mut fixup_raw_ns = 0u64;
+
+        let (roots_out, recv_stats, send_side) =
+            std::thread::scope(|scope| -> Result<(Vec<Addr>, ReceiveStats, SenderSide)> {
+                // The sender thread owns `tx`: when it returns, the channel
+                // closes and the receive loop below terminates. Everything
+                // else crosses as shared references (`Vm`, the registry,
+                // and the pool are all `Sync`).
+                let in_flight = &in_flight;
+                let max_in_flight = &max_in_flight;
+                let metrics = &self.metrics;
+                let pool = &self.pool;
+                let sender_task = scope.spawn(move || -> Result<(SendStats, u64, u64)> {
+                    let mut gs = GraphSender::new(sender_vm, dir, src, sid, stream, send_cfg)?
+                        .with_metrics(Arc::clone(&metrics.registry))
+                        .with_pool(Arc::clone(pool));
+                    let mut produce_ns = 0u64;
+                    let mut stall_ns = 0u64;
+                    let ship = |chunks: Vec<Vec<u8>>, produce_ns: u64, stall: &mut u64| {
+                        for c in chunks {
+                            let t0 = Instant::now();
+                            // A closed channel means the receiver bailed
+                            // with an error; stop producing quietly — the
+                            // receiver's error wins.
+                            if tx.send((c, produce_ns)).is_err() {
+                                return false;
+                            }
+                            *stall += t0.elapsed().as_nanos() as u64;
+                            let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                            metrics.chunks_in_flight.set(now);
+                            max_in_flight.fetch_max(now.max(0) as u64, Ordering::Relaxed);
+                        }
+                        true
+                    };
+                    for &root in roots {
+                        let t0 = Instant::now();
+                        gs.write_root(root)?;
+                        produce_ns += t0.elapsed().as_nanos() as u64;
+                        if !ship(gs.take_ready_chunks(), produce_ns, &mut stall_ns) {
+                            return Ok((gs.finish().stats, produce_ns, stall_ns));
+                        }
+                    }
+                    let t0 = Instant::now();
+                    let out = gs.finish();
+                    produce_ns += t0.elapsed().as_nanos() as u64;
+                    ship(out.chunks, produce_ns, &mut stall_ns);
+                    Ok((out.stats, produce_ns, stall_ns))
+                });
+
+                // Receiver runs on this thread: it owns `&mut Vm`.
+                let recv_result = (|| -> Result<(Vec<Addr>, ReceiveStats)> {
+                    let mut gr = GraphReceiver::new(receiver_vm, dir, dst)
+                        .with_metrics(Arc::clone(&self.metrics.registry));
+                    loop {
+                        let t0 = Instant::now();
+                        let Ok((chunk, ready_ns)) = rx.recv() else { break };
+                        let waited = t0.elapsed().as_nanos() as u64;
+                        receiver_stall_ns += waited;
+                        self.metrics.chunk_stall_ns.record(waited);
+                        let now = in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+                        self.metrics.chunks_in_flight.set(now);
+                        let t1 = Instant::now();
+                        gr.push_chunk(&chunk)?;
+                        gr.absorb_ready(hooks)?;
+                        let absorb = t1.elapsed().as_nanos() as u64;
+                        absorb_raw_ns += absorb;
+                        timeline.push((ready_ns, chunk.len() as u64, absorb));
+                        self.pool.release(chunk);
+                    }
+                    let t0 = Instant::now();
+                    let out = gr.finish(hooks)?;
+                    fixup_raw_ns = t0.elapsed().as_nanos() as u64;
+                    Ok(out)
+                })();
+                // Receiver error: drop the channel end so a blocked sender
+                // unblocks, then surface whichever error came first.
+                drop(rx);
+                let send_side = match sender_task.join() {
+                    Ok(r) => r?,
+                    Err(p) => std::panic::resume_unwind(p),
+                };
+                let (roots_out, recv_stats) = recv_result?;
+                Ok((roots_out, recv_stats, send_side))
+            })?;
+        let (send_stats, produce_raw_ns, sender_stall_ns) = send_side;
+
+        self.metrics.chunks_in_flight.set(0);
+        self.metrics.stall_ns.add(sender_stall_ns + receiver_stall_ns);
+        let pool_hits = self.pool.hits() - pool_hits0;
+        let pool_misses = self.pool.misses() - pool_misses0;
+        self.metrics.pool_hits.add(pool_hits);
+        self.metrics.pool_misses.add(pool_misses);
+
+        let report = self.schedule(
+            &timeline,
+            produce_raw_ns,
+            absorb_raw_ns + fixup_raw_ns,
+            fixup_raw_ns,
+            send_stats,
+            recv_stats,
+            sender_stall_ns,
+            receiver_stall_ns,
+            pool_hits,
+            pool_misses,
+            max_in_flight.load(Ordering::Relaxed),
+        );
+        Ok((roots_out, report))
+    }
+
+    /// Builds the simulated-time comparison from the measured timeline.
+    ///
+    /// Pipelined: each chunk becomes ready at its (scaled) cumulative
+    /// produce time, crosses the wire under the [`LinkClock`] schedule,
+    /// and is absolutized as soon as both it and the absorber are free;
+    /// the final fixup drain runs after the last chunk. Sequential: all
+    /// produce, then the whole payload at `net_ns`, then all absorption —
+    /// the three-phase barrier the sequential path actually pays.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule(
+        &self,
+        timeline: &[(u64, u64, u64)],
+        produce_raw_ns: u64,
+        absorb_raw_total_ns: u64,
+        fixup_raw_ns: u64,
+        send_stats: SendStats,
+        recv_stats: ReceiveStats,
+        sender_stall_ns: u64,
+        receiver_stall_ns: u64,
+        pool_hits: u64,
+        pool_misses: u64,
+        max_in_flight: u64,
+    ) -> PipelineReport {
+        let scale = |ns: u64| -> u64 { (ns as f64 * self.cfg.sim.sd_cpu_scale) as u64 };
+        let mut link = LinkClock::new(&self.cfg.sim);
+        let mut absorber_free = 0u64;
+        let mut total_bytes = 0u64;
+        let mut chunk_bytes = Vec::with_capacity(timeline.len());
+        for &(ready_raw, bytes, absorb_raw) in timeline {
+            let arrival = link.send(scale(ready_raw), bytes);
+            absorber_free = absorber_free.max(arrival) + scale(absorb_raw);
+            total_bytes += bytes;
+            chunk_bytes.push(bytes);
+        }
+        let pipelined_ns = absorber_free + scale(fixup_raw_ns);
+        let sequential_ns =
+            scale(produce_raw_ns) + self.cfg.sim.net_ns(total_bytes) + scale(absorb_raw_total_ns);
+        PipelineReport {
+            send_stats,
+            recv_stats,
+            chunk_bytes,
+            pipelined_ns,
+            sequential_ns,
+            produce_ns: scale(produce_raw_ns),
+            wire_ns: link.busy_ns(),
+            absorb_ns: scale(absorb_raw_total_ns),
+            sender_stall_ns,
+            receiver_stall_ns,
+            pool_hits,
+            pool_misses,
+            max_in_flight,
+        }
+    }
+}
+
+/// A sequential (three-phase) reference transfer over the same VM pair,
+/// for equivalence tests and benchmarks: send everything, then push every
+/// chunk, then absolutize in one pass.
+///
+/// # Errors
+/// Heap/registry/corrupt-stream errors.
+#[allow(clippy::too_many_arguments)]
+pub fn sequential_transfer(
+    sender_vm: &Vm,
+    receiver_vm: &mut Vm,
+    dir: &TypeDirectory,
+    src: NodeId,
+    dst: NodeId,
+    sid: u8,
+    stream: u16,
+    roots: &[Addr],
+    hooks: Option<&UpdateRegistry>,
+    cfg: SendConfig,
+) -> Result<(Vec<Addr>, SendStats, ReceiveStats)> {
+    let mut gs = GraphSender::new(sender_vm, dir, src, sid, stream, cfg)?;
+    for &root in roots {
+        gs.write_root(root)?;
+    }
+    let out = gs.finish();
+    let mut gr = GraphReceiver::new(receiver_vm, dir, dst);
+    for c in &out.chunks {
+        gr.push_chunk(c)?;
+    }
+    let (roots_out, recv_stats) = gr.finish(hooks)?;
+    Ok((roots_out, out.stats, recv_stats))
+}
+
+// Sanity: the sender half is moved into a scoped thread holding `&Vm`,
+// `&TypeDirectory`, and `&PipelineEngine`; this is only sound because all
+// three are `Sync` (the registry serves concurrent tID lookups, the pool
+// is lock-protected). The compiler enforces it — this note is for readers.
+#[allow(dead_code)]
+fn _assert_sync(v: &Vm, d: &TypeDirectory, p: &PipelineEngine) {
+    fn is_sync<T: Sync>(_: &T) {}
+    is_sync(v);
+    is_sync(d);
+    is_sync(p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mheap::{stdlib::define_core_classes, ClassPath, HeapConfig};
+
+    fn env() -> (Arc<TypeDirectory>, Vm, Vm) {
+        let cp = ClassPath::new();
+        define_core_classes(&cp);
+        let sender = Vm::new("s", &HeapConfig::small(), Arc::clone(&cp)).unwrap();
+        let receiver = Vm::new("r", &HeapConfig::small(), cp).unwrap();
+        let dir = Arc::new(TypeDirectory::new(2, NodeId(0)));
+        dir.bootstrap_driver(&sender).unwrap();
+        dir.worker_startup(NodeId(1)).unwrap();
+        (dir, sender, receiver)
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_roots() {
+        let (dir, mut s, mut r) = env();
+        let mut root_addrs = Vec::new();
+        for i in 0..64 {
+            root_addrs.push(s.new_string(&format!("payload {i} {}", "x".repeat(i))).unwrap());
+        }
+        let engine =
+            PipelineEngine::new(PipelineConfig { chunk_limit: 256, ..PipelineConfig::default() });
+        let (got, report) = engine
+            .transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 1, &root_addrs, None)
+            .unwrap();
+        assert_eq!(got.len(), root_addrs.len());
+        for (i, a) in got.iter().enumerate() {
+            assert!(r.read_string(*a).unwrap().starts_with(&format!("payload {i} ")));
+        }
+        // Same work as the sequential reference path over identical input.
+        let (dir2, mut s2, mut r2) = env();
+        let mut addrs2 = Vec::new();
+        for i in 0..64 {
+            addrs2.push(s2.new_string(&format!("payload {i} {}", "x".repeat(i))).unwrap());
+        }
+        let cfg = SendConfig { chunk_limit: 256, ..SendConfig::for_vm(&s2) };
+        let (got2, sstats2, rstats2) = sequential_transfer(
+            &s2,
+            &mut r2,
+            &dir2,
+            NodeId(0),
+            NodeId(1),
+            1,
+            1,
+            &addrs2,
+            None,
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(got2.len(), got.len());
+        assert_eq!(report.recv_stats.objects, rstats2.objects);
+        assert_eq!(report.recv_stats.bytes, rstats2.bytes);
+        assert_eq!(report.recv_stats.ref_fixups, rstats2.ref_fixups);
+        assert_eq!(report.send_stats.total_bytes, sstats2.total_bytes);
+        assert!(report.chunk_bytes.len() > 1, "test must span multiple chunks");
+        assert_eq!(
+            report.chunk_bytes.iter().sum::<u64>(),
+            report.send_stats.total_bytes,
+            "every produced byte crossed the channel"
+        );
+    }
+
+    #[test]
+    fn second_transfer_reuses_every_backing() {
+        let (dir, mut s, mut r) = env();
+        let mut addrs = Vec::new();
+        for i in 0..32 {
+            addrs.push(s.new_string(&format!("pooled {i}")).unwrap());
+        }
+        let reg = Arc::new(obs::Registry::new());
+        let engine =
+            PipelineEngine::new(PipelineConfig { chunk_limit: 128, ..PipelineConfig::default() })
+                .with_metrics(Arc::clone(&reg));
+        let (_, first) =
+            engine.transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 1, &addrs, None).unwrap();
+        assert!(first.pool_misses > 0, "cold pool must allocate");
+        let (_, second) =
+            engine.transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 2, &addrs, None).unwrap();
+        assert_eq!(second.pool_misses, 0, "steady state allocates nothing");
+        assert!(second.pool_hits > 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("skyway.pipeline.pool_misses"), first.pool_misses);
+        assert!(snap.counter("skyway.pipeline.pool_hits") >= second.pool_hits);
+    }
+
+    #[test]
+    fn report_charges_cluster_stream() {
+        let (dir, mut s, mut r) = env();
+        let addrs = [s.new_string("charged").unwrap()];
+        let engine = PipelineEngine::new(PipelineConfig::default());
+        let (_, report) =
+            engine.transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 1, &addrs, None).unwrap();
+        let mut cluster = Cluster::new(2, SimConfig::default());
+        report.charge(&mut cluster, NodeId(0), NodeId(1)).unwrap();
+        let p = cluster.profile(NodeId(1));
+        assert_eq!(p.bytes_remote, report.send_stats.total_bytes);
+        assert_eq!(cluster.profile(NodeId(0)).ns(simnet::Category::Ser), report.produce_ns);
+        assert_eq!(cluster.profile(NodeId(1)).ns(simnet::Category::Deser), report.absorb_ns);
+    }
+}

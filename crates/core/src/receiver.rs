@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mheap::layout::mark;
-use mheap::{Addr, KlassId, KlassKind, Vm, CARD_SIZE, FILLER_WORD};
+use mheap::{Addr, KlassId, KlassKind, Vm, FILLER_WORD};
 use simnet::NodeId;
 
 use crate::buffer::{TOP_MARK, TOP_REF};
@@ -91,7 +91,13 @@ impl ReceiverMetrics {
     }
 }
 
-/// The receiver side of one stream: accumulates chunks, then absolutizes.
+/// The receiver side of one stream: accumulates chunks and absolutizes
+/// them — either in one pass at [`GraphReceiver::finish`] (the sequential
+/// path) or chunk by chunk as they arrive via
+/// [`GraphReceiver::absorb_ready`] (the pipelined path). Incremental
+/// absorption resolves every intra-chunk and backward reference on the
+/// spot; forward references into chunks that have not arrived yet go onto
+/// a short fixup list drained in `finish`.
 pub struct GraphReceiver<'a> {
     vm: &'a mut Vm,
     dir: &'a TypeDirectory,
@@ -102,6 +108,23 @@ pub struct GraphReceiver<'a> {
     facts_cache: HashMap<u32, TidFacts>,
     stats: ReceiveStats,
     metrics: ReceiverMetrics,
+    /// Chunks absolutized so far (prefix of `chunks`).
+    absorbed: usize,
+    /// Roots recovered so far, in arrival order.
+    roots: Vec<Addr>,
+    /// Reference slots whose target chunk had not arrived when the slot
+    /// was scanned: (absolute slot address, logical target).
+    ref_fixups: Vec<(u64, u64)>,
+    /// Top references whose target chunk had not arrived: (index into
+    /// `roots`, logical target).
+    root_fixups: Vec<(usize, u64)>,
+    /// One absorbed range per chunk; cards are dirtied in one batch at
+    /// `finish` instead of object by object during absorption.
+    card_spans: Vec<(Addr, u64)>,
+    /// A top mark at the very end of a chunk applies to the first object
+    /// of the next chunk.
+    next_is_root: bool,
+    pending_hooks: Vec<(Addr, usize)>,
 }
 
 impl<'a> std::fmt::Debug for GraphReceiver<'a> {
@@ -127,6 +150,13 @@ impl<'a> GraphReceiver<'a> {
             facts_cache: HashMap::new(),
             stats: ReceiveStats::default(),
             metrics: ReceiverMetrics::new(Arc::clone(obs::global())),
+            absorbed: 0,
+            roots: Vec::new(),
+            ref_fixups: Vec::new(),
+            root_fixups: Vec::new(),
+            card_spans: Vec::new(),
+            next_is_root: false,
+            pending_hooks: Vec::new(),
         }
     }
 
@@ -193,25 +223,37 @@ impl<'a> GraphReceiver<'a> {
     }
 
     /// Translates a logical stream offset to an absolute heap address.
+    ///
+    /// Chunk ranges are sorted, contiguous, and start at logical 0, so the
+    /// first chunk whose end lies past `logical` either contains it or does
+    /// not exist — any offset at or past the received byte count (and any
+    /// offset against an empty chunk list) is dangling, never clamped to
+    /// the last chunk.
     fn translate(&self, logical: u64) -> Result<Addr> {
-        // Binary search over sorted, contiguous chunk ranges.
-        let idx = self
-            .chunks
-            .partition_point(|c| c.logical_start + c.len <= logical)
-            .min(self.chunks.len().saturating_sub(1));
+        let idx = self.chunks.partition_point(|c| c.logical_start + c.len <= logical);
         let c = self.chunks.get(idx).ok_or(Error::DanglingRelativeAddr(logical))?;
-        if logical < c.logical_start || logical >= c.logical_start + c.len {
-            return Err(Error::DanglingRelativeAddr(logical));
-        }
+        debug_assert!(logical >= c.logical_start, "chunk ranges are gapless from 0");
         Ok(Addr(c.base.0 + (logical - c.logical_start)))
     }
 
+    /// Rewrites one reference slot from a relative to an absolute address.
+    /// A forward reference into a chunk that has not arrived yet is left
+    /// relative and queued on the fixup list for [`GraphReceiver::finish`].
     fn absolutize_slot(&mut self, obj: Addr, off: u64) -> Result<()> {
-        let v = self.vm.heap().arena().load_word(obj.0 + off).map_err(Error::Heap)?;
-        let abs = if v == 0 { Addr::NULL } else { self.translate(v - 1)? };
+        let slot = obj.0 + off;
+        let v = self.vm.heap().arena().load_word(slot).map_err(Error::Heap)?;
         self.stats.ref_fixups += 1;
         self.metrics.ref_fixups.inc();
-        self.vm.heap().arena().store_word(obj.0 + off, abs.0).map_err(Error::Heap)
+        if v == 0 {
+            return self.vm.heap().arena().store_word(slot, Addr::NULL.0).map_err(Error::Heap);
+        }
+        let logical = v - 1;
+        if logical >= self.next_logical {
+            self.ref_fixups.push((slot, logical));
+            return Ok(());
+        }
+        let abs = self.translate(logical)?;
+        self.vm.heap().arena().store_word(slot, abs.0).map_err(Error::Heap)
     }
 
     fn klass_for_tid(&mut self, tid: u32) -> Result<KlassId> {
@@ -236,28 +278,26 @@ impl<'a> GraphReceiver<'a> {
         Ok(kid)
     }
 
-    /// The single linear absolutization pass. Returns the root objects in
-    /// arrival order, plus statistics.
-    ///
-    /// The returned roots are *not yet GC roots*: callers must register
-    /// them (handles) before any further allocation on this VM.
+    /// Absolutizes every chunk placed so far but not yet absorbed — the
+    /// pipelined receive path calls this after each arrival so absorption
+    /// overlaps with the transfer of later chunks. Intra-chunk and
+    /// backward references resolve immediately; forward references into
+    /// chunks that have not arrived yet are queued and drained by
+    /// [`GraphReceiver::finish`].
     ///
     /// # Errors
     /// Corrupt-stream and heap errors.
-    pub fn finish(mut self, hooks: Option<&UpdateRegistry>) -> Result<(Vec<Addr>, ReceiveStats)> {
+    pub fn absorb_ready(&mut self, hooks: Option<&UpdateRegistry>) -> Result<()> {
         let spec = self.vm.spec();
-        let mut roots: Vec<Addr> = Vec::new();
-        let mut pending_hooks: Vec<(Addr, usize)> = Vec::new();
-        let mut next_is_root = false;
-        let chunk_list = self.chunks.clone();
-        for c in &chunk_list {
+        while self.absorbed < self.chunks.len() {
+            let c = self.chunks[self.absorbed];
             let objects_before = self.stats.objects;
             let mut at = c.base.0;
             let end = c.base.0 + c.len;
             while at < end {
                 let w = self.vm.heap().arena().load_word(at).map_err(Error::Heap)?;
                 if w == TOP_MARK {
-                    next_is_root = true;
+                    self.next_is_root = true;
                     self.vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
                     at += 8;
                     continue;
@@ -267,7 +307,14 @@ impl<'a> GraphReceiver<'a> {
                     if l == 0 {
                         return Err(Error::BadFrame("null top reference".into()));
                     }
-                    roots.push(self.translate(l - 1)?);
+                    if l > self.next_logical {
+                        // Top reference into a chunk still in flight.
+                        self.root_fixups.push((self.roots.len(), l - 1));
+                        self.roots.push(Addr::NULL);
+                    } else {
+                        let r = self.translate(l - 1)?;
+                        self.roots.push(r);
+                    }
                     self.vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
                     self.vm.heap().arena().store_word(at + 8, FILLER_WORD).map_err(Error::Heap)?;
                     at += 16;
@@ -336,37 +383,106 @@ impl<'a> GraphReceiver<'a> {
                     }
                     KlassKind::PrimArray(_) => {}
                 }
-                if next_is_root {
-                    roots.push(obj);
-                    next_is_root = false;
+                if self.next_is_root {
+                    self.roots.push(obj);
+                    self.next_is_root = false;
                 }
                 if let Some(hook_idx) = facts.hooked {
-                    pending_hooks.push((obj, hook_idx));
+                    self.pending_hooks.push((obj, hook_idx));
                 }
                 self.stats.objects += 1;
                 self.metrics.objects.inc();
                 at += size;
             }
-            // New pointers now live in the old generation: tell the GC.
-            self.vm.heap_mut().dirty_card_range(c.base, c.len);
-            let cards = if c.len == 0 {
-                0
-            } else {
-                (c.base.0 + c.len - 1) / CARD_SIZE - c.base.0 / CARD_SIZE + 1
-            };
-            self.stats.cards_dirtied += cards;
-            self.metrics.cards_dirtied.add(cards);
+            // New pointers now live in the old generation; the card table
+            // is updated in one batch at `finish` (no allocation — and
+            // therefore no GC — can happen before the roots are returned).
+            self.card_spans.push((c.base, c.len));
             self.metrics.registry.record(obs::Event::ChunkAbsorbed {
                 bytes: c.len,
                 objects: self.stats.objects - objects_before,
             });
+            self.absorbed += 1;
         }
+        Ok(())
+    }
+
+    /// Number of forward references still awaiting their target chunk
+    /// (pipeline diagnostics).
+    pub fn pending_fixups(&self) -> usize {
+        self.ref_fixups.len() + self.root_fixups.len()
+    }
+
+    /// Completes the receive: absolutizes any chunks not yet absorbed,
+    /// drains the cross-chunk fixup lists, dirties the card table in one
+    /// batch, and applies update hooks. Returns the root objects in
+    /// arrival order, plus statistics.
+    ///
+    /// The returned roots are *not yet GC roots*: callers must register
+    /// them (handles) before any further allocation on this VM.
+    ///
+    /// # Errors
+    /// Corrupt-stream and heap errors.
+    pub fn finish(mut self, hooks: Option<&UpdateRegistry>) -> Result<(Vec<Addr>, ReceiveStats)> {
+        self.absorb_ready(hooks)?;
+        // Cross-chunk forward references: every chunk has arrived now, so
+        // any still-unresolved target is genuinely dangling.
+        for (slot, logical) in std::mem::take(&mut self.ref_fixups) {
+            let abs = self.translate(logical)?;
+            self.vm.heap().arena().store_word(slot, abs.0).map_err(Error::Heap)?;
+        }
+        for (idx, logical) in std::mem::take(&mut self.root_fixups) {
+            let abs = self.translate(logical)?;
+            self.roots[idx] = abs;
+        }
+        // One batched card-table pass over all absorbed ranges: tell the GC.
+        let cards = self.vm.heap_mut().dirty_card_batch(&self.card_spans);
+        self.stats.cards_dirtied += cards;
+        self.metrics.cards_dirtied.add(cards);
         // Post-transfer field updates (§3.3 registerUpdate).
         if let Some(h) = hooks {
-            for (obj, idx) in pending_hooks {
+            for (obj, idx) in std::mem::take(&mut self.pending_hooks) {
                 h.apply(self.vm, obj, idx)?;
             }
         }
-        Ok((roots, self.stats))
+        Ok((std::mem::take(&mut self.roots), self.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mheap::{stdlib::define_core_classes, ClassPath, HeapConfig};
+
+    fn env() -> (Vm, TypeDirectory) {
+        let cp = ClassPath::new();
+        define_core_classes(&cp);
+        let vm = Vm::new("recv", &HeapConfig::small(), cp).unwrap();
+        (vm, TypeDirectory::new(1, NodeId(0)))
+    }
+
+    #[test]
+    fn translate_empty_chunk_list_is_dangling() {
+        let (mut vm, dir) = env();
+        let r = GraphReceiver::new(&mut vm, &dir, NodeId(0));
+        assert!(matches!(r.translate(0), Err(Error::DanglingRelativeAddr(0))));
+        assert!(matches!(r.translate(64), Err(Error::DanglingRelativeAddr(64))));
+    }
+
+    #[test]
+    fn translate_past_the_end_is_dangling() {
+        let (mut vm, dir) = env();
+        let mut r = GraphReceiver::new(&mut vm, &dir, NodeId(0));
+        r.push_chunk(&[0u8; 32]).unwrap();
+        r.push_chunk(&[0u8; 16]).unwrap();
+        // In-range logicals resolve, and stay contiguous across chunks.
+        let a0 = r.translate(0).unwrap();
+        let a31 = r.translate(31).unwrap();
+        assert_eq!(a31.0 - a0.0, 31);
+        assert!(r.translate(32).is_ok());
+        assert!(r.translate(47).is_ok());
+        // One past the end of the last chunk must not clamp to it.
+        assert!(matches!(r.translate(48), Err(Error::DanglingRelativeAddr(48))));
+        assert!(matches!(r.translate(u64::MAX - 1), Err(Error::DanglingRelativeAddr(_))));
     }
 }

@@ -212,6 +212,14 @@ impl<'a> GraphSender<'a> {
         self
     }
 
+    /// Draws chunk backings from `pool` instead of allocating each one,
+    /// so steady-state pipelined transfer does zero per-chunk allocations.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<crate::buffer::ChunkPool>) -> Self {
+        self.out = OutputBuffer::new_pooled(self.cfg.chunk_limit, pool);
+        self
+    }
+
     /// Resolves (and caches) the per-klass facts for the klass word of
     /// `obj`.
     fn facts_for(&mut self, obj: Addr) -> Result<&KlassFacts> {

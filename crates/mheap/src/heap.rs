@@ -343,12 +343,41 @@ impl Heap {
 
     /// Dirties every card overlapping `[addr, addr+len)`.
     pub fn dirty_card_range(&mut self, addr: Addr, len: u64) {
-        let mut a = addr.0;
-        let end = addr.0 + len.max(1);
-        while a < end {
-            self.dirty_card(Addr(a));
-            a += CARD_SIZE;
-        }
+        self.dirty_card_span(addr, len);
+    }
+
+    /// Dirties every card overlapping `[addr, addr+len)` in one slice fill,
+    /// returning how many of those cards were *newly* dirtied. The index
+    /// range is computed once instead of re-checking old-generation bounds
+    /// per card, so absorbing a chunk costs one memset-like pass.
+    fn dirty_card_span(&mut self, addr: Addr, len: u64) -> u64 {
+        let end = Addr(addr.0 + len.max(1) - 1);
+        let (Some(first), Some(last)) = (self.card_index(addr), self.card_index(end)) else {
+            // Partially outside the old generation: fall back to the
+            // per-card barrier for whatever part is covered.
+            let mut newly = 0;
+            let mut a = addr.0;
+            while a < addr.0 + len.max(1) {
+                if let Some(i) = self.card_index(Addr(a)) {
+                    newly += u64::from(self.cards[i] == 0);
+                    self.cards[i] = 1;
+                }
+                a += CARD_SIZE;
+            }
+            return newly;
+        };
+        let span = &mut self.cards[first..=last];
+        let newly = span.iter().filter(|&&c| c == 0).count() as u64;
+        span.fill(1);
+        newly
+    }
+
+    /// Dirties the cards covering a batch of ranges in one pass, returning
+    /// how many cards went from clean to dirty across the whole batch.
+    /// Skyway's incremental receiver collects one range per absorbed chunk
+    /// and applies them all here instead of dirtying object by object.
+    pub fn dirty_card_batch(&mut self, ranges: &[(Addr, u64)]) -> u64 {
+        ranges.iter().map(|&(a, l)| self.dirty_card_span(a, l)).sum()
     }
 
     /// True if the card covering `addr` is dirty.
@@ -450,6 +479,22 @@ mod tests {
         assert!(h.is_card_dirty(Addr(a.0 + 2 * CARD_SIZE)));
         h.clear_cards();
         assert_eq!(h.dirty_card_count(), 0);
+    }
+
+    #[test]
+    fn card_batch_counts_newly_dirtied_once() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        let a = h.alloc_raw_old(CARD_SIZE * 4).unwrap();
+        // Two ranges sharing a card: the shared card counts once, so the
+        // reported count equals the number of dirty cards in the table.
+        let newly =
+            h.dirty_card_batch(&[(a, CARD_SIZE + 8), (Addr(a.0 + CARD_SIZE), CARD_SIZE * 2)]);
+        assert_eq!(newly as usize, h.dirty_card_count());
+        // Re-dirtying the same span reports zero new cards.
+        assert_eq!(h.dirty_card_batch(&[(a, CARD_SIZE * 3)]), 0);
+        assert!(h.is_card_dirty(Addr(a.0 + 2 * CARD_SIZE)));
+        // Ranges outside the old generation are a no-op, not a panic.
+        assert_eq!(h.dirty_card_batch(&[(Addr(8), 64)]), 0);
     }
 
     #[test]

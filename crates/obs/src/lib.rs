@@ -26,6 +26,26 @@ pub use metrics::{Counter, Gauge, Histogram, ScopedTimer, HISTOGRAM_BUCKETS};
 pub use recorder::{Event, FlightRecorder, TimedEvent};
 pub use snapshot::{HistogramSnapshot, ProfileSection, Snapshot};
 
+/// Canonical dotted names for cross-crate metrics, so producers and the
+/// dashboards/tests that read snapshots cannot drift apart. Components
+/// with only crate-local readers keep their names at the call site; names
+/// listed here are read from *other* crates (bench assertions, CI smoke
+/// checks).
+pub mod names {
+    /// Gauge: chunks currently in flight between pipelined sender and
+    /// receiver (bounded by the pipeline depth).
+    pub const PIPELINE_CHUNKS_IN_FLIGHT: &str = "skyway.pipeline.chunks_in_flight";
+    /// Counter: total real nanoseconds either pipeline end spent blocked
+    /// on the chunk channel (sender on full, receiver on empty).
+    pub const PIPELINE_STALL_NS: &str = "skyway.pipeline.stall_ns";
+    /// Counter: chunk-buffer backings served from the pool.
+    pub const PIPELINE_POOL_HITS: &str = "skyway.pipeline.pool_hits";
+    /// Counter: chunk-buffer backings freshly allocated (pool empty).
+    pub const PIPELINE_POOL_MISSES: &str = "skyway.pipeline.pool_misses";
+    /// Histogram: per-chunk receiver wait before the chunk arrived.
+    pub const PIPELINE_CHUNK_STALL_NS: &str = "skyway.pipeline.chunk_stall_ns";
+}
+
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 

@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod link;
 pub mod profile;
 
 pub use cluster::{Cluster, NodeId, SimConfig};
+pub use link::LinkClock;
 pub use profile::{BreakdownRow, Category, Profile};
 
 /// Errors produced by the cluster fabric.

@@ -69,6 +69,12 @@ pub struct SparkConfig {
     /// Parallel sender threads per Skyway serialize call (§4.2 "Support
     /// for Threads"); 1 = single-stream.
     pub skyway_send_threads: usize,
+    /// Pipelined Skyway shuffle: cross-node transfers overlap traversal,
+    /// transfer, and absolutization at chunk granularity instead of the
+    /// serialize → spill → fetch → deserialize barrier. Only applies when
+    /// `serializer` is [`SerializerKind::Skyway`]; same-node transfers
+    /// keep the spill path (one VM cannot host both ends concurrently).
+    pub pipeline: bool,
 }
 
 impl Default for SparkConfig {
@@ -81,6 +87,7 @@ impl Default for SparkConfig {
             chunk_limit: 1 << 20,
             spec: LayoutSpec::SKYWAY,
             skyway_send_threads: 1,
+            pipeline: false,
         }
     }
 }
@@ -114,6 +121,10 @@ pub struct SparkCluster {
     skyway_phases: bool,
     shuffle_seq: u64,
     classpath: Arc<ClassPath>,
+    /// Present iff the pipelined Skyway shuffle is enabled; lives for the
+    /// cluster's lifetime so its chunk pool carries backings across
+    /// shuffles (steady-state transfers allocate nothing).
+    pipeline_engine: Option<skyway::PipelineEngine>,
 }
 
 impl std::fmt::Debug for SparkCluster {
@@ -225,6 +236,17 @@ impl SparkCluster {
             controllers.push(controller);
         }
 
+        let pipeline_engine =
+            if cfg.pipeline && custom.is_none() && cfg.serializer == SerializerKind::Skyway {
+                Some(skyway::PipelineEngine::new(skyway::PipelineConfig {
+                    chunk_limit: cfg.chunk_limit.min(skyway::pipeline::DEFAULT_PIPELINE_CHUNK),
+                    sim: cfg.sim,
+                    ..skyway::PipelineConfig::default()
+                }))
+            } else {
+                None
+            };
+
         Ok(SparkCluster {
             cluster: Cluster::new(n_nodes, cfg.sim),
             vms,
@@ -236,7 +258,25 @@ impl SparkCluster {
             skyway_phases,
             shuffle_seq: 0,
             classpath,
+            pipeline_engine,
         })
+    }
+
+    /// Two distinct VMs at once: the sender end shared, the receiver end
+    /// exclusive — the borrow split the pipelined shuffle needs.
+    ///
+    /// # Panics
+    /// Panics when `src == dst` (the pipelined path never pairs a VM with
+    /// itself; same-node transfers take the spill path).
+    fn vm_pair(vms: &mut [Vm], src: usize, dst: usize) -> (&Vm, &mut Vm) {
+        assert_ne!(src, dst, "a VM cannot be both ends of a pipelined transfer");
+        if src < dst {
+            let (a, b) = vms.split_at_mut(dst);
+            (&a[src], &mut b[0])
+        } else {
+            let (a, b) = vms.split_at_mut(src);
+            (&b[0], &mut a[dst])
+        }
     }
 
     /// Number of workers.
@@ -492,6 +532,20 @@ impl SparkCluster {
             }
         }
 
+        // Pipelined mode adopts records during the map-side sweep, so the
+        // destination lists must exist up front (the spill path creates
+        // them on the reduce side, where it first needs them).
+        let dst_lists: Option<Vec<Handle>> = if self.pipeline_engine.is_some() {
+            let mut lists = Vec::with_capacity(w);
+            for dst in self.worker_nodes() {
+                let list = self.vms[dst.0].new_list(16).map_err(Error::Heap)?;
+                lists.push(self.vms[dst.0].handle(list));
+            }
+            Some(lists)
+        } else {
+            None
+        };
+
         // Map side: bucket, sort, serialize, spill.
         for p in &ds.partitions {
             let node = p.node;
@@ -519,6 +573,23 @@ impl SparkCluster {
             for (dst_idx, bucket) in buckets.iter().enumerate() {
                 let dst = NodeId(dst_idx + 1);
                 let roots: Vec<Addr> = bucket.iter().map(|(_, r)| *r).collect();
+                if dst != node {
+                    if let Some(engine) = &self.pipeline_engine {
+                        // Heap-to-heap, chunk-granularity: no intermediate
+                        // blob, no spill; simulated cost charged from the
+                        // overlap-aware stream schedule.
+                        let sid = self.controllers[node.0].sid();
+                        let stream = self.controllers[node.0].next_stream();
+                        let (s_vm, d_vm) = Self::vm_pair(&mut self.vms, node.0, dst.0);
+                        let (got, report) = engine
+                            .transfer(s_vm, d_vm, &self.dir, node, dst, sid, stream, &roots, None)
+                            .map_err(Error::Skyway)?;
+                        let lh = dst_lists.as_ref().expect("pipelined mode has lists")[dst_idx];
+                        adopt_roots(d_vm, &got, lh)?;
+                        report.charge(&mut self.cluster, node, dst).map_err(Error::Net)?;
+                        continue;
+                    }
+                }
                 let serializer = Arc::clone(&self.serializers[node.0]);
                 let mut prof = Profile::new();
                 let vm = &mut self.vms[node.0];
@@ -532,13 +603,23 @@ impl SparkCluster {
         }
         self.release(ds)?;
 
-        // Reduce side: fetch (local or remote), deserialize, adopt.
+        // Reduce side: fetch (local or remote), deserialize, adopt. In
+        // pipelined mode the cross-node data already arrived during the map
+        // sweep; only same-node spills remain.
         let mut partitions = Vec::with_capacity(w);
         for dst in self.worker_nodes() {
             let vm_idx = dst.0;
-            let list = self.vms[vm_idx].new_list(16).map_err(Error::Heap)?;
-            let lh = self.vms[vm_idx].handle(list);
+            let lh = match &dst_lists {
+                Some(lists) => lists[vm_idx - 1],
+                None => {
+                    let list = self.vms[vm_idx].new_list(16).map_err(Error::Heap)?;
+                    self.vms[vm_idx].handle(list)
+                }
+            };
             for src in self.worker_nodes() {
+                if self.pipeline_engine.is_some() && src != dst {
+                    continue;
+                }
                 let name = shuffle_file(seq, src, dst);
                 let blob = if src == dst {
                     self.cluster.disk_read(src, &name).map_err(Error::Net)?

@@ -206,3 +206,33 @@ fn dataset_counting_and_release() {
     assert_eq!(sc.count(&ds).unwrap(), 6);
     sc.release(ds).unwrap();
 }
+
+#[test]
+fn pipelined_shuffle_matches_sequential_results() {
+    let mk = |pipeline: bool| {
+        SparkCluster::new(&SparkConfig {
+            n_workers: 3,
+            serializer: SerializerKind::Skyway,
+            heap_bytes: 48 << 20,
+            pipeline,
+            ..SparkConfig::default()
+        })
+        .unwrap()
+    };
+    let mut seq = mk(false);
+    let mut pipe = mk(true);
+    let seq_counts = run_wordcount(&mut seq, sample_lines()).unwrap();
+    let pipe_counts = run_wordcount(&mut pipe, sample_lines()).unwrap();
+    assert_eq!(seq_counts, pipe_counts);
+
+    let g = generate(GraphKind::LiveJournal, 20_000, 7);
+    let mut seq = mk(false);
+    let mut pipe = mk(true);
+    let a = run_pagerank(&mut seq, &g, 3, 5).unwrap();
+    let b = run_pagerank(&mut pipe, &g, 3, 5).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.0, y.0);
+        assert!((x.1 - y.1).abs() < 1e-9);
+    }
+}
