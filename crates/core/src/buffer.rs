@@ -274,6 +274,15 @@ pub fn frame_chunks(chunks: &[Vec<u8>], flags: u8) -> Vec<u8> {
     out
 }
 
+/// Reads a little-endian `u32` at `pos`, bounds-checked.
+fn read_u32_le(blob: &[u8], pos: usize) -> Result<u32> {
+    let s =
+        blob.get(pos..pos + 4).ok_or_else(|| Error::BadFrame("truncated chunk header".into()))?;
+    let mut a = [0u8; 4];
+    a.copy_from_slice(s);
+    Ok(u32::from_le_bytes(a))
+}
+
 /// Parses a framed blob back into chunks (borrowed slices).
 ///
 /// # Errors
@@ -286,14 +295,11 @@ pub fn parse_frames(blob: &[u8]) -> Result<(u8, Vec<&[u8]>)> {
         return Err(Error::BadFrame(format!("unsupported version {}", blob[4])));
     }
     let flags = blob[5];
-    let n = u32::from_le_bytes(blob[6..10].try_into().expect("len 4")) as usize;
+    let n = read_u32_le(blob, 6)? as usize;
     let mut chunks = Vec::with_capacity(n);
     let mut pos = 10;
     for _ in 0..n {
-        if pos + 4 > blob.len() {
-            return Err(Error::BadFrame("truncated chunk header".into()));
-        }
-        let len = u32::from_le_bytes(blob[pos..pos + 4].try_into().expect("len 4")) as usize;
+        let len = read_u32_le(blob, pos)? as usize;
         pos += 4;
         if pos + len > blob.len() {
             return Err(Error::BadFrame("truncated chunk body".into()));

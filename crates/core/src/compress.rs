@@ -37,7 +37,11 @@ fn load_word(bytes: &[u8], off: u64) -> Result<u64> {
     let o = off as usize;
     bytes
         .get(o..o + 8)
-        .map(|s| u64::from_le_bytes(s.try_into().expect("len 8")))
+        .map(|s| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(s);
+            u64::from_le_bytes(a)
+        })
         .ok_or(Error::BadFrame(format!("wire offset {off} out of range")))
 }
 
@@ -45,7 +49,11 @@ fn load_u32(bytes: &[u8], off: u64) -> Result<u32> {
     let o = off as usize;
     bytes
         .get(o..o + 4)
-        .map(|s| u32::from_le_bytes(s.try_into().expect("len 4")))
+        .map(|s| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(s);
+            u32::from_le_bytes(a)
+        })
         .ok_or(Error::BadFrame(format!("wire offset {off} out of range")))
 }
 
@@ -224,9 +232,12 @@ pub fn expand_stream(
         }
         // Re-base reference slots through the offset map.
         let rebase = |out: &mut Vec<u8>, slot: u64| -> Result<()> {
-            let v = u64::from_le_bytes(
-                out[slot as usize..slot as usize + 8].try_into().expect("len 8"),
-            );
+            let s = out
+                .get(slot as usize..slot as usize + 8)
+                .ok_or_else(|| Error::BadFrame("rebase slot out of range".into()))?;
+            let mut a = [0u8; 8];
+            a.copy_from_slice(s);
+            let v = u64::from_le_bytes(a);
             if v != 0 {
                 let t = *map.get(&(v - 1)).ok_or(Error::DanglingRelativeAddr(v - 1))?;
                 out[slot as usize..slot as usize + 8].copy_from_slice(&(t + 1).to_le_bytes());

@@ -545,8 +545,8 @@ mod tests {
         assert_eq!(second.pool_misses, 0, "steady state allocates nothing");
         assert!(second.pool_hits > 0);
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("skyway.pipeline.pool_misses"), first.pool_misses);
-        assert!(snap.counter("skyway.pipeline.pool_hits") >= second.pool_hits);
+        assert_eq!(snap.counter(obs::names::PIPELINE_POOL_MISSES), first.pool_misses);
+        assert!(snap.counter(obs::names::PIPELINE_POOL_HITS) >= second.pool_hits);
     }
 
     #[test]

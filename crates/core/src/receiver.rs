@@ -79,13 +79,13 @@ struct ReceiverMetrics {
 impl ReceiverMetrics {
     fn new(registry: Arc<obs::Registry>) -> Self {
         ReceiverMetrics {
-            objects: registry.counter("skyway.receiver.objects_absorbed"),
-            bytes: registry.counter("skyway.receiver.bytes_absorbed"),
-            chunks: registry.counter("skyway.receiver.chunks_absorbed"),
-            ref_fixups: registry.counter("skyway.receiver.ref_fixups"),
-            classes_loaded: registry.counter("skyway.receiver.classes_loaded"),
-            cards_dirtied: registry.counter("skyway.receiver.cards_dirtied"),
-            chunk_bytes: registry.histogram("skyway.receiver.chunk_bytes"),
+            objects: registry.counter(obs::names::RECEIVER_OBJECTS_ABSORBED),
+            bytes: registry.counter(obs::names::RECEIVER_BYTES_ABSORBED),
+            chunks: registry.counter(obs::names::RECEIVER_CHUNKS_ABSORBED),
+            ref_fixups: registry.counter(obs::names::RECEIVER_REF_FIXUPS),
+            classes_loaded: registry.counter(obs::names::RECEIVER_CLASSES_LOADED),
+            cards_dirtied: registry.counter(obs::names::RECEIVER_CARDS_DIRTIED),
+            chunk_bytes: registry.histogram(obs::names::RECEIVER_CHUNK_BYTES),
             registry,
         }
     }
@@ -233,7 +233,7 @@ impl<'a> GraphReceiver<'a> {
         let idx = self.chunks.partition_point(|c| c.logical_start + c.len <= logical);
         let c = self.chunks.get(idx).ok_or(Error::DanglingRelativeAddr(logical))?;
         debug_assert!(logical >= c.logical_start, "chunk ranges are gapless from 0");
-        Ok(Addr(c.base.0 + (logical - c.logical_start)))
+        Ok(c.base.byte_add(logical - c.logical_start))
     }
 
     /// Rewrites one reference slot from a relative to an absolute address.
@@ -325,7 +325,7 @@ impl<'a> GraphReceiver<'a> {
                     continue;
                 }
                 // An object: resolve its type, then absolutize.
-                let obj = Addr(at);
+                let obj = Addr::from_raw(at);
                 let tid_word =
                     self.vm.heap().arena().load_word(at + spec.klass_off()).map_err(Error::Heap)?;
                 if tid_word > u64::from(u32::MAX) {

@@ -132,11 +132,11 @@ struct SenderMetrics {
 impl SenderMetrics {
     fn new(registry: Arc<obs::Registry>) -> Self {
         SenderMetrics {
-            objects: registry.counter("skyway.sender.objects_visited"),
-            bytes_cloned: registry.counter("skyway.sender.bytes_cloned"),
-            cas_conflicts: registry.counter("skyway.sender.cas_conflicts"),
-            fallback_hits: registry.counter("skyway.sender.fallback_hits"),
-            chunk_bytes: registry.histogram("skyway.sender.chunk_bytes"),
+            objects: registry.counter(obs::names::SENDER_OBJECTS_VISITED),
+            bytes_cloned: registry.counter(obs::names::SENDER_BYTES_CLONED),
+            cas_conflicts: registry.counter(obs::names::SENDER_CAS_CONFLICTS),
+            fallback_hits: registry.counter(obs::names::SENDER_FALLBACK_HITS),
+            chunk_bytes: registry.histogram(obs::names::SENDER_CHUNK_BYTES),
             registry,
         }
     }
@@ -386,8 +386,9 @@ impl<'a> GraphSender<'a> {
                 let shdr = sspec.instance_header();
                 for &off in &facts.ref_offsets {
                     self.stats.pointer_bytes += 8;
-                    let tgt =
-                        Addr(self.vm.heap().arena().load_word(obj.0 + off).map_err(Error::Heap)?);
+                    let tgt = Addr::from_raw(
+                        self.vm.heap().arena().load_word(obj.raw() + off).map_err(Error::Heap)?,
+                    );
                     let slot = logical + hdr + (off - shdr);
                     if tgt.is_null() {
                         self.out.write_word(slot, 0)?;
@@ -554,7 +555,10 @@ pub fn send_roots_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sender thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     });
     results.into_iter().collect()
 }

@@ -234,15 +234,18 @@ impl serlab::Serializer for SkywaySerializer {
                 if bytes.len() < 6 {
                     return Err(Error::BadFrame("truncated MSKY container".into()));
                 }
-                let n = u16::from_le_bytes(bytes[4..6].try_into().expect("len 2")) as usize;
+                let mut hdr = [0u8; 2];
+                hdr.copy_from_slice(&bytes[4..6]);
+                let n = u16::from_le_bytes(hdr) as usize;
                 let mut pos = 6usize;
                 let mut per_stream: Vec<Vec<Addr>> = Vec::with_capacity(n);
                 for _ in 0..n {
                     if pos + 4 > bytes.len() {
                         return Err(Error::BadFrame("truncated MSKY stream header".into()));
                     }
-                    let len =
-                        u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4")) as usize;
+                    let mut lenb = [0u8; 4];
+                    lenb.copy_from_slice(&bytes[pos..pos + 4]);
+                    let len = u32::from_le_bytes(lenb) as usize;
                     pos += 4;
                     let blob = bytes
                         .get(pos..pos + len)

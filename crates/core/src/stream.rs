@@ -57,10 +57,10 @@ impl ShuffleController {
         self.stream_counter.store(0, Ordering::Release);
         let wrapped = (p - 1).is_multiple_of(255);
         let reg = obs::global();
-        reg.counter("skyway.shuffle.phases_started").inc();
-        reg.gauge("skyway.shuffle.current_phase").set(p as i64);
+        reg.counter(obs::names::SHUFFLE_PHASES_STARTED).inc();
+        reg.gauge(obs::names::SHUFFLE_CURRENT_PHASE).set(p as i64);
         if wrapped {
-            reg.counter("skyway.shuffle.sid_wraps").inc();
+            reg.counter(obs::names::SHUFFLE_SID_WRAPS).inc();
         }
         reg.record(obs::Event::ShuffleStarted { sid: u32::from(self.sid()), phase: p });
         wrapped
@@ -69,7 +69,7 @@ impl ShuffleController {
     /// Allocates a fresh stream id within the current phase (each
     /// destination buffer / sender thread gets its own).
     pub fn next_stream(&self) -> u16 {
-        obs::global().counter("skyway.shuffle.streams_allocated").inc();
+        obs::global().counter(obs::names::SHUFFLE_STREAMS_ALLOCATED).inc();
         (self.stream_counter.fetch_add(1, Ordering::AcqRel) % 0xfffe) as u16 + 1
     }
 }
@@ -88,8 +88,8 @@ pub fn scrub_baddrs(vm: &mut Vm) -> Result<()> {
     })
     .map_err(Error::Heap)?;
     let reg = obs::global();
-    reg.counter("skyway.shuffle.baddr_scrubs").inc();
-    reg.counter("skyway.shuffle.baddr_words_scrubbed").add(addrs.len() as u64);
+    reg.counter(obs::names::SHUFFLE_BADDR_SCRUBS).inc();
+    reg.counter(obs::names::SHUFFLE_BADDR_WORDS_SCRUBBED).add(addrs.len() as u64);
     for a in addrs {
         vm.heap().arena().store_word(a + off, 0).map_err(Error::Heap)?;
     }

@@ -96,28 +96,28 @@ fn full_transfer_reports_exact_metrics_and_roundtrips_as_json() {
     let snap = reg.snapshot();
 
     // Sender: exactly the 3 objects of the graph, all bytes accounted.
-    assert_eq!(snap.counter("skyway.sender.objects_visited"), 3);
-    assert_eq!(snap.counter("skyway.sender.bytes_cloned"), stream_out.stats.total_bytes);
-    assert_eq!(snap.counter("skyway.sender.cas_conflicts"), 0);
+    assert_eq!(snap.counter(obs::names::SENDER_OBJECTS_VISITED), 3);
+    assert_eq!(snap.counter(obs::names::SENDER_BYTES_CLONED), stream_out.stats.total_bytes);
+    assert_eq!(snap.counter(obs::names::SENDER_CAS_CONFLICTS), 0);
 
     // Receiver: 3 objects, every ref slot fixed up (2 slots × 3 objects,
     // nulls included — the linear scan rewrites them all), the on-demand
     // class load observed, and the chunk accounting exact.
-    assert_eq!(snap.counter("skyway.receiver.objects_absorbed"), 3);
-    assert_eq!(snap.counter("skyway.receiver.ref_fixups"), 6);
-    assert_eq!(snap.counter("skyway.receiver.ref_fixups"), rstats.ref_fixups);
-    assert!(snap.counter("skyway.receiver.classes_loaded") >= 1);
-    assert_eq!(snap.counter("skyway.receiver.chunks_absorbed"), stream_out.chunks.len() as u64);
+    assert_eq!(snap.counter(obs::names::RECEIVER_OBJECTS_ABSORBED), 3);
+    assert_eq!(snap.counter(obs::names::RECEIVER_REF_FIXUPS), 6);
+    assert_eq!(snap.counter(obs::names::RECEIVER_REF_FIXUPS), rstats.ref_fixups);
+    assert!(snap.counter(obs::names::RECEIVER_CLASSES_LOADED) >= 1);
+    assert_eq!(snap.counter(obs::names::RECEIVER_CHUNKS_ABSORBED), stream_out.chunks.len() as u64);
     assert_eq!(
-        snap.counter("skyway.receiver.bytes_absorbed"),
+        snap.counter(obs::names::RECEIVER_BYTES_ABSORBED),
         stream_out.chunks.iter().map(|c| c.len() as u64).sum::<u64>()
     );
-    assert_eq!(snap.counter("skyway.receiver.cards_dirtied"), rstats.cards_dirtied);
+    assert_eq!(snap.counter(obs::names::RECEIVER_CARDS_DIRTIED), rstats.cards_dirtied);
     assert!(rstats.cards_dirtied > 0);
 
     // GC: the receiver's minor collection landed in the same registry.
-    assert_eq!(snap.counter("mheap.gc.minor_gcs"), 1);
-    let pause = snap.histograms.get("mheap.gc.pause_ns").expect("gc pause histogram");
+    assert_eq!(snap.counter(obs::names::GC_MINOR_GCS), 1);
+    let pause = snap.histograms.get(obs::names::GC_PAUSE_NS).expect("gc pause histogram");
     assert_eq!(pause.count, 1);
 
     // Flight recorder saw the phases of the transfer.
@@ -134,7 +134,7 @@ fn full_transfer_reports_exact_metrics_and_roundtrips_as_json() {
 
     // --- JSON round-trip ---
     let json = serde_json::to_string_pretty(&snap).unwrap();
-    assert!(json.contains("skyway.sender.objects_visited"));
+    assert!(json.contains(obs::names::SENDER_OBJECTS_VISITED));
     let back: obs::Snapshot = serde_json::from_str(&json).unwrap();
     assert_eq!(back, snap);
 }
@@ -143,7 +143,7 @@ fn full_transfer_reports_exact_metrics_and_roundtrips_as_json() {
 fn scoped_registries_do_not_cross_talk() {
     let reg_a = Arc::new(obs::Registry::new());
     let reg_b = Arc::new(obs::Registry::new());
-    reg_a.counter("skyway.sender.objects_visited").add(7);
-    assert_eq!(reg_b.snapshot().counter("skyway.sender.objects_visited"), 0);
-    assert_eq!(reg_a.snapshot().counter("skyway.sender.objects_visited"), 7);
+    reg_a.counter(obs::names::SENDER_OBJECTS_VISITED).add(7);
+    assert_eq!(reg_b.snapshot().counter(obs::names::SENDER_OBJECTS_VISITED), 0);
+    assert_eq!(reg_a.snapshot().counter(obs::names::SENDER_OBJECTS_VISITED), 7);
 }

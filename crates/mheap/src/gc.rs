@@ -117,10 +117,10 @@ impl Vm {
     /// Reports one completed collection to the metrics registry.
     fn note_gc(&self, full: bool, pause_ns: u64, promoted_bytes: u64, cards_scanned: u64) {
         let reg = &self.metrics;
-        reg.counter(if full { "mheap.gc.full_gcs" } else { "mheap.gc.minor_gcs" }).inc();
-        reg.histogram("mheap.gc.pause_ns").record(pause_ns);
-        reg.counter("mheap.gc.promoted_bytes").add(promoted_bytes);
-        reg.counter("mheap.gc.cards_scanned").add(cards_scanned);
+        reg.counter(if full { obs::names::GC_FULL_GCS } else { obs::names::GC_MINOR_GCS }).inc();
+        reg.histogram(obs::names::GC_PAUSE_NS).record(pause_ns);
+        reg.counter(obs::names::GC_PROMOTED_BYTES).add(promoted_bytes);
+        reg.counter(obs::names::GC_CARDS_SCANNED).add(cards_scanned);
         reg.record(obs::Event::GcPause {
             vm: self.name.clone(),
             full,

@@ -41,6 +41,42 @@ impl Addr {
     pub fn is_null(self) -> bool {
         self.0 == 0
     }
+
+    // The typed conversion helpers below are the only sanctioned way to
+    // move between `Addr` and raw integers outside this module and `mem`
+    // (enforced by skyway-tidy's `addr-cast` rule). Keeping the
+    // conversions named makes absolute-vs-relative mixups — the paper's
+    // §3.3 bug class — grep-able and reviewable.
+
+    /// Wraps a raw arena offset as an address.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Addr {
+        Addr(raw)
+    }
+
+    /// The raw arena offset.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address `bytes` further into the arena.
+    #[inline]
+    #[must_use]
+    pub fn byte_add(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Byte distance from `base` up to `self`.
+    ///
+    /// # Panics
+    /// In debug builds, if `base` lies above `self` (the subtraction
+    /// wraps in release — callers own the ordering invariant).
+    #[inline]
+    pub fn offset_from(self, base: Addr) -> u64 {
+        debug_assert!(base.0 <= self.0, "offset_from: base {base} above {self}");
+        self.0.wrapping_sub(base.0)
+    }
 }
 
 impl std::fmt::Debug for Addr {

@@ -258,7 +258,7 @@ impl Vm {
     /// # Panics
     /// Panics if the temp-root stack is empty (programming error).
     pub fn pop_temp_root(&mut self) -> Addr {
-        self.temp_roots.pop().expect("temp root stack underflow")
+        self.temp_roots.pop().expect("temp root stack underflow") // tidy:allow(panic, documented programming-error panic)
     }
 
     // ----- allocation -----------------------------------------------------

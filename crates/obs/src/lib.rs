@@ -44,6 +44,57 @@ pub mod names {
     pub const PIPELINE_POOL_MISSES: &str = "skyway.pipeline.pool_misses";
     /// Histogram: per-chunk receiver wait before the chunk arrived.
     pub const PIPELINE_CHUNK_STALL_NS: &str = "skyway.pipeline.chunk_stall_ns";
+
+    /// Counter: objects visited by the sender's closure traversal.
+    pub const SENDER_OBJECTS_VISITED: &str = "skyway.sender.objects_visited";
+    /// Counter: object bytes cloned into output buffers.
+    pub const SENDER_BYTES_CLONED: &str = "skyway.sender.bytes_cloned";
+    /// Counter: baddr-install CAS races lost to a concurrent sender.
+    pub const SENDER_CAS_CONFLICTS: &str = "skyway.sender.cas_conflicts";
+    /// Counter: objects that took the sidetable fallback instead of a
+    /// header baddr.
+    pub const SENDER_FALLBACK_HITS: &str = "skyway.sender.fallback_hits";
+    /// Histogram: bytes per sealed sender chunk.
+    pub const SENDER_CHUNK_BYTES: &str = "skyway.sender.chunk_bytes";
+
+    /// Counter: objects absorbed into the receiving heap.
+    pub const RECEIVER_OBJECTS_ABSORBED: &str = "skyway.receiver.objects_absorbed";
+    /// Counter: object bytes absorbed into the receiving heap.
+    pub const RECEIVER_BYTES_ABSORBED: &str = "skyway.receiver.bytes_absorbed";
+    /// Counter: chunks absorbed into the receiving heap.
+    pub const RECEIVER_CHUNKS_ABSORBED: &str = "skyway.receiver.chunks_absorbed";
+    /// Counter: relative references rewritten to absolute addresses.
+    pub const RECEIVER_REF_FIXUPS: &str = "skyway.receiver.ref_fixups";
+    /// Counter: classes loaded on demand for unknown incoming tIDs.
+    pub const RECEIVER_CLASSES_LOADED: &str = "skyway.receiver.classes_loaded";
+    /// Counter: card-table cards dirtied for absorbed objects.
+    pub const RECEIVER_CARDS_DIRTIED: &str = "skyway.receiver.cards_dirtied";
+    /// Histogram: bytes per absorbed chunk.
+    pub const RECEIVER_CHUNK_BYTES: &str = "skyway.receiver.chunk_bytes";
+
+    /// Counter: shuffle phases started by the controller.
+    pub const SHUFFLE_PHASES_STARTED: &str = "skyway.shuffle.phases_started";
+    /// Gauge: the shuffle phase currently in progress.
+    pub const SHUFFLE_CURRENT_PHASE: &str = "skyway.shuffle.current_phase";
+    /// Counter: stream-ID space wrap-arounds (forces a baddr scrub).
+    pub const SHUFFLE_SID_WRAPS: &str = "skyway.shuffle.sid_wraps";
+    /// Counter: shuffle streams allocated.
+    pub const SHUFFLE_STREAMS_ALLOCATED: &str = "skyway.shuffle.streams_allocated";
+    /// Counter: heap-wide baddr scrub passes.
+    pub const SHUFFLE_BADDR_SCRUBS: &str = "skyway.shuffle.baddr_scrubs";
+    /// Counter: header words cleared by baddr scrub passes.
+    pub const SHUFFLE_BADDR_WORDS_SCRUBBED: &str = "skyway.shuffle.baddr_words_scrubbed";
+
+    /// Counter: full (mark-compact) collections.
+    pub const GC_FULL_GCS: &str = "mheap.gc.full_gcs";
+    /// Counter: minor (young-generation) collections.
+    pub const GC_MINOR_GCS: &str = "mheap.gc.minor_gcs";
+    /// Counter: total GC pause nanoseconds.
+    pub const GC_PAUSE_NS: &str = "mheap.gc.pause_ns";
+    /// Counter: bytes promoted from young to old generation.
+    pub const GC_PROMOTED_BYTES: &str = "mheap.gc.promoted_bytes";
+    /// Counter: card-table cards scanned by minor collections.
+    pub const GC_CARDS_SCANNED: &str = "mheap.gc.cards_scanned";
 }
 
 use std::collections::BTreeMap;

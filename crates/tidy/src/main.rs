@@ -1,0 +1,112 @@
+//! CLI for `skyway-tidy`. Run from anywhere in the workspace:
+//!
+//! ```text
+//! cargo run -p tidy            # human-readable report, exit 1 on violations
+//! cargo run -p tidy -- --json  # machine output for CI
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tidy::{run, to_json, Config};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("skyway-tidy: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cfg = Config::for_workspace(root.clone());
+    if let Err(e) = cfg.load_allowlists(&root.join("tidy.toml")) {
+        eprintln!("skyway-tidy: {e}");
+        return ExitCode::from(2);
+    }
+
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("skyway-tidy: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", to_json(&report));
+    } else {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        println!(
+            "skyway-tidy: {} file(s) checked, {} violation(s)",
+            report.files_checked,
+            report.violations.len()
+        );
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!("skyway-tidy: static-analysis gate for the Skyway workspace");
+    println!();
+    println!("USAGE: skyway-tidy [--json] [--root <path>]");
+    println!();
+    println!("  --json         emit machine-readable JSON instead of text");
+    println!("  --root <path>  workspace root (default: walk up to [workspace])");
+    println!();
+    println!("RULES:");
+    for (id, summary) in tidy::RULES {
+        println!("  {id:<16} {summary}");
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory; \
+                        pass --root <path>"
+                .into());
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: addr-cast must fire on line 6 (raw cast on an Addr line) and
+// stay quiet on the helper call and the tagged line.
+
+pub fn bad(addr: Addr, x: usize) -> Addr {
+    let _fine = Addr::from_raw(addr.raw() + 8);
+    let bad = Addr(addr.raw() + x as u64);
+    let _tagged = Addr(x as u64); // tidy:allow(addr-cast, fixture exception)
+    bad
+}

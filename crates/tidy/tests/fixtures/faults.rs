@@ -1,0 +1,15 @@
+// Fixture fault enum: fault-coverage must fire on Uncovered (line 6) —
+// Covered is referenced from the test module below.
+
+pub enum HeapFault {
+    Covered { obj: u64 },
+    Uncovered { obj: u64, card: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn provokes_covered() {
+        let _ = HeapFault::Covered { obj: 0 };
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: metric-literal must fire on lines 5 and 6, not on the const
+// reference or the unrelated literal.
+
+pub fn bad(reg: &Registry) {
+    reg.counter("skyway.fixture.bad_counter").inc();
+    reg.gauge("mheap.fixture.bad_gauge").set(1);
+    reg.counter(names::GOOD).inc();
+    reg.counter("unrelated.name").inc();
+}

@@ -1,0 +1,6 @@
+// Fixture names registry: dead-metric must fire on FIXTURE_DEAD (line 5)
+// and not on FIXTURE_USED (referenced from names_user.rs).
+
+pub const FIXTURE_USED: &str = "skyway.fixture.used";
+pub const FIXTURE_DEAD: &str = "skyway.fixture.dead";
+pub const NOT_A_METRIC: &str = "plain string, exempt by prefix";

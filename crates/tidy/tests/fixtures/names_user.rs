@@ -1,0 +1,5 @@
+// Fixture: the use site that keeps FIXTURE_USED alive.
+
+pub fn touch(reg: &Registry) {
+    reg.counter(names::FIXTURE_USED).inc();
+}

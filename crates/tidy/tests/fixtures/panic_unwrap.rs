@@ -1,0 +1,19 @@
+// Fixture: panic must fire on lines 5, 6, and 7 — and not on the tagged
+// line, the unwrap_or, or anything inside #[cfg(test)].
+
+pub fn bad(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("fixture");
+    panic!("fixture");
+    let _tagged = v.unwrap(); // tidy:allow(panic, fixture exception)
+    let _fine = v.unwrap_or(0);
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: unsafe-safety must fire on line 11 only. The first block is
+// covered by a same-line comment, the second by the comment above (one
+// comment may cover a contiguous run of unsafe items), the third has
+// neither.
+
+pub fn covered(p: *const u8) -> u8 {
+    let a = unsafe { *p }; // SAFETY: fixture, p is valid by contract
+    // SAFETY: fixture, p is valid by contract
+    let b = unsafe { *p.add(1) };
+    let sum = a + b;
+    let c = unsafe { *p.add(2) };
+    sum + c
+}

@@ -1,0 +1,124 @@
+//! Golden tests: each fixture file provokes exactly its rule at an exact
+//! file/line, the `--json` output carries those coordinates, and — the
+//! real CI gate — the actual workspace tree comes back clean.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use tidy::{run, to_json, Config, Violation};
+
+/// A config scanning only the fixtures directory, with every policy path
+/// pointed at the fixture equivalents.
+fn fixture_config() -> Config {
+    Config {
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures"),
+        scan_dirs: vec![String::new()],
+        exclude: vec![],
+        addr_exempt: vec![],
+        panic_paths: vec![String::new()],
+        metric_exempt: vec![],
+        metric_prefixes: vec!["skyway.".into(), "mheap.".into()],
+        names_file: Some("names.rs".into()),
+        fault_file: Some("faults.rs".into()),
+        allow: BTreeMap::new(),
+    }
+}
+
+fn fixture_violations() -> Vec<Violation> {
+    run(&fixture_config()).expect("fixture scan").violations
+}
+
+#[track_caller]
+fn assert_fired(violations: &[Violation], rule: &str, file: &str, line: usize) {
+    assert!(
+        violations.iter().any(|v| v.rule == rule && v.file == file && v.line == line),
+        "expected [{rule}] at {file}:{line}; got: {violations:#?}"
+    );
+}
+
+#[test]
+fn addr_cast_fires_at_exact_line() {
+    let vs = fixture_violations();
+    assert_fired(&vs, "addr-cast", "addr_cast.rs", 6);
+    assert_eq!(vs.iter().filter(|v| v.rule == "addr-cast").count(), 1, "{vs:#?}");
+}
+
+#[test]
+fn unsafe_safety_fires_at_exact_line() {
+    let vs = fixture_violations();
+    assert_fired(&vs, "unsafe-safety", "unsafe_no_safety.rs", 11);
+    assert_eq!(vs.iter().filter(|v| v.rule == "unsafe-safety").count(), 1, "{vs:#?}");
+}
+
+#[test]
+fn panic_fires_on_unwrap_expect_and_panic_only() {
+    let vs = fixture_violations();
+    assert_fired(&vs, "panic", "panic_unwrap.rs", 5);
+    assert_fired(&vs, "panic", "panic_unwrap.rs", 6);
+    assert_fired(&vs, "panic", "panic_unwrap.rs", 7);
+    // The tagged line, unwrap_or, and the #[cfg(test)] module stay quiet.
+    assert_eq!(vs.iter().filter(|v| v.rule == "panic").count(), 3, "{vs:#?}");
+}
+
+#[test]
+fn metric_literal_fires_per_literal() {
+    let vs = fixture_violations();
+    assert_fired(&vs, "metric-literal", "metric_literal.rs", 5);
+    assert_fired(&vs, "metric-literal", "metric_literal.rs", 6);
+    let count =
+        vs.iter().filter(|v| v.rule == "metric-literal" && v.file == "metric_literal.rs").count();
+    assert_eq!(count, 2, "{vs:#?}");
+}
+
+#[test]
+fn dead_metric_fires_on_unused_const_only() {
+    let vs = fixture_violations();
+    assert_fired(&vs, "dead-metric", "names.rs", 5);
+    assert_eq!(vs.iter().filter(|v| v.rule == "dead-metric").count(), 1, "{vs:#?}");
+}
+
+#[test]
+fn fault_coverage_fires_on_untested_variant_only() {
+    let vs = fixture_violations();
+    assert_fired(&vs, "fault-coverage", "faults.rs", 6);
+    assert_eq!(vs.iter().filter(|v| v.rule == "fault-coverage").count(), 1, "{vs:#?}");
+}
+
+#[test]
+fn json_output_carries_rule_file_line() {
+    let report = run(&fixture_config()).expect("fixture scan");
+    let json = to_json(&report);
+    assert!(json.contains("{\"rule\": \"addr-cast\", \"file\": \"addr_cast.rs\", \"line\": 6,"));
+    assert!(json.contains("{\"rule\": \"fault-coverage\", \"file\": \"faults.rs\", \"line\": 6,"));
+    assert!(json.contains(&format!("\"violation_count\": {}", report.violations.len())));
+}
+
+#[test]
+fn per_rule_allowlists_suppress_by_path_prefix() {
+    let mut cfg = fixture_config();
+    cfg.allow.insert("panic".into(), vec!["panic_unwrap.rs".into()]);
+    let vs = run(&cfg).expect("fixture scan").violations;
+    assert!(vs.iter().all(|v| v.rule != "panic"), "{vs:#?}");
+    // Other rules are unaffected.
+    assert_fired(&vs, "addr-cast", "addr_cast.rs", 6);
+}
+
+/// The gate itself: the real workspace must scan clean. This is the same
+/// check CI runs via `cargo run -p tidy -- --json`.
+#[test]
+fn workspace_tree_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let mut cfg = Config::for_workspace(root.clone());
+    cfg.load_allowlists(&root.join("tidy.toml")).expect("tidy.toml parses");
+    let report = run(&cfg).expect("workspace scan");
+    assert!(report.files_checked > 50, "scanned only {} files", report.files_checked);
+    assert!(
+        report.violations.is_empty(),
+        "workspace tree has tidy violations:\n{}",
+        to_json(&report)
+    );
+}
