@@ -214,6 +214,12 @@ impl PipelineEngine {
     /// Returns the received roots (arrival order, same as the sequential
     /// path) and the transfer report.
     ///
+    /// Flat graphs that provably fit one chunk (see
+    /// [`GraphSender::estimate_flat_bytes`]) skip the overlap machinery
+    /// and run the three phases inline — with a single chunk there is
+    /// nothing to overlap, and the thread + channel overhead would make
+    /// the pipeline strictly slower than the sequential path.
+    ///
     /// `src`/`dst` are the nodes the VMs live on; `sid`/`stream` identify
     /// the shuffle stream exactly as on the sequential path.
     ///
@@ -244,6 +250,31 @@ impl PipelineEngine {
         };
         let pool_hits0 = self.pool.hits();
         let pool_misses0 = self.pool.misses();
+
+        // Flat single-chunk fast path: when every root is reference-free
+        // the whole stream provably fits one chunk, so there is nothing to
+        // overlap — the thread, channel, and per-chunk bookkeeping would be
+        // pure overhead (measurably negative on small flat payloads). Run
+        // the three phases inline instead; the estimate is an upper bound,
+        // so taking this branch guarantees a single chunk.
+        {
+            let mut gs = GraphSender::new(sender_vm, dir, src, sid, stream, send_cfg)?
+                .with_metrics(Arc::clone(&self.metrics.registry))
+                .with_pool(Arc::clone(&self.pool));
+            if gs.estimate_flat_bytes(roots, self.cfg.chunk_limit as u64)?.is_some() {
+                return self.transfer_single_chunk(
+                    gs,
+                    receiver_vm,
+                    dir,
+                    dst,
+                    roots,
+                    hooks,
+                    pool_hits0,
+                    pool_misses0,
+                );
+            }
+        }
+
         let in_flight = AtomicI64::new(0);
         let max_in_flight = AtomicU64::new(0);
         let (tx, rx) = mpsc::sync_channel::<InFlight>(self.cfg.depth.max(1));
@@ -359,6 +390,71 @@ impl PipelineEngine {
             pool_misses,
             max_in_flight.load(Ordering::Relaxed),
         );
+        Ok((roots_out, report))
+    }
+
+    /// The inline (no threads, no channel) variant of [`Self::transfer`]
+    /// for flat graphs whose whole stream fits one chunk: produce, move,
+    /// absorb, strictly in sequence. With a single chunk the pipelined
+    /// schedule *is* the three-phase barrier, so the report carries the
+    /// same figure for both timelines and a zero in-flight high-water mark.
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_single_chunk(
+        &self,
+        mut gs: GraphSender<'_>,
+        receiver_vm: &mut Vm,
+        dir: &TypeDirectory,
+        dst: NodeId,
+        roots: &[Addr],
+        hooks: Option<&UpdateRegistry>,
+        pool_hits0: u64,
+        pool_misses0: u64,
+    ) -> Result<(Vec<Addr>, PipelineReport)> {
+        let t0 = Instant::now();
+        for &root in roots {
+            gs.write_root(root)?;
+        }
+        let out = gs.finish();
+        let produce_raw_ns = t0.elapsed().as_nanos() as u64;
+
+        let mut gr = GraphReceiver::new(receiver_vm, dir, dst)
+            .with_metrics(Arc::clone(&self.metrics.registry));
+        let t1 = Instant::now();
+        for c in &out.chunks {
+            gr.push_chunk(c)?;
+            gr.absorb_ready(hooks)?;
+        }
+        let (roots_out, recv_stats) = gr.finish(hooks)?;
+        let absorb_raw_ns = t1.elapsed().as_nanos() as u64;
+
+        let chunk_bytes: Vec<u64> = out.chunks.iter().map(|c| c.len() as u64).collect();
+        let total_bytes: u64 = chunk_bytes.iter().sum();
+        for c in out.chunks {
+            self.pool.release(c);
+        }
+        let pool_hits = self.pool.hits() - pool_hits0;
+        let pool_misses = self.pool.misses() - pool_misses0;
+        self.metrics.pool_hits.add(pool_hits);
+        self.metrics.pool_misses.add(pool_misses);
+
+        let scale = |ns: u64| -> u64 { (ns as f64 * self.cfg.sim.sd_cpu_scale) as u64 };
+        let wire_ns = self.cfg.sim.net_ns(total_bytes);
+        let wall = scale(produce_raw_ns) + wire_ns + scale(absorb_raw_ns);
+        let report = PipelineReport {
+            send_stats: out.stats,
+            recv_stats,
+            chunk_bytes,
+            pipelined_ns: wall,
+            sequential_ns: wall,
+            produce_ns: scale(produce_raw_ns),
+            wire_ns,
+            absorb_ns: scale(absorb_raw_ns),
+            sender_stall_ns: 0,
+            receiver_stall_ns: 0,
+            pool_hits,
+            pool_misses,
+            max_in_flight: 0,
+        };
         Ok((roots_out, report))
     }
 
@@ -547,6 +643,39 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter(obs::names::PIPELINE_POOL_MISSES), first.pool_misses);
         assert!(snap.counter(obs::names::PIPELINE_POOL_HITS) >= second.pool_hits);
+    }
+
+    #[test]
+    fn flat_roots_take_single_chunk_fallback() {
+        let (dir, mut s, mut r) = env();
+        let mut addrs = Vec::new();
+        for i in 0..16 {
+            addrs.push(s.new_integer(i).unwrap());
+        }
+        let engine = PipelineEngine::new(PipelineConfig::default());
+        let (got, report) =
+            engine.transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 1, &addrs, None).unwrap();
+        assert_eq!(got.len(), 16);
+        for (i, a) in got.iter().enumerate() {
+            assert_eq!(r.get_int(*a, "value").unwrap(), i as i32);
+        }
+        assert_eq!(report.chunk_bytes.len(), 1, "flat graph travels as one chunk");
+        assert_eq!(report.max_in_flight, 0, "fallback never opens the channel");
+        assert_eq!(report.pipelined_ns, report.sequential_ns, "nothing overlaps");
+        assert_eq!(report.sender_stall_ns + report.receiver_stall_ns, 0);
+        assert_eq!(report.chunk_bytes[0], report.send_stats.total_bytes);
+        // The pool serves the fallback too: an identical second transfer
+        // runs entirely on the released backing.
+        let (_, second) =
+            engine.transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 2, &addrs, None).unwrap();
+        assert_eq!(second.pool_misses, 0, "steady-state fallback allocates nothing");
+        assert!(second.pool_hits > 0);
+        // A ref-bearing root disqualifies the graph and keeps the
+        // overlapped path (strings reference their char arrays).
+        let mixed = [addrs[0], s.new_string("not flat").unwrap()];
+        let (_, threaded) =
+            engine.transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 3, &mixed, None).unwrap();
+        assert!(threaded.max_in_flight >= 1, "ref-bearing roots stay pipelined");
     }
 
     #[test]

@@ -163,19 +163,32 @@ impl TypeDirectory {
         if let Some(tid) = klass.tid() {
             return Ok(tid);
         }
-        let mut view = self.view(node)?.lock();
-        if let Some(&id) = view.by_name.get(&klass.name) {
-            klass.set_tid(id);
-            return Ok(id);
+        {
+            let view = self.view(node)?.lock();
+            if let Some(&id) = view.by_name.get(&klass.name) {
+                klass.set_tid(id);
+                return Ok(id);
+            }
         }
         // LOOKUP round trip: class-name string to the driver, id back.
+        // Every guard below is scoped to a single statement or block so the
+        // locks are taken strictly one at a time: holding the view while
+        // locking the registry here inverted `worker_startup`'s
+        // registry-then-view order (a deadlock window under concurrent
+        // startup + lookup), and holding stats across the driver-view
+        // insert inverted view-then-stats the same way. The race this
+        // opens — another thread interleaving between the registry lookup
+        // and the view insert — is benign: `lookup_or_create` is
+        // idempotent and re-inserting the same (name, id) is a no-op.
         let id = self.registry.lock().lookup_or_create(&klass.name);
-        view.insert(&klass.name, id);
+        self.view(node)?.lock().insert(&klass.name, id);
         klass.set_tid(id);
-        let mut st = self.stats.lock();
-        st.lookups += 1;
-        st.messages += 2;
-        st.string_bytes += klass.name.len() as u64;
+        {
+            let mut st = self.stats.lock();
+            st.lookups += 1;
+            st.messages += 2;
+            st.string_bytes += klass.name.len() as u64;
+        }
         // The driver's own view stays complete.
         if node != self.driver {
             self.view(self.driver)?.lock().insert(&klass.name, id);

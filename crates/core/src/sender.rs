@@ -495,6 +495,41 @@ impl<'a> GraphSender<'a> {
         self.out.total_bytes()
     }
 
+    /// Upper-bound estimate of the wire bytes `roots` will produce, or
+    /// `None` as soon as the stream may exceed `cap` or the graph is not
+    /// *flat* — some root carries reference fields (or is a reference
+    /// array), so the traversal could reach an unbounded amount of extra
+    /// data. For flat graphs the stream is exactly one top mark plus one
+    /// object per root (a repeated root costs a 16-byte backward reference,
+    /// never more), which makes this bound tight enough for the pipeline's
+    /// single-chunk fallback to trust without walking the heap twice.
+    ///
+    /// Must be called before any `write_root` — it only inspects klass
+    /// facts and array lengths, consuming no buffer space.
+    ///
+    /// # Errors
+    /// Heap/registry errors resolving a root's klass.
+    pub fn estimate_flat_bytes(&mut self, roots: &[Addr], cap: u64) -> Result<Option<u64>> {
+        let mut total = 0u64;
+        for &root in roots {
+            if root.is_null() {
+                return Ok(None);
+            }
+            let flat = {
+                let facts = self.facts_for(root)?;
+                facts.ref_offsets.is_empty() && !matches!(facts.kind, KlassKind::RefArray)
+            };
+            if !flat {
+                return Ok(None);
+            }
+            total += 8 + self.size_recv(root)?;
+            if total > cap {
+                return Ok(None);
+            }
+        }
+        Ok(Some(total))
+    }
+
     /// Chunks that have already flushed (streaming carriers drain these so
     /// transfer overlaps with the traversal, §3.2).
     pub fn take_ready_chunks(&mut self) -> Vec<Vec<u8>> {

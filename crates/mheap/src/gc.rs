@@ -24,6 +24,15 @@ use crate::vm::Vm;
 use crate::{Error, Result};
 
 impl Vm {
+    /// Writes a reference slot of `obj` without the generational write
+    /// barrier — the collector manages card state explicitly (it re-checks
+    /// slot targets after evacuation, so an unconditional dirty would
+    /// over-mark). `obj` must come from a root set or a live-object walk;
+    /// everything else goes through [`Vm::write_ref_at`].
+    fn write_ref_raw(&self, obj: Addr, offset: u64, val: Addr) -> Result<()> {
+        self.heap.arena().store_word(obj.0 + offset, val.0)
+    }
+
     /// Runs a minor (young-generation) collection.
     ///
     /// Live young objects move to the to-survivor space, or are promoted to
@@ -79,7 +88,7 @@ impl Vm {
                 let tgt = self.read_ref_at(obj, off)?;
                 if !tgt.is_null() && self.heap.in_young(tgt) {
                     let n = self.evacuate(tgt, &mut copied)?;
-                    self.heap.arena().store_word(obj.0 + off, n.0)?;
+                    self.write_ref_raw(obj, off, n)?;
                 }
                 let tgt = self.read_ref_at(obj, off)?;
                 if !tgt.is_null() && self.heap.in_young(tgt) {
@@ -97,7 +106,7 @@ impl Vm {
                 let tgt = self.read_ref_at(obj, off)?;
                 if !tgt.is_null() && self.heap.in_young(tgt) {
                     let n = self.evacuate(tgt, &mut copied)?;
-                    self.heap.arena().store_word(obj.0 + off, n.0)?;
+                    self.write_ref_raw(obj, off, n)?;
                     if self.heap.in_old(obj) && self.heap.in_young(n) {
                         self.heap.dirty_card(obj);
                     }
@@ -237,7 +246,7 @@ impl Vm {
                 if !tgt.is_null() {
                     let n = translate(&fwd, tgt);
                     if n != tgt {
-                        self.heap.arena().store_word(obj.0 + off, n.0)?;
+                        self.write_ref_raw(obj, off, n)?;
                     }
                 }
             }

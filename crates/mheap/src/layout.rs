@@ -61,10 +61,15 @@ impl Addr {
     }
 
     /// The address `bytes` further into the arena.
+    ///
+    /// # Panics
+    /// In debug builds, if the addition overflows (it wraps in release —
+    /// out-of-arena addresses fault at `translate()` time, not here).
     #[inline]
     #[must_use]
     pub fn byte_add(self, bytes: u64) -> Addr {
-        Addr(self.0 + bytes)
+        debug_assert!(self.0.checked_add(bytes).is_some(), "byte_add: {self} + {bytes} overflows");
+        Addr(self.0.wrapping_add(bytes))
     }
 
     /// Byte distance from `base` up to `self`.
@@ -296,14 +301,19 @@ impl LayoutSpec {
     /// the element area starts 8-aligned).
     #[inline]
     pub fn array_header(&self) -> u64 {
-        align8(self.instance_header() + u64::from(self.array_len_size))
+        // Both terms are single-digit byte counts; wrapping is unreachable.
+        align8(self.instance_header().wrapping_add(u64::from(self.array_len_size)))
     }
 }
 
 /// Rounds `n` up to a multiple of 8 (object alignment).
+///
+/// # Panics
+/// In debug builds, if `n` is within 7 of `u64::MAX` (wraps in release).
 #[inline]
 pub fn align8(n: u64) -> u64 {
-    (n + 7) & !7
+    debug_assert!(n <= u64::MAX - 7, "align8: {n} overflows");
+    n.wrapping_add(7) & !7
 }
 
 #[cfg(test)]

@@ -1,0 +1,270 @@
+//! Intraprocedural taint tracking for raw-born `Addr` values — the static
+//! twin of `HeapFault::DanglingRelativeAddr`.
+//!
+//! Within one function body, a value born from `Addr::from_raw`,
+//! `byte_add`, `offset_from`, or the `Addr(..)` constructor is *tainted*:
+//! it is an address someone computed, not one the runtime vouched for.
+//! Taint is cleared when the value flows through a sanitizer
+//! (`translate(..)`, `check(..)`, `check_aligned(..)`) or is compared in a
+//! bounds check (`if`/`while`/`assert` with a comparison that mentions
+//! it). A tainted identifier reaching a raw memory accessor (`load_word`,
+//! `store_word`, `read_bytes`, ...) is a violation.
+//!
+//! The analysis is deliberately line-oriented and conservative in *both*
+//! directions: function parameters start untainted (the caller vouched for
+//! them), and any comparison mentioning a tainted name counts as a bounds
+//! check. It exists to catch the "computed an address, dereferenced it
+//! without translating" bug class, not to prove memory safety.
+
+use crate::lexer::{has_token, is_ident_char, Line};
+use crate::scope::Region;
+
+/// Expressions that *produce* a raw-born address.
+pub const ADDR_SOURCES: &[&str] = &["Addr::from_raw(", ".byte_add(", ".offset_from("];
+
+/// Calls that *vouch for* an address (clear taint from every identifier
+/// they mention on the line).
+pub const ADDR_SANITIZERS: &[&str] = &["translate(", "check(", "check_aligned("];
+
+/// Raw memory accessors a tainted value must not reach (matched as
+/// `.name(` method calls).
+pub const ADDR_SINKS: &[&str] = &[
+    "load_word",
+    "load_word_atomic",
+    "store_word",
+    "cas_word",
+    "load_u32",
+    "store_u32",
+    "load_u16",
+    "store_u16",
+    "load_u8",
+    "store_u8",
+    "read_bytes",
+    "write_bytes",
+    "copy_within",
+    "zero",
+];
+
+/// A tainted identifier reaching a sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintHit {
+    /// 0-based line index of the sink call.
+    pub line: usize,
+    /// 1-based column of the sink method name.
+    pub col: usize,
+    /// The tainted identifier that reached the sink.
+    pub ident: String,
+    /// The sink method name.
+    pub sink: &'static str,
+}
+
+/// Runs the taint analysis over one function region.
+pub fn addr_taint(lines: &[Line], region: &Region) -> Vec<TaintHit> {
+    let mut taint: Vec<String> = Vec::new();
+    let mut hits = Vec::new();
+    for (i, l) in lines.iter().enumerate().take(region.end + 1).skip(region.start) {
+        let code = l.code.as_str();
+        // 1. Sanitizers and bounds checks clear every tainted identifier
+        //    the line mentions.
+        if has_sanitizer(code) || is_bounds_check(code) {
+            taint.retain(|t| !has_token(code, t));
+        }
+        // 2. Bindings and plain assignments move taint.
+        if let Some((pattern, rhs)) = binding_of(code) {
+            let pats = pattern_idents(pattern);
+            let rhs_tainted = has_source(rhs) || taint.iter().any(|t| has_token(rhs, t));
+            if rhs_tainted {
+                for p in pats {
+                    if !taint.contains(&p) {
+                        taint.push(p);
+                    }
+                }
+            } else {
+                taint.retain(|t| !pats.contains(t));
+            }
+        }
+        // 3. Sinks: a tainted identifier appearing at-or-after the sink
+        //    call (i.e. inside its argument list or receiver chain tail)
+        //    is a violation. Identifiers *before* the sink are the line's
+        //    own binding targets, not sink inputs.
+        for &sink in ADDR_SINKS {
+            let pat = format!(".{sink}(");
+            let mut from = 0;
+            while let Some(p) = code[from..].find(&pat) {
+                let p = from + p;
+                from = p + pat.len();
+                if let Some(t) = taint.iter().find(|t| has_token(&code[p..], t)) {
+                    hits.push(TaintHit { line: i, col: p + 2, ident: t.clone(), sink });
+                }
+            }
+        }
+    }
+    hits
+}
+
+fn has_source(s: &str) -> bool {
+    if ADDR_SOURCES.iter().any(|src| s.contains(src)) {
+        return true;
+    }
+    // The bare `Addr(..)` tuple-struct constructor.
+    let mut from = 0;
+    while let Some(p) = crate::lexer::find_token_at(s, "Addr", from) {
+        from = p + 4;
+        if s[from..].starts_with('(') {
+            return true;
+        }
+    }
+    false
+}
+
+fn has_sanitizer(s: &str) -> bool {
+    ADDR_SANITIZERS.iter().any(|san| s.contains(san))
+}
+
+/// A conditional or assertion containing a comparison counts as a bounds
+/// check for every identifier it mentions.
+fn is_bounds_check(code: &str) -> bool {
+    let t = code.trim_start();
+    let conditional = t.starts_with("if ")
+        || t.starts_with("if(")
+        || t.starts_with("while ")
+        || t.contains("else if ")
+        || code.contains("assert");
+    conditional && (code.contains('<') || code.contains('>') || code.contains("=="))
+}
+
+/// Splits a `let`-binding or simple `ident = expr` assignment into
+/// (pattern, rhs). Compound assignments (`+=`, `==`, ...) do not count.
+fn binding_of(code: &str) -> Option<(&str, &str)> {
+    let bytes = code.as_bytes();
+    let start = crate::lexer::find_token(code, "let").map_or(0, |p| p + 3);
+    let mut k = start;
+    while k < bytes.len() {
+        if bytes[k] == b'='
+            && (k == 0
+                || !matches!(
+                    bytes[k - 1],
+                    b'=' | b'!'
+                        | b'<'
+                        | b'>'
+                        | b'+'
+                        | b'-'
+                        | b'*'
+                        | b'/'
+                        | b'%'
+                        | b'&'
+                        | b'|'
+                        | b'^'
+                ))
+            && bytes.get(k + 1) != Some(&b'=')
+        {
+            let pattern = &code[start..k];
+            // Without `let`, only a lone identifier target is an
+            // assignment we track (skip `x.field = ..`, `arr[i] = ..`).
+            if start == 0 {
+                let p = pattern.trim();
+                if p.is_empty() || !p.chars().all(is_ident_char) {
+                    return None;
+                }
+            }
+            return Some((pattern, &code[k + 1..]));
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Variable identifiers bound by a pattern: lowercase- or
+/// underscore-initial tokens, minus binding keywords.
+pub(crate) fn pattern_idents(pattern: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in pattern.chars().chain([' ']) {
+        if is_ident_char(c) {
+            cur.push(c);
+            continue;
+        }
+        if !cur.is_empty() {
+            let first = cur.chars().next().unwrap_or(' ');
+            let keyword = matches!(cur.as_str(), "let" | "mut" | "ref" | "box" | "move" | "_");
+            if (first.is_lowercase() || first == '_') && !first.is_ascii_digit() && !keyword {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::functions;
+
+    fn hits(src: &str) -> Vec<TaintHit> {
+        let lines = lex(src);
+        let fns = functions(&lines);
+        let mut out = Vec::new();
+        for r in &fns {
+            out.extend(addr_taint(&lines, r));
+        }
+        out
+    }
+
+    #[test]
+    fn raw_born_addr_reaching_sink_is_flagged() {
+        let h = hits(
+            "fn f(a: &Arena, base: Addr) -> u64 {\n    let p = base.byte_add(16);\n    a.load_word(p.raw())\n}\n",
+        );
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].line, 2);
+        assert_eq!(h[0].ident, "p");
+        assert_eq!(h[0].sink, "load_word");
+    }
+
+    #[test]
+    fn translate_sanitizes() {
+        let h = hits(
+            "fn f(r: &Rx, a: &Arena, l: u64) -> u64 {\n    let abs = r.translate(l);\n    a.load_word(abs.raw())\n}\n",
+        );
+        assert!(h.is_empty(), "{h:?}");
+    }
+
+    #[test]
+    fn bounds_check_sanitizes() {
+        let h = hits(
+            "fn f(a: &Arena, b: Addr, end: u64) -> u64 {\n    let p = Addr::from_raw(b.raw());\n    if p.raw() >= end {\n        return 0;\n    }\n    a.load_word(p.raw())\n}\n",
+        );
+        assert!(h.is_empty(), "{h:?}");
+    }
+
+    #[test]
+    fn binding_target_before_sink_is_not_an_input() {
+        // `tgt` is bound on the same line the sink runs; only identifiers
+        // inside the sink's argument tail count as reaching it.
+        let h = hits(
+            "fn f(a: &Arena, sbase: u64) -> Addr {\n    let tgt = Addr(a.load_word(sbase));\n    tgt\n}\n",
+        );
+        assert!(h.is_empty(), "{h:?}");
+    }
+
+    #[test]
+    fn taint_propagates_through_rebinding() {
+        let h = hits(
+            "fn f(a: &Arena, b: Addr) -> u64 {\n    let p = b.byte_add(8);\n    let q = p;\n    a.store_word(q.raw(), 0);\n    0\n}\n",
+        );
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].ident, "q");
+        assert_eq!(h[0].sink, "store_word");
+    }
+
+    #[test]
+    fn rebinding_from_clean_rhs_clears() {
+        let h = hits(
+            "fn f(a: &Arena, b: Addr, ok: Addr) -> u64 {\n    let p = b.byte_add(8);\n    let p = ok;\n    a.load_word(p.raw())\n}\n",
+        );
+        assert!(h.is_empty(), "{h:?}");
+    }
+}

@@ -1,0 +1,355 @@
+//! The lexing layer: Rust source → per-line code/comment/string channels.
+//!
+//! This is a classifier, not a parser: it only needs to know, for every
+//! byte, whether it is code, comment, or literal content. Everything above
+//! it (scopes, dataflow, rules) works on the masked [`Line`] channels.
+
+/// A string literal occurrence: the 1-based column of its opening quote
+/// (as it appears in the masked code channel) and its unescaped content.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based column of the opening quote on the line the literal started.
+    pub col: usize,
+    /// Literal content with escapes resolved to their raw characters.
+    pub text: String,
+}
+
+/// One lexed source line: code with string/char contents masked out,
+/// comment text, the string literals that close on the line, and whether
+/// the line sits inside `#[cfg(test)]` / `#[test]` code.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code content; string literals appear as `""`, comments removed.
+    pub code: String,
+    /// Comment text (line and block comments) on this line.
+    pub comment: String,
+    /// String literals that close on this line.
+    pub strings: Vec<StrLit>,
+    /// True inside a `#[cfg(test)]` or `#[test]` item.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum St {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+    CharLit,
+}
+
+/// Lexes Rust source into per-line code/comment/string channels.
+pub fn lex(text: &str) -> Vec<Line> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut st = St::Code;
+    let mut cur_str = String::new();
+    let mut str_col = 1usize;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        let line = lines.last_mut().unwrap_or_else(|| unreachable!("lines starts non-empty"));
+        match st {
+            St::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    st = St::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte string starts: r", r#", br", b" — only when the
+                // prefix letter does not terminate an identifier.
+                let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
+                if !prev_ident && (c == 'r' || c == 'b') {
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = j > i + 1 || c == 'r';
+                    if chars.get(j) == Some(&'"') && (is_raw || c == 'b') {
+                        str_col = line.code.len() + 1;
+                        line.code.push('"');
+                        cur_str.clear();
+                        st = St::Str { raw_hashes: if is_raw { Some(hashes) } else { None } };
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    str_col = line.code.len() + 1;
+                    line.code.push('"');
+                    cur_str.clear();
+                    st = St::Str { raw_hashes: None };
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let next = chars.get(i + 1);
+                    let after = chars.get(i + 2);
+                    let is_char = matches!(next, Some('\\')) || after == Some(&'\'');
+                    if is_char {
+                        line.code.push('\'');
+                        st = St::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                // Mask non-ASCII so byte offsets equal char offsets in the
+                // code channel (`mark_tests` and the column math rely on
+                // this).
+                line.code.push(if c.is_ascii() { c } else { '_' });
+                i += 1;
+            }
+            St::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 { St::Code } else { St::BlockComment(depth - 1) };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                line.comment.push(c);
+                i += 1;
+            }
+            St::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            if let Some(&e) = chars.get(i + 1) {
+                                cur_str.push(e);
+                            }
+                            i += 2;
+                            continue;
+                        }
+                        if c == '"' {
+                            line.code.push('"');
+                            line.strings
+                                .push(StrLit { col: str_col, text: std::mem::take(&mut cur_str) });
+                            st = St::Code;
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    Some(h) => {
+                        if c == '"' {
+                            let closes = (1..=h as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                            if closes {
+                                line.code.push('"');
+                                line.strings.push(StrLit {
+                                    col: str_col,
+                                    text: std::mem::take(&mut cur_str),
+                                });
+                                st = St::Code;
+                                i += 1 + h as usize;
+                                continue;
+                            }
+                        }
+                    }
+                }
+                cur_str.push(c);
+                i += 1;
+            }
+            St::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    line.code.push('\'');
+                    st = St::Code;
+                    i += 1;
+                    continue;
+                }
+                i += 1;
+            }
+        }
+    }
+    // Unterminated-string leftovers still count as a literal.
+    if !cur_str.is_empty() {
+        if let Some(l) = lines.last_mut() {
+            l.strings.push(StrLit { col: str_col, text: cur_str });
+        }
+    }
+    mark_tests(&mut lines);
+    lines
+}
+
+/// True for characters that can appear inside a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks every line inside a `#[cfg(test)]` / `#[test]` item's braces.
+fn mark_tests(lines: &mut [Line]) {
+    // Flatten code with line indices so brace matching can span lines.
+    let mut flat: Vec<(usize, char)> = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        flat.extend(l.code.chars().map(|c| (idx, c)));
+        flat.push((idx, '\n'));
+    }
+    let s: String = flat.iter().map(|&(_, c)| c).collect();
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(p) = s[from..].find(attr) {
+            let p = from + p;
+            from = p + attr.len();
+            // First `{` after the attribute opens the item body.
+            let Some(open_rel) = s[from..].find('{') else { continue };
+            let open = from + open_rel;
+            let mut depth = 0i32;
+            let mut end = s.len() - 1;
+            for (k, c) in s[open..].char_indices() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = open + k;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let start_line = flat[p].0;
+            let end_line = flat[end.min(flat.len() - 1)].0;
+            for l in lines.iter_mut().take(end_line + 1).skip(start_line) {
+                l.in_test = true;
+            }
+        }
+    }
+}
+
+/// True if `code` contains `tok` as a standalone token (non-identifier
+/// characters, or the line edges, on both sides).
+pub fn has_token(code: &str, tok: &str) -> bool {
+    find_token(code, tok).is_some()
+}
+
+/// 0-based position of the first standalone occurrence of `tok`.
+pub fn find_token(code: &str, tok: &str) -> Option<usize> {
+    find_token_at(code, tok, 0)
+}
+
+/// Like [`find_token`], starting the search at byte offset `from`.
+/// Boundary checks look at the full string, so a match straddling `from`
+/// is still rejected correctly.
+pub fn find_token_at(code: &str, tok: &str, from: usize) -> Option<usize> {
+    let mut from = from;
+    while let Some(p) = code.get(from..)?.find(tok) {
+        let p = from + p;
+        let before = p == 0 || !is_ident_char(code[..p].chars().next_back()?);
+        let end = p + tok.len();
+        let after = end >= code.len() || !is_ident_char(code[end..].chars().next()?);
+        if before && after {
+            return Some(p);
+        }
+        from = p + tok.len();
+    }
+    None
+}
+
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// True if `code` contains an `as <integer-type>` cast.
+pub fn has_int_cast(code: &str) -> bool {
+    find_int_cast(code).is_some()
+}
+
+/// 0-based position of the first `as <integer-type>` cast's `as` token.
+pub fn find_int_cast(code: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(p) = find_token_at(code, "as", from) {
+        let rest = code[p + 2..].trim_start();
+        if INT_TYPES
+            .iter()
+            .any(|t| rest.starts_with(t) && !rest[t.len()..].starts_with(is_ident_char))
+        {
+            return Some(p);
+        }
+        from = p + 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_masks_strings_and_comments() {
+        let lines = lex("let x = \"unsafe .unwrap() skyway.y\"; // unsafe comment\n");
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert_eq!(lines[0].strings.len(), 1);
+        assert_eq!(lines[0].strings[0].text, "unsafe .unwrap() skyway.y");
+        assert_eq!(lines[0].strings[0].col, 9, "column of the opening quote");
+        assert!(lines[0].comment.contains("unsafe comment"));
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_lifetimes() {
+        let lines = lex("fn f<'a>(x: &'a str) { let s = r#\"panic!\"#; let c = '\\n'; }\n");
+        assert!(has_token(&lines[0].code, "fn"));
+        assert!(!has_token(&lines[0].code, "panic!"));
+        assert_eq!(lines[0].strings[0].text, "panic!");
+    }
+
+    #[test]
+    fn lexer_handles_block_comments_spanning_lines() {
+        let lines = lex("a /* x\n unsafe\n y */ b\n");
+        assert!(!has_token(&lines[1].code, "unsafe"));
+        assert!(lines[1].comment.contains("unsafe"));
+        assert!(has_token(&lines[2].code, "b"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn token_and_cast_matchers() {
+        assert!(has_token("let a: Addr = x;", "Addr"));
+        assert!(!has_token("let a: RelAddr2 = x;", "Addr"));
+        assert!(has_int_cast("x as u64"));
+        assert!(has_int_cast("(y) as usize + 1"));
+        assert!(!has_int_cast("x as f64"));
+        assert!(!has_int_cast("basic_usize"));
+        assert_eq!(find_int_cast("x as u64"), Some(2));
+    }
+}

@@ -1,44 +1,68 @@
-//! `skyway-tidy`: a hand-rolled, token-level static-analysis pass over the
-//! workspace's Rust sources (the `rust-lang/rust` `tidy` model — no rustc
-//! plugin, no syn; a small lexer plus line-oriented rules).
+//! `skyway-tidy`: a hand-rolled static-analysis pass over the workspace's
+//! Rust sources (the `rust-lang/rust` `tidy` model — no rustc plugin, no
+//! syn; a small lexer, brace-matched scopes, a per-function dataflow pass,
+//! and line-oriented rules).
 //!
-//! Five rule families guard the invariants the dynamic checkers
-//! (`mheap::verify`, the test suite) can only catch after the fact:
+//! Nine rules guard the invariants the dynamic checkers (`mheap::verify`,
+//! the test suite) can only catch after the fact:
 //!
-//! * [`addr-cast`](#addr-cast) — **address discipline.** Mixing absolute
-//!   heap addresses and relative buffer addresses is the §3.3 bug class the
-//!   whole paper is about; a raw `as u64`/`as usize` cast on the same line
-//!   as an [`Addr`] value is how such mixups are born. Outside the two
-//!   modules that own the representation (`mheap::layout`, `mheap::mem`),
-//!   code must use the typed conversion helpers (`Addr::raw`,
-//!   `Addr::from_raw`, `Addr::byte_add`, `Addr::offset_from`).
+//! * `addr-cast` — **address discipline.** Mixing absolute heap addresses
+//!   and relative buffer addresses is the §3.3 bug class the whole paper
+//!   is about; a raw `as u64`/`as usize` cast on the same line as an
+//!   `Addr` value is how such mixups are born.
+//! * `addr-provenance` — **address dataflow.** Within a function, an
+//!   `Addr` born from `Addr::from_raw`/`byte_add`/offset arithmetic is
+//!   tainted until it flows through `translate()` or a bounds check;
+//!   tainted values reaching raw memory accessors are violations (the
+//!   static twin of `HeapFault::DanglingRelativeAddr`).
+//! * `checked-arith` — size/offset arithmetic in the representation-owning
+//!   modules (`mheap::layout`, `mheap::mem`) must use `checked_*` /
+//!   explicit `wrapping_*`, never bare `+`/`*`.
 //! * `unsafe-safety` — every `unsafe` block/fn/impl carries a `// SAFETY:`
-//!   comment (same line, or the comment block immediately above — a block
-//!   may cover several consecutive `unsafe` items).
+//!   comment (same line, or the comment block immediately above).
 //! * `panic` — no `.unwrap()` / `.expect(` / `panic!` in non-test code of
-//!   `crates/core` and `crates/mheap`; genuinely-infallible sites are
-//!   tagged `// tidy:allow(panic, reason)`.
+//!   `crates/core` and `crates/mheap`.
+//! * `lock-order` — a workspace-wide lock-acquisition graph over guard
+//!   scopes; cycles are potential deadlocks, and holding a guard across a
+//!   blocking channel `send`/`recv` is flagged (`guard-across-send`).
 //! * `metric-literal` + `dead-metric` — **registry consistency.** Every
-//!   `"skyway.*"` / `"mheap.*"` string literal outside `crates/obs` must be
-//!   an `obs::names` const reference, and every const in `obs::names` must
-//!   have at least one use site.
+//!   `"skyway.*"` / `"mheap.*"` string literal outside `crates/obs` must
+//!   be an `obs::names` const reference, and every const in `obs::names`
+//!   must have at least one use site.
 //! * `fault-coverage` — every `HeapFault` variant appears in at least one
-//!   test, so no corruption class the verifier can report goes unexercised.
+//!   test, so no corruption class the verifier can report goes
+//!   unexercised.
 //!
-//! Any rule can be waived for one line with `// tidy:allow(<rule>, reason)`
-//! or for whole path prefixes via `[allow]` entries in `tidy.toml`.
-//!
-//! [`Addr`]: https://docs.rs/ (mheap::layout::Addr)
+//! Any rule can be waived for one line with an inline `tidy:allow` comment
+//! tag — on the offending line, or alone on the comment line directly
+//! above — naming the rule and a non-empty justification, or for whole
+//! path prefixes via `[allow]` entries in `tidy.toml`. Tags naming an
+//! unknown rule, or omitting the justification, fail the whole run.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod dataflow;
+pub mod lexer;
+mod rules;
+pub mod sarif;
+pub mod scope;
+
+pub use lexer::{has_int_cast, has_token, lex, Line, StrLit};
+pub use sarif::to_sarif;
+
 /// Rule identifiers with one-line summaries, in reporting order.
 pub const RULES: &[(&str, &str)] = &[
     ("addr-cast", "no raw integer casts on Addr values outside mheap::layout/mheap::mem"),
+    ("addr-provenance", "raw-born Addr values must pass translate()/a bounds check before deref"),
+    (
+        "checked-arith",
+        "size/offset arithmetic in mheap::layout/mheap::mem uses checked_*/wrapping_*",
+    ),
     ("unsafe-safety", "every unsafe block/fn/impl carries a // SAFETY: comment"),
     ("panic", "no unwrap()/expect()/panic! in non-test code of crates/core and crates/mheap"),
+    ("lock-order", "no lock-acquisition cycles; no guard held across a blocking channel send/recv"),
     ("metric-literal", "metric name literals outside crates/obs must be obs::names consts"),
     ("dead-metric", "every obs::names const has at least one use site"),
     ("fault-coverage", "every HeapFault variant appears in at least one test"),
@@ -53,6 +77,9 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column (approximate after string literals, whose content is
+    /// masked out of the code channel).
+    pub col: usize,
     /// Human-readable description of the offence.
     pub message: String,
 }
@@ -66,10 +93,17 @@ pub struct Config {
     pub scan_dirs: Vec<String>,
     /// Path prefixes excluded from scanning entirely (fixtures, target).
     pub exclude: Vec<String>,
-    /// Files allowed to cast `Addr` values (the representation owners).
+    /// Files allowed raw `Addr` handling (the representation owners) —
+    /// exempt from both `addr-cast` and `addr-provenance`.
     pub addr_exempt: Vec<String>,
     /// Path prefixes the `panic` rule applies to.
     pub panic_paths: Vec<String>,
+    /// Path prefixes the `checked-arith` rule applies to.
+    pub arith_paths: Vec<String>,
+    /// Path prefixes exempt from `lock-order` (vendored lock shims, whose
+    /// `Mutex`/`RwLock` *definitions* would otherwise register as lock
+    /// classes).
+    pub lock_exempt: Vec<String>,
     /// Path prefixes exempt from `metric-literal` (the registry crate
     /// itself, and this checker which must name the prefixes).
     pub metric_exempt: Vec<String>,
@@ -95,10 +129,38 @@ impl Config {
                 "crates/mheap/src/mem.rs".into(),
             ],
             panic_paths: vec!["crates/core/src".into(), "crates/mheap/src".into()],
+            arith_paths: vec![
+                "crates/mheap/src/layout.rs".into(),
+                "crates/mheap/src/mem.rs".into(),
+            ],
+            lock_exempt: vec!["shims".into()],
             metric_exempt: vec!["crates/obs".into(), "crates/tidy".into()],
             metric_prefixes: vec!["skyway.".into(), "mheap.".into()],
             names_file: Some("crates/obs/src/lib.rs".into()),
             fault_file: Some("crates/mheap/src/verify.rs".into()),
+            allow: BTreeMap::new(),
+        }
+    }
+
+    /// The policy for the fixture tree at `root` (used by the golden tests
+    /// and the CLI's `--fixture-matrix` mode): scan everything under the
+    /// root, with every policy path pointed at the fixture equivalents.
+    /// The `bad_allow/` subtree — fixtures whose waiver *tags* are
+    /// malformed and therefore fail the whole run — is excluded; tests
+    /// scan those subdirectories with dedicated configs.
+    pub fn for_fixtures(root: PathBuf) -> Config {
+        Config {
+            root,
+            scan_dirs: vec![String::new()],
+            exclude: vec!["bad_allow".into()],
+            addr_exempt: vec![],
+            panic_paths: vec![String::new()],
+            arith_paths: vec!["checked_arith.rs".into()],
+            lock_exempt: vec![],
+            metric_exempt: vec!["names.rs".into()],
+            metric_prefixes: vec!["skyway.".into(), "mheap.".into()],
+            names_file: Some("names.rs".into()),
+            fault_file: Some("faults.rs".into()),
             allow: BTreeMap::new(),
         }
     }
@@ -146,287 +208,30 @@ impl Config {
     }
 }
 
-/// One lexed source line: code with string/char contents masked out,
-/// comment text, the string literals that start on the line, and whether
-/// the line sits inside `#[cfg(test)]` / `#[test]` code.
-#[derive(Debug, Default, Clone)]
-pub struct Line {
-    /// Code content; string literals appear as `""`, comments removed.
-    pub code: String,
-    /// Comment text (line and block comments) on this line.
-    pub comment: String,
-    /// Contents of string literals that start on this line.
-    pub strings: Vec<String>,
-    /// True inside a `#[cfg(test)]` or `#[test]` item.
-    pub in_test: bool,
-}
-
 /// A lexed source file.
 #[derive(Debug)]
 pub struct SourceFile {
     /// Path relative to the scanned root, `/`-separated.
     pub rel: String,
     /// Lexed lines, index 0 = line 1.
-    pub lines: Vec<Line>,
+    pub lines: Vec<lexer::Line>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum St {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str { raw_hashes: Option<u32> },
-    CharLit,
-}
-
-/// Lexes Rust source into per-line code/comment/string channels. This is a
-/// classifier, not a parser: it only needs to know, for every byte, whether
-/// it is code, comment, or literal content.
-pub fn lex(text: &str) -> Vec<Line> {
-    let chars: Vec<char> = text.chars().collect();
-    let mut lines: Vec<Line> = vec![Line::default()];
-    let mut st = St::Code;
-    let mut cur_str = String::new();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if st == St::LineComment {
-                st = St::Code;
-            }
-            lines.push(Line::default());
-            i += 1;
-            continue;
-        }
-        let line = lines.last_mut().unwrap_or_else(|| unreachable!("lines starts non-empty"));
-        match st {
-            St::Code => {
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    st = St::LineComment;
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    st = St::BlockComment(1);
-                    i += 2;
-                    continue;
-                }
-                // Raw / byte string starts: r", r#", br", b" — only when the
-                // prefix letter does not terminate an identifier.
-                let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
-                if !prev_ident && (c == 'r' || c == 'b') {
-                    let mut j = i + 1;
-                    if c == 'b' && chars.get(j) == Some(&'r') {
-                        j += 1;
-                    }
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    let is_raw = j > i + 1 || c == 'r';
-                    if chars.get(j) == Some(&'"') && (is_raw || c == 'b') {
-                        line.code.push('"');
-                        cur_str.clear();
-                        st = St::Str { raw_hashes: if is_raw { Some(hashes) } else { None } };
-                        i = j + 1;
-                        continue;
-                    }
-                }
-                if c == '"' {
-                    line.code.push('"');
-                    cur_str.clear();
-                    st = St::Str { raw_hashes: None };
-                    i += 1;
-                    continue;
-                }
-                if c == '\'' {
-                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                    let next = chars.get(i + 1);
-                    let after = chars.get(i + 2);
-                    let is_char = matches!(next, Some('\\')) || after == Some(&'\'');
-                    if is_char {
-                        line.code.push('\'');
-                        st = St::CharLit;
-                        i += 1;
-                        continue;
-                    }
-                    line.code.push('\'');
-                    i += 1;
-                    continue;
-                }
-                // Mask non-ASCII so byte offsets equal char offsets in the
-                // code channel (`mark_tests` relies on this).
-                line.code.push(if c.is_ascii() { c } else { '_' });
-                i += 1;
-            }
-            St::LineComment => {
-                line.comment.push(c);
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                if c == '*' && chars.get(i + 1) == Some(&'/') {
-                    st = if depth == 1 { St::Code } else { St::BlockComment(depth - 1) };
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    st = St::BlockComment(depth + 1);
-                    i += 2;
-                    continue;
-                }
-                line.comment.push(c);
-                i += 1;
-            }
-            St::Str { raw_hashes } => {
-                match raw_hashes {
-                    None => {
-                        if c == '\\' {
-                            if let Some(&e) = chars.get(i + 1) {
-                                cur_str.push(e);
-                            }
-                            i += 2;
-                            continue;
-                        }
-                        if c == '"' {
-                            line.code.push('"');
-                            line.strings.push(std::mem::take(&mut cur_str));
-                            st = St::Code;
-                            i += 1;
-                            continue;
-                        }
-                    }
-                    Some(h) => {
-                        if c == '"' {
-                            let closes = (1..=h as usize).all(|k| chars.get(i + k) == Some(&'#'));
-                            if closes {
-                                line.code.push('"');
-                                line.strings.push(std::mem::take(&mut cur_str));
-                                st = St::Code;
-                                i += 1 + h as usize;
-                                continue;
-                            }
-                        }
-                    }
-                }
-                cur_str.push(c);
-                i += 1;
-            }
-            St::CharLit => {
-                if c == '\\' {
-                    i += 2;
-                    continue;
-                }
-                if c == '\'' {
-                    line.code.push('\'');
-                    st = St::Code;
-                    i += 1;
-                    continue;
-                }
-                i += 1;
-            }
-        }
+/// True if line `i` (0-based) of `f` is waived for `rule` by an inline
+/// tag — on the line itself, or alone on the comment-only line directly
+/// above.
+pub(crate) fn allows(f: &SourceFile, i: usize, rule: &str) -> bool {
+    if line_allows(&f.lines[i].comment, rule) {
+        return true;
     }
-    // Unterminated-string leftovers still count as a literal.
-    if !cur_str.is_empty() {
-        if let Some(l) = lines.last_mut() {
-            l.strings.push(cur_str);
-        }
-    }
-    mark_tests(&mut lines);
-    lines
+    i > 0 && f.lines[i - 1].code.trim().is_empty() && line_allows(&f.lines[i - 1].comment, rule)
 }
 
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Marks every line inside a `#[cfg(test)]` / `#[test]` item's braces.
-fn mark_tests(lines: &mut [Line]) {
-    // Flatten code with line indices so brace matching can span lines.
-    let mut flat: Vec<(usize, char)> = Vec::new();
-    for (idx, l) in lines.iter().enumerate() {
-        flat.extend(l.code.chars().map(|c| (idx, c)));
-        flat.push((idx, '\n'));
-    }
-    let s: String = flat.iter().map(|&(_, c)| c).collect();
-    for attr in ["#[cfg(test)]", "#[test]"] {
-        let mut from = 0;
-        while let Some(p) = s[from..].find(attr) {
-            let p = from + p;
-            from = p + attr.len();
-            // First `{` after the attribute opens the item body.
-            let Some(open_rel) = s[from..].find('{') else { continue };
-            let open = from + open_rel;
-            let mut depth = 0i32;
-            let mut end = s.len() - 1;
-            for (k, c) in s[open..].char_indices() {
-                match c {
-                    '{' => depth += 1,
-                    '}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            end = open + k;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            let start_line = flat[p].0;
-            let end_line = flat[end.min(flat.len() - 1)].0;
-            for l in lines.iter_mut().take(end_line + 1).skip(start_line) {
-                l.in_test = true;
-            }
-        }
-    }
-}
-
-/// True if `code` contains `tok` as a standalone token (non-identifier
-/// characters, or the line edges, on both sides).
-pub fn has_token(code: &str, tok: &str) -> bool {
-    find_token(code, tok).is_some()
-}
-
-fn find_token(code: &str, tok: &str) -> Option<usize> {
-    let mut from = 0;
-    while let Some(p) = code[from..].find(tok) {
-        let p = from + p;
-        let before = p == 0 || !is_ident_char(code[..p].chars().next_back()?);
-        let end = p + tok.len();
-        let after = end >= code.len() || !is_ident_char(code[end..].chars().next()?);
-        if before && after {
-            return Some(p);
-        }
-        from = p + tok.len();
-    }
-    None
-}
-
-const INT_TYPES: &[&str] =
-    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
-
-/// True if `code` contains an `as <integer-type>` cast.
-pub fn has_int_cast(code: &str) -> bool {
-    let mut from = 0;
-    while let Some(p) = find_token(&code[from..], "as") {
-        let rest = code[from + p + 2..].trim_start();
-        if INT_TYPES
-            .iter()
-            .any(|t| rest.starts_with(t) && !rest[t.len()..].starts_with(is_ident_char))
-        {
-            return true;
-        }
-        from += p + 2;
-    }
-    false
-}
-
-/// True if the line's comment waives `rule` via `tidy:allow(rule, ...)`.
+/// True if the comment text waives `rule` via an inline tag.
 fn line_allows(comment: &str, rule: &str) -> bool {
     let mut from = 0;
-    while let Some(p) = comment[from..].find("tidy:allow(") {
-        let args = &comment[from + p + "tidy:allow(".len()..];
+    while let Some(p) = comment[from..].find(ALLOW_TAG) {
+        let args = &comment[from + p + ALLOW_TAG.len()..];
         let named = args.split([',', ')']).next().unwrap_or("").trim();
         if named == rule {
             return true;
@@ -436,16 +241,68 @@ fn line_allows(comment: &str, rule: &str) -> bool {
     false
 }
 
-fn path_under(rel: &str, prefixes: &[String]) -> bool {
+const ALLOW_TAG: &str = "tidy:allow(";
+
+/// Validates every inline waiver tag in the tree: the named rule must
+/// exist and the justification must be non-empty. A malformed waiver is a
+/// run-level error — a typo'd tag that silently waives nothing (or
+/// silently waives without a recorded reason) is exactly the kind of rot
+/// this pass exists to stop.
+fn validate_allow_tags(files: &[SourceFile]) -> Result<(), String> {
+    for f in files {
+        for (i, l) in f.lines.iter().enumerate() {
+            let mut from = 0;
+            while let Some(p) = l.comment[from..].find(ALLOW_TAG) {
+                let args_start = from + p + ALLOW_TAG.len();
+                from = args_start;
+                let args = &l.comment[args_start..];
+                let Some(close) = args.find(')') else {
+                    return Err(format!(
+                        "{}:{}: unterminated tidy:allow tag (missing `)`)",
+                        f.rel,
+                        i + 1
+                    ));
+                };
+                let inner = &args[..close];
+                let (rule, reason) = match inner.split_once(',') {
+                    Some((r, why)) => (r.trim(), Some(why.trim())),
+                    None => (inner.trim(), None),
+                };
+                if !RULES.iter().any(|(id, _)| *id == rule) {
+                    return Err(format!(
+                        "{}:{}: tidy:allow names unknown rule `{rule}` (known rules: {})",
+                        f.rel,
+                        i + 1,
+                        RULES.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+                    ));
+                }
+                match reason {
+                    Some(r) if !r.is_empty() => {}
+                    _ => {
+                        return Err(format!(
+                            "{}:{}: tidy:allow for `{rule}` needs a non-empty reason: \
+                             every waiver records why the code is correct",
+                            f.rel,
+                            i + 1
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn path_under(rel: &str, prefixes: &[String]) -> bool {
     prefixes.iter().any(|p| p.is_empty() || rel == p || rel.starts_with(&format!("{p}/")))
 }
 
-fn rule_allows(cfg: &Config, rule: &str, rel: &str) -> bool {
+pub(crate) fn rule_allows(cfg: &Config, rule: &str, rel: &str) -> bool {
     cfg.allow.get(rule).is_some_and(|paths| path_under(rel, paths))
 }
 
 /// True for paths that are test/bench/example code by location.
-fn is_test_path(rel: &str) -> bool {
+pub(crate) fn is_test_path(rel: &str) -> bool {
     rel.starts_with("tests/")
         || rel.contains("/tests/")
         || rel.contains("/benches/")
@@ -456,7 +313,7 @@ fn is_test_path(rel: &str) -> bool {
 /// The analysis result: violations plus how many files were scanned.
 #[derive(Debug)]
 pub struct Report {
-    /// All violations, sorted by file, line, rule.
+    /// All violations, sorted by (file, line, rule, col) and deduplicated.
     pub violations: Vec<Violation>,
     /// Number of `.rs` files scanned.
     pub files_checked: usize,
@@ -465,8 +322,9 @@ pub struct Report {
 /// Runs every rule over the configured tree.
 ///
 /// # Errors
-/// I/O failures reading the tree (individual unreadable files are errors —
-/// a lint pass that silently skips files is worse than none).
+/// I/O failures reading the tree, and malformed inline waiver tags
+/// (individual unreadable files are errors — a lint pass that silently
+/// skips files is worse than none).
 pub fn run(cfg: &Config) -> Result<Report, String> {
     let mut paths: Vec<PathBuf> = Vec::new();
     for dir in &cfg.scan_dirs {
@@ -490,19 +348,25 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
             continue;
         }
         let text = fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
-        files.push(SourceFile { rel, lines: lex(&text) });
+        files.push(SourceFile { rel, lines: lexer::lex(&text) });
     }
+
+    validate_allow_tags(&files)?;
 
     let mut out: Vec<Violation> = Vec::new();
     for f in &files {
-        check_addr_cast(cfg, f, &mut out);
-        check_unsafe_safety(cfg, f, &mut out);
-        check_panic(cfg, f, &mut out);
-        check_metric_literal(cfg, f, &mut out);
+        rules::addr_cast::check(cfg, f, &mut out);
+        rules::addr_provenance::check(cfg, f, &mut out);
+        rules::checked_arith::check(cfg, f, &mut out);
+        rules::unsafe_safety::check(cfg, f, &mut out);
+        rules::panic::check(cfg, f, &mut out);
+        rules::metrics::check_literal(cfg, f, &mut out);
     }
-    check_dead_metric(cfg, &files, &mut out);
-    check_fault_coverage(cfg, &files, &mut out);
-    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    rules::lock_order::check(cfg, &files, &mut out);
+    rules::metrics::check_dead(cfg, &files, &mut out);
+    rules::fault_coverage::check(cfg, &files, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule, a.col).cmp(&(&b.file, b.line, b.rule, b.col)));
+    out.dedup();
     Ok(Report { violations: out, files_checked: files.len() })
 }
 
@@ -523,224 +387,6 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-fn check_addr_cast(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
-    if path_under(&f.rel, &cfg.addr_exempt)
-        || rule_allows(cfg, "addr-cast", &f.rel)
-        || is_test_path(&f.rel)
-    {
-        return;
-    }
-    for (i, l) in f.lines.iter().enumerate() {
-        if l.in_test || line_allows(&l.comment, "addr-cast") {
-            continue;
-        }
-        if has_token(&l.code, "Addr") && has_int_cast(&l.code) {
-            out.push(Violation {
-                rule: "addr-cast",
-                file: f.rel.clone(),
-                line: i + 1,
-                message: "raw integer cast on a line handling an Addr value; use the typed \
-                          helpers (Addr::raw, Addr::from_raw, Addr::byte_add, Addr::offset_from)"
-                    .into(),
-            });
-        }
-    }
-}
-
-fn check_unsafe_safety(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
-    if rule_allows(cfg, "unsafe-safety", &f.rel) {
-        return;
-    }
-    for (i, l) in f.lines.iter().enumerate() {
-        if !has_token(&l.code, "unsafe") || line_allows(&l.comment, "unsafe-safety") {
-            continue;
-        }
-        let mut covered = l.comment.contains("SAFETY:");
-        // Walk up through the contiguous run of comment-only lines and
-        // earlier `unsafe` lines (one SAFETY comment may cover several
-        // consecutive unsafe items, e.g. `unsafe impl Send`/`Sync`).
-        let mut j = i;
-        while !covered && j > 0 {
-            j -= 1;
-            let prev = &f.lines[j];
-            let code = prev.code.trim();
-            if code.is_empty() || has_token(code, "unsafe") {
-                covered = prev.comment.contains("SAFETY:");
-            } else {
-                break;
-            }
-        }
-        if !covered {
-            out.push(Violation {
-                rule: "unsafe-safety",
-                file: f.rel.clone(),
-                line: i + 1,
-                message: "`unsafe` without a `// SAFETY:` comment on or above the line".into(),
-            });
-        }
-    }
-}
-
-fn check_panic(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
-    if !path_under(&f.rel, &cfg.panic_paths)
-        || rule_allows(cfg, "panic", &f.rel)
-        || is_test_path(&f.rel)
-    {
-        return;
-    }
-    for (i, l) in f.lines.iter().enumerate() {
-        if l.in_test || line_allows(&l.comment, "panic") {
-            continue;
-        }
-        let construct = if l.code.contains(".unwrap()") {
-            Some("unwrap()")
-        } else if l.code.contains(".expect(") {
-            Some("expect()")
-        } else if has_token(&l.code, "panic!") {
-            Some("panic!")
-        } else {
-            None
-        };
-        if let Some(c) = construct {
-            out.push(Violation {
-                rule: "panic",
-                file: f.rel.clone(),
-                line: i + 1,
-                message: format!(
-                    "{c} in non-test code; return a typed Error or tag the line with \
-                     `// tidy:allow(panic, reason)` if genuinely infallible"
-                ),
-            });
-        }
-    }
-}
-
-fn check_metric_literal(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
-    if path_under(&f.rel, &cfg.metric_exempt) || rule_allows(cfg, "metric-literal", &f.rel) {
-        return;
-    }
-    for (i, l) in f.lines.iter().enumerate() {
-        if line_allows(&l.comment, "metric-literal") {
-            continue;
-        }
-        for s in &l.strings {
-            if cfg.metric_prefixes.iter().any(|p| s.starts_with(p)) {
-                out.push(Violation {
-                    rule: "metric-literal",
-                    file: f.rel.clone(),
-                    line: i + 1,
-                    message: format!(
-                        "metric name literal \"{s}\" outside crates/obs; reference an \
-                         obs::names const instead"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// Parses `pub const IDENT: &str = "metric.name";` definitions out of the
-/// names file, returning `(ident, line, value)` triples.
-fn metric_consts(cfg: &Config, f: &SourceFile) -> Vec<(String, usize, String)> {
-    let mut out = Vec::new();
-    for (i, l) in f.lines.iter().enumerate() {
-        let code = l.code.trim();
-        let Some(rest) = code.strip_prefix("pub const ") else { continue };
-        let Some((ident, _)) = rest.split_once(':') else { continue };
-        let Some(value) = l.strings.first() else { continue };
-        if cfg.metric_prefixes.iter().any(|p| value.starts_with(p)) {
-            out.push((ident.trim().to_string(), i + 1, value.clone()));
-        }
-    }
-    out
-}
-
-fn check_dead_metric(cfg: &Config, files: &[SourceFile], out: &mut Vec<Violation>) {
-    let Some(names_rel) = &cfg.names_file else { return };
-    let Some(names) = files.iter().find(|f| &f.rel == names_rel) else { return };
-    for (ident, line, value) in metric_consts(cfg, names) {
-        let used = files.iter().any(|f| {
-            f.lines
-                .iter()
-                .enumerate()
-                .any(|(i, l)| (f.rel != *names_rel || i + 1 != line) && has_token(&l.code, &ident))
-        });
-        if !used && !line_allows(&names.lines[line - 1].comment, "dead-metric") {
-            out.push(Violation {
-                rule: "dead-metric",
-                file: names.rel.clone(),
-                line,
-                message: format!(
-                    "metric const {ident} (\"{value}\") has no use site outside its definition"
-                ),
-            });
-        }
-    }
-}
-
-/// Extracts the variant names of `pub enum HeapFault` from the fault file.
-fn fault_variants(f: &SourceFile) -> Vec<(String, usize)> {
-    let mut out = Vec::new();
-    let Some(start) = f.lines.iter().position(|l| l.code.contains("enum HeapFault")) else {
-        return out;
-    };
-    let mut depth = 0i32;
-    let mut opened = false;
-    for (i, l) in f.lines.iter().enumerate().skip(start) {
-        // A variant line starts at enum depth (depth 1 before the line's
-        // own braces, so multi-line `Variant {` headers still count).
-        let depth_before = depth;
-        for c in l.code.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    opened = true;
-                }
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if i > start && opened && depth_before == 1 {
-            let t = l.code.trim();
-            let ident: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
-            if !ident.is_empty()
-                && ident.chars().next().is_some_and(char::is_uppercase)
-                && t[ident.len()..].trim_start().starts_with(['{', '(', ','])
-            {
-                out.push((ident, i + 1));
-            }
-        }
-        if opened && depth <= 0 {
-            break;
-        }
-    }
-    out
-}
-
-fn check_fault_coverage(cfg: &Config, files: &[SourceFile], out: &mut Vec<Violation>) {
-    let Some(fault_rel) = &cfg.fault_file else { return };
-    let Some(faults) = files.iter().find(|f| &f.rel == fault_rel) else { return };
-    for (variant, line) in fault_variants(faults) {
-        let covered = files.iter().any(|f| {
-            let whole_file_is_test = is_test_path(&f.rel);
-            f.lines
-                .iter()
-                .any(|l| (whole_file_is_test || l.in_test) && has_token(&l.code, &variant))
-        });
-        if !covered && !line_allows(&faults.lines[line - 1].comment, "fault-coverage") {
-            out.push(Violation {
-                rule: "fault-coverage",
-                file: faults.rel.clone(),
-                line,
-                message: format!(
-                    "HeapFault::{variant} never appears in a test; add a test that \
-                     provokes and asserts this fault"
-                ),
-            });
-        }
-    }
-}
-
 /// Serializes a report as stable, machine-readable JSON.
 pub fn to_json(report: &Report) -> String {
     let mut s = String::from("{\n");
@@ -752,10 +398,12 @@ pub fn to_json(report: &Report) -> String {
             s.push(',');
         }
         s.push_str(&format!(
-            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}",
             json_escape(v.rule),
             json_escape(&v.file),
             v.line,
+            v.col,
             json_escape(&v.message)
         ));
     }
@@ -766,7 +414,7 @@ pub fn to_json(report: &Report) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -785,56 +433,58 @@ fn json_escape(s: &str) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn lexer_masks_strings_and_comments() {
-        let lines = lex("let x = \"unsafe .unwrap() skyway.y\"; // unsafe comment\n");
-        assert!(!has_token(&lines[0].code, "unsafe"));
-        assert!(!lines[0].code.contains(".unwrap()"));
-        assert_eq!(lines[0].strings, vec!["unsafe .unwrap() skyway.y"]);
-        assert!(lines[0].comment.contains("unsafe comment"));
+    fn file_of(src: &str) -> SourceFile {
+        SourceFile { rel: "x.rs".into(), lines: lexer::lex(src) }
     }
 
     #[test]
-    fn lexer_handles_raw_strings_and_lifetimes() {
-        let lines = lex("fn f<'a>(x: &'a str) { let s = r#\"panic!\"#; let c = '\\n'; }\n");
-        assert!(has_token(&lines[0].code, "fn"));
-        assert!(!has_token(&lines[0].code, "panic!"));
-        assert_eq!(lines[0].strings, vec!["panic!"]);
+    fn inline_allow_tags_match_same_line() {
+        let f = file_of("let a = v.unwrap(); // tidy:allow(panic, infallible by construction)\n");
+        assert!(allows(&f, 0, "panic"));
+        assert!(!allows(&f, 0, "addr-cast"));
     }
 
     #[test]
-    fn lexer_handles_block_comments_spanning_lines() {
-        let lines = lex("a /* x\n unsafe\n y */ b\n");
-        assert!(!has_token(&lines[1].code, "unsafe"));
-        assert!(lines[1].comment.contains("unsafe"));
-        assert!(has_token(&lines[2].code, "b"));
+    fn inline_allow_tags_match_from_comment_line_above() {
+        let f = file_of(
+            "// tidy:allow(panic, the map is pre-populated)\nlet a = v.unwrap();\nlet b = w.unwrap();\n",
+        );
+        assert!(allows(&f, 1, "panic"), "tag on the comment-only line above covers the next line");
+        assert!(!allows(&f, 2, "panic"), "coverage does not extend past one line");
     }
 
     #[test]
-    fn cfg_test_regions_are_marked() {
-        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
-        let lines = lex(src);
-        assert!(!lines[0].in_test);
-        assert!(lines[1].in_test);
-        assert!(lines[3].in_test);
-        assert!(!lines[5].in_test);
+    fn tag_on_code_line_does_not_cover_the_next_line() {
+        let f = file_of(
+            "let a = v.unwrap(); // tidy:allow(panic, covered here)\nlet b = w.unwrap();\n",
+        );
+        assert!(allows(&f, 0, "panic"));
+        assert!(!allows(&f, 1, "panic"));
     }
 
     #[test]
-    fn token_and_cast_matchers() {
-        assert!(has_token("let a: Addr = x;", "Addr"));
-        assert!(!has_token("let a: RelAddr2 = x;", "Addr"));
-        assert!(has_int_cast("x as u64"));
-        assert!(has_int_cast("(y) as usize + 1"));
-        assert!(!has_int_cast("x as f64"));
-        assert!(!has_int_cast("basic_usize"));
+    fn unknown_rule_in_tag_is_a_run_error() {
+        let files = vec![file_of("let a = 1; // tidy:allow(no-such-rule, typo)\n")];
+        let err = validate_allow_tags(&files).unwrap_err();
+        assert!(err.contains("unknown rule `no-such-rule`"), "{err}");
+        assert!(err.contains("x.rs:1"), "{err}");
     }
 
     #[test]
-    fn inline_allow_tags_parse() {
-        assert!(line_allows(" tidy:allow(panic, lock poisoning is fatal)", "panic"));
-        assert!(line_allows(" tidy:allow(addr-cast)", "addr-cast"));
-        assert!(!line_allows(" tidy:allow(panic, reason)", "addr-cast"));
-        assert!(!line_allows(" no tag here", "panic"));
+    fn missing_or_empty_reason_is_a_run_error() {
+        let missing = vec![file_of("let a = 1; // tidy:allow(panic)\n")];
+        let err = validate_allow_tags(&missing).unwrap_err();
+        assert!(err.contains("non-empty reason"), "{err}");
+
+        let empty = vec![file_of("let a = 1; // tidy:allow(panic,   )\n")];
+        let err = validate_allow_tags(&empty).unwrap_err();
+        assert!(err.contains("non-empty reason"), "{err}");
+    }
+
+    #[test]
+    fn valid_tags_pass_validation() {
+        let files =
+            vec![file_of("let a = v.unwrap(); // tidy:allow(panic, poisoning is fatal here)\n")];
+        assert!(validate_allow_tags(&files).is_ok());
     }
 }

@@ -1,0 +1,43 @@
+//! `addr-provenance`: per-function taint tracking for raw-born `Addr`
+//! values (see [`crate::dataflow`]). A value born from
+//! `Addr::from_raw`/`byte_add`/offset arithmetic must flow through
+//! `translate()` or a bounds check before it reaches a raw memory
+//! accessor.
+
+use std::collections::BTreeSet;
+
+use crate::{
+    allows, dataflow, is_test_path, path_under, rule_allows, scope, Config, SourceFile, Violation,
+};
+
+pub(crate) fn check(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
+    if path_under(&f.rel, &cfg.addr_exempt)
+        || rule_allows(cfg, "addr-provenance", &f.rel)
+        || is_test_path(&f.rel)
+    {
+        return;
+    }
+    // Nested functions are analyzed both on their own and as part of the
+    // enclosing body; dedupe by site.
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for region in scope::functions(&f.lines) {
+        for hit in dataflow::addr_taint(&f.lines, &region) {
+            if f.lines[hit.line].in_test || allows(f, hit.line, "addr-provenance") {
+                continue;
+            }
+            if seen.insert((hit.line, hit.col)) {
+                out.push(Violation {
+                    rule: "addr-provenance",
+                    file: f.rel.clone(),
+                    line: hit.line + 1,
+                    col: hit.col,
+                    message: format!(
+                        "raw-born address `{}` reaches `{}` without passing translate() or a \
+                         bounds check (the static twin of HeapFault::DanglingRelativeAddr)",
+                        hit.ident, hit.sink
+                    ),
+                });
+            }
+        }
+    }
+}

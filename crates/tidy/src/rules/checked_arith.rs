@@ -1,0 +1,102 @@
+//! `checked-arith`: size/offset arithmetic in the configured paths
+//! (`mheap::layout`, `mheap::mem`) must use `checked_*` / explicit
+//! `wrapping_*`, never bare `+` / `*`. These modules own the address
+//! representation; a silent overflow there corrupts every downstream
+//! address computation.
+//!
+//! Lines already using a `checked_` / `wrapping_` / `saturating_` /
+//! `overflowing_` helper are exempt (the bare operator on such a line is
+//! invariably the documented-impossible remainder, e.g. the `& !7` mask
+//! after an overflow `debug_assert!`).
+
+use crate::{allows, is_test_path, path_under, rule_allows, Config, SourceFile, Violation};
+
+const EXEMPT_HELPERS: &[&str] = &["checked_", "wrapping_", "saturating_", "overflowing_"];
+
+pub(crate) fn check(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
+    if !path_under(&f.rel, &cfg.arith_paths)
+        || rule_allows(cfg, "checked-arith", &f.rel)
+        || is_test_path(&f.rel)
+    {
+        return;
+    }
+    for (i, l) in f.lines.iter().enumerate() {
+        if l.in_test
+            || allows(f, i, "checked-arith")
+            || EXEMPT_HELPERS.iter().any(|h| l.code.contains(h))
+        {
+            continue;
+        }
+        for (col, op) in bare_ops(&l.code) {
+            out.push(Violation {
+                rule: "checked-arith",
+                file: f.rel.clone(),
+                line: i + 1,
+                col,
+                message: format!(
+                    "bare `{op}` in size/offset arithmetic; use checked_*/wrapping_* (with a \
+                     debug_assert! naming why overflow is impossible), or waive with a reason"
+                ),
+            });
+        }
+    }
+}
+
+/// 1-based columns of bare binary `+` / `*` operators on a code line.
+/// Trait bounds (`T: A + B`), lifetimes (`+ 'a`), `+ ?Sized`, prefix
+/// derefs, and raw-pointer types (`*const T`, `*mut T`) are excluded.
+fn bare_ops(code: &str) -> Vec<(usize, char)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (k, &b) in bytes.iter().enumerate() {
+        let op = match b {
+            b'+' => '+',
+            b'*' => '*',
+            _ => continue,
+        };
+        // Binary position: the previous non-space must end an operand.
+        let prev = code[..k].trim_end().chars().next_back();
+        let binary =
+            matches!(prev, Some(c) if crate::lexer::is_ident_char(c) || c == ')' || c == ']');
+        if !binary {
+            continue;
+        }
+        // Right-hand side, skipping the `=` of a compound assignment.
+        let mut rest = &code[k + 1..];
+        if let Some(stripped) = rest.strip_prefix('=') {
+            rest = stripped;
+        }
+        let rest = rest.trim_start();
+        let next = rest.chars().next();
+        if op == '+' {
+            // `T: Send + Sync`, `+ 'a`, `+ ?Sized` are type syntax.
+            if matches!(next, Some(c) if c.is_uppercase() || c == '\'' || c == '?') {
+                continue;
+            }
+        } else {
+            // `as *const T` / `*mut T` are raw-pointer types.
+            if rest.starts_with("const ") || rest.starts_with("mut ") {
+                continue;
+            }
+        }
+        out.push((k + 1, op));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_ops_classifies_operator_positions() {
+        assert_eq!(bare_ops("let x = a + b;"), vec![(11, '+')]);
+        assert_eq!(bare_ops("let x = n * 8;"), vec![(11, '*')]);
+        assert_eq!(bare_ops("total += len;"), vec![(7, '+')]);
+        assert!(bare_ops("fn f<T: Copy + Default>()").is_empty());
+        assert!(bare_ops("impl Iterator<Item = u8> + 'a").is_empty());
+        assert!(bare_ops("x as *const u64").is_empty());
+        assert!(bare_ops("let y = *ptr;").is_empty());
+        assert!(bare_ops("let m = (n - 1) & !7;").is_empty());
+    }
+}

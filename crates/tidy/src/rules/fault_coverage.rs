@@ -1,0 +1,69 @@
+//! `fault-coverage`: every `HeapFault` variant appears in at least one
+//! test, so no corruption class the verifier can report goes unexercised.
+
+use crate::lexer::{find_token, has_token, is_ident_char};
+use crate::{allows, is_test_path, Config, SourceFile, Violation};
+
+/// Extracts the variant names of `pub enum HeapFault` from the fault file.
+fn fault_variants(f: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let Some(start) = f.lines.iter().position(|l| l.code.contains("enum HeapFault")) else {
+        return out;
+    };
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (i, l) in f.lines.iter().enumerate().skip(start) {
+        // A variant line starts at enum depth (depth 1 before the line's
+        // own braces, so multi-line `Variant {` headers still count).
+        let depth_before = depth;
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if i > start && opened && depth_before == 1 {
+            let t = l.code.trim();
+            let ident: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !ident.is_empty()
+                && ident.chars().next().is_some_and(char::is_uppercase)
+                && t[ident.len()..].trim_start().starts_with(['{', '(', ','])
+            {
+                out.push((ident, i + 1));
+            }
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+pub(crate) fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Violation>) {
+    let Some(fault_rel) = &cfg.fault_file else { return };
+    let Some(faults) = files.iter().find(|f| &f.rel == fault_rel) else { return };
+    for (variant, line) in fault_variants(faults) {
+        let covered = files.iter().any(|f| {
+            let whole_file_is_test = is_test_path(&f.rel);
+            f.lines
+                .iter()
+                .any(|l| (whole_file_is_test || l.in_test) && has_token(&l.code, &variant))
+        });
+        if !covered && !allows(faults, line - 1, "fault-coverage") {
+            out.push(Violation {
+                rule: "fault-coverage",
+                file: faults.rel.clone(),
+                line,
+                col: find_token(&faults.lines[line - 1].code, &variant).map_or(1, |p| p + 1),
+                message: format!(
+                    "HeapFault::{variant} never appears in a test; add a test that \
+                     provokes and asserts this fault"
+                ),
+            });
+        }
+    }
+}

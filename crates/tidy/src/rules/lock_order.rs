@@ -1,0 +1,309 @@
+//! `lock-order`: a workspace-wide lock-acquisition graph over guard
+//! scopes.
+//!
+//! A *lock class* is a struct field of type `Mutex<..>` / `RwLock<..>`
+//! (possibly nested, e.g. `Vec<Mutex<..>>`) or a getter function returning
+//! one; classes are keyed by name, so two structs sharing a field name
+//! merge — an over-approximation that has not mattered in this tree.
+//! Within each function body, guard-producing calls (`.lock()`, `.read()`,
+//! `.write()` with empty argument lists, resolved back to a known class
+//! through `?`, index, and call chains) are tracked: a `let`-bound guard
+//! lives until its brace depth closes or it is `drop`ped; a temporary
+//! lives for its statement.
+//!
+//! Violations:
+//! * acquiring class B while holding class A when some other code path
+//!   acquires A while holding B (a cycle in the acquisition graph —
+//!   potential deadlock);
+//! * acquiring a class while already holding a guard of the same class
+//!   (self-deadlock unless the instances are provably distinct);
+//! * `guard-across-send`: holding any guard across a blocking bounded
+//!   channel `.send(..)` / `.recv()` — the channel can park the thread
+//!   indefinitely while the lock starves every other path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::is_ident_char;
+use crate::{allows, is_test_path, path_under, scope, Config, SourceFile, Violation};
+
+/// A recorded acquisition edge site: (file, 1-based line, 1-based col).
+type Site = (String, usize, usize);
+
+pub(crate) fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Violation>) {
+    let classes = lock_classes(cfg, files);
+    if classes.is_empty() {
+        return;
+    }
+    let mut edges: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+    for f in files {
+        if path_under(&f.rel, &cfg.lock_exempt) || is_test_path(&f.rel) {
+            continue;
+        }
+        scan_file(f, &classes, &mut edges, out);
+    }
+    // Cycle pass: an edge A→B is a violation when B already reaches A.
+    for ((a, b), sites) in &edges {
+        if let Some(witness) = path_back(b, a, &edges) {
+            for (file, line, col) in sites {
+                out.push(Violation {
+                    rule: "lock-order",
+                    file: file.clone(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "acquiring lock `{b}` while holding `{a}`, but `{a}` is acquired while \
+                         `{b}` is held at {witness} — lock-order cycle, potential deadlock"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Collects lock-class names: struct fields and getter returns of
+/// `Mutex<..>` / `RwLock<..>` type.
+fn lock_classes(cfg: &Config, files: &[SourceFile]) -> BTreeSet<String> {
+    let mut classes = BTreeSet::new();
+    for f in files {
+        if path_under(&f.rel, &cfg.lock_exempt) || is_test_path(&f.rel) {
+            continue;
+        }
+        for region in scope::structs(&f.lines) {
+            for l in &f.lines[region.start..=region.end.min(f.lines.len() - 1)] {
+                if l.in_test || !is_lock_type(&l.code) {
+                    continue;
+                }
+                if let Some(name) = field_name(&l.code) {
+                    classes.insert(name);
+                }
+            }
+        }
+        for l in &f.lines {
+            if l.in_test {
+                continue;
+            }
+            // Getter: `fn name(..) -> ..Mutex<..>..` on one line.
+            if is_lock_type(&l.code) && l.code.contains("->") {
+                if let Some(p) = crate::lexer::find_token(&l.code, "fn") {
+                    let rest = l.code[p + 2..].trim_start();
+                    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                    let arrow = l.code.find("->").unwrap_or(l.code.len());
+                    if !name.is_empty() && is_lock_type(&l.code[arrow..]) {
+                        classes.insert(name);
+                    }
+                }
+            }
+        }
+    }
+    classes
+}
+
+fn is_lock_type(code: &str) -> bool {
+    code.contains("Mutex<") || code.contains("RwLock<")
+}
+
+/// `name` from a struct-field line like `pub views: Vec<Mutex<View>>,`.
+fn field_name(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let t = t.strip_prefix("pub").map_or(t, |r| {
+        let r = r.trim_start();
+        r.strip_prefix('(').and_then(|r| r.split_once(')')).map_or(r, |(_, rest)| rest.trim_start())
+    });
+    let (name, _) = t.split_once(':')?;
+    let name = name.trim();
+    if !name.is_empty() && name.chars().all(is_ident_char) {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+/// An active guard: binding name (None for a statement temporary), class,
+/// and the end-of-line brace depth it was bound at.
+struct Guard {
+    name: Option<String>,
+    class: String,
+    depth: i32,
+}
+
+fn scan_file(
+    f: &SourceFile,
+    classes: &BTreeSet<String>,
+    edges: &mut BTreeMap<(String, String), Vec<Site>>,
+    out: &mut Vec<Violation>,
+) {
+    for region in scope::functions(&f.lines) {
+        let depths = scope::end_depths(&f.lines, &region);
+        let mut guards: Vec<Guard> = Vec::new();
+        for i in region.start..=region.end.min(f.lines.len() - 1) {
+            let l = &f.lines[i];
+            let code = l.code.as_str();
+            if l.in_test {
+                continue;
+            }
+            let d = depths[i - region.start];
+            // Explicit drops release a guard mid-scope.
+            guards.retain(|g| {
+                g.name.as_deref().is_none_or(|n| !code.contains(&format!("drop({n})")))
+            });
+            let waived = allows(f, i, "lock-order");
+            for (pos, class) in acquisitions(code, classes) {
+                for held in &guards {
+                    if waived {
+                        continue;
+                    }
+                    if held.class == class {
+                        out.push(Violation {
+                            rule: "lock-order",
+                            file: f.rel.clone(),
+                            line: i + 1,
+                            col: pos + 1,
+                            message: format!(
+                                "acquiring lock `{class}` while a guard on `{class}` is already \
+                                 held in this scope — self-deadlock unless the instances are \
+                                 provably distinct"
+                            ),
+                        });
+                    } else {
+                        edges.entry((held.class.clone(), class.clone())).or_default().push((
+                            f.rel.clone(),
+                            i + 1,
+                            pos + 1,
+                        ));
+                    }
+                }
+                guards.push(Guard { name: binding_name(code, pos), class, depth: d });
+            }
+            // Guard held across a blocking channel hand-off.
+            if !guards.is_empty() && !waived {
+                for pat in [".send(", ".recv()", ".recv_timeout("] {
+                    if let Some(p) = code.find(pat) {
+                        let held: Vec<&str> = guards.iter().map(|g| g.class.as_str()).collect();
+                        out.push(Violation {
+                            rule: "lock-order",
+                            file: f.rel.clone(),
+                            line: i + 1,
+                            col: p + 2,
+                            message: format!(
+                                "guard on `{}` held across blocking channel `{}`; release the \
+                                 lock before parking the thread (guard-across-send)",
+                                held.join("`, `"),
+                                pat.trim_end_matches('(')
+                            ),
+                        });
+                    }
+                }
+            }
+            // Statement temporaries die with their line; bound guards die
+            // when their depth closes.
+            guards.retain(|g| g.name.is_some() && d >= g.depth);
+        }
+    }
+}
+
+/// Guard-producing calls on a line: `(column of receiver's dot, class)`.
+fn acquisitions(code: &str, classes: &BTreeSet<String>) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for pat in [".lock()", ".read()", ".write()"] {
+        let mut from = 0;
+        while let Some(p) = code[from..].find(pat) {
+            let p = from + p;
+            from = p + pat.len();
+            if let Some(class) = receiver_ident(code, p) {
+                if classes.contains(&class) {
+                    out.push((p, class));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Resolves the receiver identifier of a method call whose `.` sits at
+/// byte `dot`, walking back through `?`, `(..)` call argument lists, and
+/// `[..]` index expressions: `self.view(node)?.lock()` → `view`.
+fn receiver_ident(code: &str, dot: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut k = dot;
+    loop {
+        if k > 0 && bytes[k - 1] == b'?' {
+            k -= 1;
+            continue;
+        }
+        if k > 0 && (bytes[k - 1] == b')' || bytes[k - 1] == b']') {
+            let (open, close) = if bytes[k - 1] == b')' { (b'(', b')') } else { (b'[', b']') };
+            let mut depth = 0i32;
+            let mut m = k;
+            while m > 0 {
+                m -= 1;
+                if bytes[m] == close {
+                    depth += 1;
+                } else if bytes[m] == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            if depth != 0 {
+                return None;
+            }
+            k = m;
+            continue;
+        }
+        break;
+    }
+    let end = k;
+    while k > 0 && is_ident_char(bytes[k - 1] as char) {
+        k -= 1;
+    }
+    if k == end {
+        None
+    } else {
+        Some(code[k..end].to_string())
+    }
+}
+
+/// `let`-binding name for an acquisition at `pos`, if the line binds it.
+fn binding_name(code: &str, pos: usize) -> Option<String> {
+    let let_pos = crate::lexer::find_token(code, "let")?;
+    let eq = code.find('=')?;
+    if pos < eq {
+        return None;
+    }
+    crate::dataflow::pattern_idents(&code[let_pos + 3..eq]).into_iter().next()
+}
+
+/// If `to` is reachable from `from` in the edge graph, returns the site
+/// of the path's first hop (for a 2-cycle, exactly the opposing
+/// acquisition) rendered as `file:line`.
+fn path_back(
+    from: &str,
+    to: &str,
+    edges: &BTreeMap<(String, String), Vec<Site>>,
+) -> Option<String> {
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: Vec<&str> = vec![from];
+    let mut qi = 0;
+    while qi < queue.len() {
+        let cur = queue[qi];
+        qi += 1;
+        for (a, b) in edges.keys() {
+            if a == cur && b != from && !parent.contains_key(b.as_str()) {
+                parent.insert(b, cur);
+                if b == to {
+                    let mut hop: &str = to;
+                    while parent.get(hop).copied() != Some(from) {
+                        hop = parent.get(hop).copied()?;
+                    }
+                    let site =
+                        edges.get(&(from.to_string(), hop.to_string())).and_then(|s| s.first())?;
+                    return Some(format!("{}:{}", site.0, site.1));
+                }
+                queue.push(b);
+            }
+        }
+    }
+    None
+}

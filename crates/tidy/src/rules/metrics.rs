@@ -1,0 +1,73 @@
+//! `metric-literal` + `dead-metric`: registry consistency. Every
+//! `"skyway.*"` / `"mheap.*"` string literal outside `crates/obs` must be
+//! an `obs::names` const reference, and every const in `obs::names` must
+//! have at least one use site.
+
+use crate::lexer::{find_token, has_token};
+use crate::{allows, path_under, rule_allows, Config, SourceFile, Violation};
+
+pub(crate) fn check_literal(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
+    if path_under(&f.rel, &cfg.metric_exempt) || rule_allows(cfg, "metric-literal", &f.rel) {
+        return;
+    }
+    for (i, l) in f.lines.iter().enumerate() {
+        if allows(f, i, "metric-literal") {
+            continue;
+        }
+        for s in &l.strings {
+            if cfg.metric_prefixes.iter().any(|p| s.text.starts_with(p)) {
+                out.push(Violation {
+                    rule: "metric-literal",
+                    file: f.rel.clone(),
+                    line: i + 1,
+                    col: s.col,
+                    message: format!(
+                        "metric name literal \"{}\" outside crates/obs; reference an \
+                         obs::names const instead",
+                        s.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Parses `pub const IDENT: &str = "metric.name";` definitions out of the
+/// names file, returning `(ident, line, value)` triples.
+fn metric_consts(cfg: &Config, f: &SourceFile) -> Vec<(String, usize, String)> {
+    let mut out = Vec::new();
+    for (i, l) in f.lines.iter().enumerate() {
+        let code = l.code.trim();
+        let Some(rest) = code.strip_prefix("pub const ") else { continue };
+        let Some((ident, _)) = rest.split_once(':') else { continue };
+        let Some(value) = l.strings.first() else { continue };
+        if cfg.metric_prefixes.iter().any(|p| value.text.starts_with(p)) {
+            out.push((ident.trim().to_string(), i + 1, value.text.clone()));
+        }
+    }
+    out
+}
+
+pub(crate) fn check_dead(cfg: &Config, files: &[SourceFile], out: &mut Vec<Violation>) {
+    let Some(names_rel) = &cfg.names_file else { return };
+    let Some(names) = files.iter().find(|f| &f.rel == names_rel) else { return };
+    for (ident, line, value) in metric_consts(cfg, names) {
+        let used = files.iter().any(|f| {
+            f.lines
+                .iter()
+                .enumerate()
+                .any(|(i, l)| (f.rel != *names_rel || i + 1 != line) && has_token(&l.code, &ident))
+        });
+        if !used && !allows(names, line - 1, "dead-metric") {
+            out.push(Violation {
+                rule: "dead-metric",
+                file: names.rel.clone(),
+                line,
+                col: find_token(&names.lines[line - 1].code, &ident).map_or(1, |p| p + 1),
+                message: format!(
+                    "metric const {ident} (\"{value}\") has no use site outside its definition"
+                ),
+            });
+        }
+    }
+}

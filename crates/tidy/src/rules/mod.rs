@@ -1,0 +1,13 @@
+//! One module per rule family. Per-file rules take a single
+//! [`crate::SourceFile`]; cross-file rules (`dead-metric`,
+//! `fault-coverage`, `lock-order`) take the whole set, since their
+//! evidence spans the tree.
+
+pub mod addr_cast;
+pub mod addr_provenance;
+pub mod checked_arith;
+pub mod fault_coverage;
+pub mod lock_order;
+pub mod metrics;
+pub mod panic;
+pub mod unsafe_safety;

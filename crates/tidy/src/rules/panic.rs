@@ -1,0 +1,39 @@
+//! `panic`: no `.unwrap()` / `.expect(` / `panic!` in non-test code of the
+//! configured paths (`crates/core`, `crates/mheap`). Genuinely-infallible
+//! sites carry a waiver tag naming the `panic` rule and a reason.
+
+use crate::lexer::find_token;
+use crate::{allows, is_test_path, path_under, rule_allows, Config, SourceFile, Violation};
+
+pub(crate) fn check(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
+    if !path_under(&f.rel, &cfg.panic_paths)
+        || rule_allows(cfg, "panic", &f.rel)
+        || is_test_path(&f.rel)
+    {
+        return;
+    }
+    for (i, l) in f.lines.iter().enumerate() {
+        if l.in_test || allows(f, i, "panic") {
+            continue;
+        }
+        let construct = if let Some(p) = l.code.find(".unwrap()") {
+            Some(("unwrap()", p + 2))
+        } else if let Some(p) = l.code.find(".expect(") {
+            Some(("expect()", p + 2))
+        } else {
+            find_token(&l.code, "panic!").map(|p| ("panic!", p + 1))
+        };
+        if let Some((c, col)) = construct {
+            out.push(Violation {
+                rule: "panic",
+                file: f.rel.clone(),
+                line: i + 1,
+                col,
+                message: format!(
+                    "{c} in non-test code; return a typed Error or tag the line with \
+                     `// tidy:allow(panic, reason)` if genuinely infallible"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `unsafe-safety`: every `unsafe` block/fn/impl carries a `// SAFETY:`
+//! comment — same line, or the comment block immediately above (one block
+//! may cover several consecutive unsafe items, e.g. `unsafe impl
+//! Send`/`Sync`).
+
+use crate::lexer::{find_token, has_token};
+use crate::{allows, rule_allows, Config, SourceFile, Violation};
+
+pub(crate) fn check(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
+    if rule_allows(cfg, "unsafe-safety", &f.rel) {
+        return;
+    }
+    for (i, l) in f.lines.iter().enumerate() {
+        let Some(p) = find_token(&l.code, "unsafe") else { continue };
+        if allows(f, i, "unsafe-safety") {
+            continue;
+        }
+        let mut covered = l.comment.contains("SAFETY:");
+        // Walk up through the contiguous run of comment-only lines and
+        // earlier `unsafe` lines.
+        let mut j = i;
+        while !covered && j > 0 {
+            j -= 1;
+            let prev = &f.lines[j];
+            let code = prev.code.trim();
+            if code.is_empty() || has_token(code, "unsafe") {
+                covered = prev.comment.contains("SAFETY:");
+            } else {
+                break;
+            }
+        }
+        if !covered {
+            out.push(Violation {
+                rule: "unsafe-safety",
+                file: f.rel.clone(),
+                line: i + 1,
+                col: p + 1,
+                message: "`unsafe` without a `// SAFETY:` comment on or above the line".into(),
+            });
+        }
+    }
+}

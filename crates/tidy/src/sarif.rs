@@ -1,0 +1,89 @@
+//! SARIF 2.1.0 serialization of a [`Report`], so CI can upload violations
+//! as GitHub code-scanning annotations. Hand-rolled like `to_json` — the
+//! subset of SARIF we emit is small and stable.
+
+use crate::{json_escape, Report, RULES};
+
+/// Serializes a report as a SARIF 2.1.0 log with one run.
+pub fn to_sarif(report: &Report) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [{\n");
+    s.push_str("    \"tool\": {\"driver\": {\n");
+    s.push_str("      \"name\": \"skyway-tidy\",\n");
+    s.push_str(&format!("      \"version\": \"{}\",\n", env!("CARGO_PKG_VERSION")));
+    s.push_str("      \"rules\": [");
+    for (i, (id, summary)) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n        {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(id),
+            json_escape(summary)
+        ));
+    }
+    s.push_str("\n      ]\n");
+    s.push_str("    }},\n");
+    s.push_str("    \"results\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rule_index = RULES.iter().position(|(id, _)| *id == v.rule).unwrap_or(0);
+        s.push_str(&format!(
+            "\n      {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
+             \"startColumn\": {}}}}}}}]}}",
+            json_escape(v.rule),
+            rule_index,
+            json_escape(&v.message),
+            json_escape(&v.file),
+            v.line,
+            v.col
+        ));
+    }
+    if !report.violations.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("]\n");
+    s.push_str("  }]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Violation;
+
+    #[test]
+    fn sarif_carries_rules_and_result_locations() {
+        let report = Report {
+            violations: vec![Violation {
+                rule: "panic",
+                file: "crates/core/src/x.rs".into(),
+                line: 12,
+                col: 7,
+                message: "unwrap() in non-test code".into(),
+            }],
+            files_checked: 1,
+        };
+        let s = to_sarif(&report);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"skyway-tidy\""));
+        assert!(s.contains("\"id\": \"lock-order\""), "all rules are declared");
+        assert!(s.contains("\"ruleId\": \"panic\", \"ruleIndex\": 4, \"level\": \"error\""));
+        assert!(s.contains("\"uri\": \"crates/core/src/x.rs\""));
+        assert!(s.contains("\"startLine\": 12, \"startColumn\": 7"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_sarif_with_empty_results() {
+        let s = to_sarif(&Report { violations: vec![], files_checked: 3 });
+        assert!(s.contains("\"results\": []"));
+    }
+}

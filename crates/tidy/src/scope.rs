@@ -1,0 +1,189 @@
+//! Brace-matched item regions over the lexed code channel: which lines
+//! belong to which `fn` / `struct` body, and the running brace depth inside
+//! a region. This is what lets the rules reason per-function (taint resets
+//! at function entry) and track guard lifetimes (a guard dies when the
+//! depth it was bound at closes).
+
+use crate::lexer::{find_token_at, is_ident_char, Line};
+
+/// A brace-matched item body: inclusive 0-based line range plus the item's
+/// name (the identifier after the keyword).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Item name (function or struct identifier).
+    pub name: String,
+    /// 0-based first line (the line holding the keyword).
+    pub start: usize,
+    /// 0-based last line (the line holding the closing brace).
+    pub end: usize,
+}
+
+/// Flattened code channel: the concatenated code text plus, per byte, the
+/// (line index, 1-based column) it came from.
+struct Flat {
+    text: String,
+    pos: Vec<(usize, usize)>,
+}
+
+fn flatten(lines: &[Line]) -> Flat {
+    let mut text = String::new();
+    let mut pos = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        // The code channel is pure ASCII (the lexer masks non-ASCII), so
+        // byte positions equal character columns.
+        for (c_i, ch) in l.code.chars().enumerate() {
+            text.push(ch);
+            pos.push((idx, c_i + 1));
+        }
+        text.push('\n');
+        pos.push((idx, l.code.len() + 1));
+    }
+    Flat { text, pos }
+}
+
+/// All brace-matched `fn` bodies in the file, in source order. Trait
+/// method *declarations* (ending in `;`) and `fn`-pointer types (no
+/// identifier after the keyword) are skipped.
+pub fn functions(lines: &[Line]) -> Vec<Region> {
+    item_regions(lines, "fn")
+}
+
+/// All brace-matched `struct` bodies in the file. Tuple and unit structs
+/// (ending in `;` before any `{`) are skipped — they have no named fields
+/// to inspect.
+pub fn structs(lines: &[Line]) -> Vec<Region> {
+    item_regions(lines, "struct")
+}
+
+fn item_regions(lines: &[Line], keyword: &str) -> Vec<Region> {
+    let flat = flatten(lines);
+    let bytes = flat.text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = find_token_at(&flat.text, keyword, from) {
+        from = p + keyword.len();
+        // Item name: first identifier after the keyword.
+        let mut j = from;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident_char(bytes[j] as char) {
+            j += 1;
+        }
+        if j == name_start {
+            continue;
+        }
+        let name = flat.text[name_start..j].to_string();
+        // Body: the first `{` unless a `;` ends the item first.
+        let mut k = j;
+        let mut open = None;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => {
+                    open = Some(k);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0i32;
+        let mut end_idx = bytes.len() - 1;
+        for (m, b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_idx = m;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(Region {
+            name,
+            start: flat.pos[p].0,
+            end: flat.pos[end_idx.min(flat.pos.len() - 1)].0,
+        });
+    }
+    out
+}
+
+/// Running brace depth at the *end* of each line of `region`, relative to
+/// the region's first line (which typically ends at depth 1, inside the
+/// opening brace). `out[i]` corresponds to line `region.start + i`.
+pub fn end_depths(lines: &[Line], region: &Region) -> Vec<i32> {
+    let mut out = Vec::with_capacity(region.end - region.start + 1);
+    let mut depth = 0i32;
+    for l in lines.iter().take(region.end + 1).skip(region.start) {
+        for c in l.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        out.push(depth);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const SRC: &str = "\
+pub struct Pair {
+    a: u64,
+}
+
+impl Pair {
+    pub fn get(&self) -> u64 {
+        {
+            self.a
+        }
+    }
+}
+
+pub fn free(x: fn(u64) -> u64) -> u64 {
+    x(1)
+}
+
+trait T {
+    fn decl(&self) -> u64;
+}
+";
+
+    #[test]
+    fn functions_are_brace_matched_with_names() {
+        let lines = lex(SRC);
+        let fns = functions(&lines);
+        let names: Vec<&str> = fns.iter().map(|r| r.name.as_str()).collect();
+        // `fn(u64)` in type position has no name; `decl` ends in `;`.
+        assert_eq!(names, ["get", "free"]);
+        assert_eq!((fns[0].start, fns[0].end), (5, 9));
+        assert_eq!((fns[1].start, fns[1].end), (12, 14));
+    }
+
+    #[test]
+    fn structs_skip_tuple_structs() {
+        let lines = lex("pub struct Addr(pub u64);\npub struct Named {\n    f: u64,\n}\n");
+        let ss = structs(&lines);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss[0].name, "Named");
+        assert_eq!((ss[0].start, ss[0].end), (1, 3));
+    }
+
+    #[test]
+    fn end_depths_track_nested_blocks() {
+        let lines = lex(SRC);
+        let get = &functions(&lines)[0];
+        assert_eq!(end_depths(&lines, get), vec![1, 2, 2, 1, 0]);
+    }
+}

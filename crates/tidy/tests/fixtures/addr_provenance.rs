@@ -1,0 +1,20 @@
+// Fixture for the addr-provenance rule: a raw-born Addr reaching a deref
+// sink fires; translated and bounds-checked paths stay quiet.
+
+pub fn bad(arena: &Arena, base: Addr) -> Result<u64> {
+    let p = base.byte_add(16);
+    arena.load_word(p.raw())
+}
+
+pub fn good_translated(rx: &Receiver, arena: &Arena, logical: u64) -> Result<u64> {
+    let abs = rx.translate(logical)?;
+    arena.load_word(abs.raw())
+}
+
+pub fn good_bounds_checked(arena: &Arena, base: Addr, end: u64) -> Result<u64> {
+    let p = Addr::from_raw(base.raw());
+    if p.raw() >= end {
+        return Err(Error::OutOfBounds);
+    }
+    arena.load_word(p.raw())
+}

@@ -1,0 +1,10 @@
+// Fixture for waiver-tag placement: a tag suppresses its own line, or the
+// single line below when the tag sits alone on a comment line. This file
+// must stay violation-free.
+
+pub fn allowed(v: Option<u32>, w: Option<u32>) -> u32 {
+    // tidy:allow(panic, fixture: tag on the comment line above covers the next line)
+    let a = v.unwrap();
+    let b = w.unwrap(); // tidy:allow(panic, fixture: tag on the same line)
+    a.wrapping_add(b)
+}

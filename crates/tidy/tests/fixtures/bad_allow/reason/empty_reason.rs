@@ -1,0 +1,7 @@
+// Fixture (scanned only by the tag-validation tests; the main fixture
+// config excludes bad_allow/): the tag below names a real rule but gives
+// no reason, which must fail the whole run.
+
+pub fn f(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) // tidy:allow(panic)
+}

@@ -1,0 +1,7 @@
+// Fixture (scanned only by the tag-validation tests; the main fixture
+// config excludes bad_allow/): the tag below names a rule that does not
+// exist, which must fail the whole run.
+
+pub fn f(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) // tidy:allow(no-such-rule, the rule id is misspelled)
+}

@@ -1,0 +1,16 @@
+// Fixture for the checked-arith rule: the bare + and * fire; checked,
+// wrapping, masked, tagged, and trait-bound lines stay quiet.
+
+pub fn bad(off: u64, len: u64, n: u64) -> u64 {
+    let end = off + len;
+    let bytes = n * 8;
+    let safe_add = off.checked_add(len);
+    let wrapped = off.wrapping_mul(2);
+    let masked = (len - 1) & !7;
+    let tagged = off + 1; // tidy:allow(checked-arith, fixture: waived bare add)
+    end ^ bytes ^ wrapped ^ masked ^ tagged ^ safe_add.unwrap_or(0)
+}
+
+pub fn generic<T: Copy + Default>(v: T) -> T {
+    v
+}

@@ -1,0 +1,35 @@
+// Fixture for the lock-order rule: `ab` and `ba` acquire the two mutexes
+// in opposite orders (a cycle — both edge sites fire), and
+// `send_while_locked` holds a guard across a blocking channel send. `fine`
+// drops its first guard before taking the second and stays quiet.
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga ^ *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga ^ *gb
+    }
+
+    pub fn send_while_locked(&self, tx: &Sender<u64>) {
+        let ga = self.a.lock();
+        tx.send(*ga).ok();
+    }
+
+    pub fn fine(&self) -> u64 {
+        let ga = self.a.lock();
+        drop(ga);
+        let gb = self.b.lock();
+        *gb
+    }
+}

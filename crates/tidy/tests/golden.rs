@@ -1,27 +1,19 @@
 //! Golden tests: each fixture file provokes exactly its rule at an exact
-//! file/line, the `--json` output carries those coordinates, and — the
-//! real CI gate — the actual workspace tree comes back clean.
+//! file/line, the `--json`/`--sarif` output carries those coordinates, and
+//! — the real CI gate — the actual workspace tree comes back clean.
 
-use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use tidy::{run, to_json, Config, Violation};
+use tidy::{run, to_json, to_sarif, Config, Violation};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
 
 /// A config scanning only the fixtures directory, with every policy path
 /// pointed at the fixture equivalents.
 fn fixture_config() -> Config {
-    Config {
-        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures"),
-        scan_dirs: vec![String::new()],
-        exclude: vec![],
-        addr_exempt: vec![],
-        panic_paths: vec![String::new()],
-        metric_exempt: vec![],
-        metric_prefixes: vec!["skyway.".into(), "mheap.".into()],
-        names_file: Some("names.rs".into()),
-        fault_file: Some("faults.rs".into()),
-        allow: BTreeMap::new(),
-    }
+    Config::for_fixtures(fixtures_root())
 }
 
 fn fixture_violations() -> Vec<Violation> {
@@ -56,7 +48,8 @@ fn panic_fires_on_unwrap_expect_and_panic_only() {
     assert_fired(&vs, "panic", "panic_unwrap.rs", 5);
     assert_fired(&vs, "panic", "panic_unwrap.rs", 6);
     assert_fired(&vs, "panic", "panic_unwrap.rs", 7);
-    // The tagged line, unwrap_or, and the #[cfg(test)] module stay quiet.
+    // The tagged line, unwrap_or, and the #[cfg(test)] module stay quiet,
+    // as do the tag-demonstration lines in allow_positions.rs.
     assert_eq!(vs.iter().filter(|v| v.rule == "panic").count(), 3, "{vs:#?}");
 }
 
@@ -85,12 +78,101 @@ fn fault_coverage_fires_on_untested_variant_only() {
 }
 
 #[test]
-fn json_output_carries_rule_file_line() {
+fn addr_provenance_fires_on_unsanitized_path_only() {
+    let vs = fixture_violations();
+    // `bad` derefs a byte_add-born Addr; the translated and
+    // bounds-checked functions stay quiet.
+    assert_fired(&vs, "addr-provenance", "addr_provenance.rs", 6);
+    assert_eq!(vs.iter().filter(|v| v.rule == "addr-provenance").count(), 1, "{vs:#?}");
+}
+
+#[test]
+fn lock_order_fires_on_cycle_and_guard_across_send() {
+    let vs = fixture_violations();
+    // Both sides of the ab/ba cycle fire, at the second acquisition.
+    assert_fired(&vs, "lock-order", "lock_order.rs", 14);
+    assert_fired(&vs, "lock-order", "lock_order.rs", 20);
+    // The guard held across the channel send fires; `fine` stays quiet.
+    assert_fired(&vs, "lock-order", "lock_order.rs", 26);
+    assert_eq!(vs.iter().filter(|v| v.rule == "lock-order").count(), 3, "{vs:#?}");
+    let cycle = vs
+        .iter()
+        .find(|v| v.rule == "lock-order" && v.line == 14)
+        .expect("cycle violation present");
+    assert!(
+        cycle.message.contains("lock_order.rs:20"),
+        "cycle message cross-references the opposing site: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn checked_arith_fires_on_bare_ops_only() {
+    let vs = fixture_violations();
+    assert_fired(&vs, "checked-arith", "checked_arith.rs", 5);
+    assert_fired(&vs, "checked-arith", "checked_arith.rs", 6);
+    // checked_/wrapping_ lines, the mask, the tagged line, and the
+    // trait-bound `+` stay quiet.
+    assert_eq!(vs.iter().filter(|v| v.rule == "checked-arith").count(), 2, "{vs:#?}");
+}
+
+#[test]
+fn allow_tag_on_line_or_line_above_suppresses() {
+    let vs = fixture_violations();
+    assert!(
+        vs.iter().all(|v| v.file != "allow_positions.rs"),
+        "both tag placements suppress: {vs:#?}"
+    );
+}
+
+#[test]
+fn unknown_rule_in_allow_tag_fails_the_run() {
+    let mut cfg = fixture_config();
+    cfg.root = fixtures_root().join("bad_allow/unknown");
+    cfg.exclude = vec![];
+    let err = run(&cfg).expect_err("unknown rule must fail the run");
+    assert!(err.contains("unknown rule `no-such-rule`"), "{err}");
+    assert!(err.contains("unknown_rule.rs:6"), "{err}");
+}
+
+#[test]
+fn missing_reason_in_allow_tag_fails_the_run() {
+    let mut cfg = fixture_config();
+    cfg.root = fixtures_root().join("bad_allow/reason");
+    cfg.exclude = vec![];
+    let err = run(&cfg).expect_err("missing reason must fail the run");
+    assert!(err.contains("non-empty reason"), "{err}");
+    assert!(err.contains("empty_reason.rs:6"), "{err}");
+}
+
+#[test]
+fn violations_are_sorted_and_carry_columns() {
+    let vs = fixture_violations();
+    let keys: Vec<_> = vs.iter().map(|v| (v.file.clone(), v.line, v.rule, v.col)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "violations are sorted by (file, line, rule, col)");
+    assert!(vs.iter().all(|v| v.col >= 1), "every violation has a 1-based column");
+}
+
+#[test]
+fn json_output_carries_rule_file_line_col() {
     let report = run(&fixture_config()).expect("fixture scan");
     let json = to_json(&report);
     assert!(json.contains("{\"rule\": \"addr-cast\", \"file\": \"addr_cast.rs\", \"line\": 6,"));
     assert!(json.contains("{\"rule\": \"fault-coverage\", \"file\": \"faults.rs\", \"line\": 6,"));
+    assert!(json.contains("\"col\": "), "JSON carries the col field");
     assert!(json.contains(&format!("\"violation_count\": {}", report.violations.len())));
+}
+
+#[test]
+fn sarif_output_carries_locations() {
+    let report = run(&fixture_config()).expect("fixture scan");
+    let sarif = to_sarif(&report);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"ruleId\": \"addr-provenance\""));
+    assert!(sarif.contains("\"uri\": \"lock_order.rs\""));
+    assert!(sarif.contains("\"startLine\": 26"));
 }
 
 #[test]
@@ -103,8 +185,8 @@ fn per_rule_allowlists_suppress_by_path_prefix() {
     assert_fired(&vs, "addr-cast", "addr_cast.rs", 6);
 }
 
-/// The gate itself: the real workspace must scan clean. This is the same
-/// check CI runs via `cargo run -p tidy -- --json`.
+/// The gate itself: the real workspace must scan clean under all nine
+/// rules. This is the same check CI runs via `cargo run -p tidy -- --json`.
 #[test]
 fn workspace_tree_is_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
