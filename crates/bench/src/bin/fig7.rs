@@ -31,6 +31,7 @@ struct Entry {
 }
 
 fn main() {
+    skyway_bench::init_tracing();
     let args: Vec<String> = std::env::args().collect();
     let n_objects: usize = args
         .iter()
@@ -166,4 +167,5 @@ fn main() {
         calibrated("colfer") / calibrated("skyway"),
     );
     skyway_bench::dump_metrics();
+    skyway_bench::dump_trace();
 }

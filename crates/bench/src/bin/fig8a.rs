@@ -19,6 +19,7 @@ use sparklite::graphgen::GraphKind;
 
 fn main() {
     let opts = RunOpts::from_args();
+    skyway_bench::init_tracing();
     println!(
         "Figure 8(a): 4 workloads x 4 graphs x 3 serializers (scale 1/{}, {} PR iters{})",
         opts.scale_divisor,
@@ -69,4 +70,5 @@ fn main() {
         (1.0 - overall_sky / overall_kryo) * 100.0
     );
     skyway_bench::dump_metrics();
+    skyway_bench::dump_trace();
 }

@@ -12,7 +12,8 @@
 //! on the steady-state repeat transfer.
 //!
 //! Flags: `--objects N` (JSBS records, default 2000), `--scale N`,
-//! `--seed N`, `--metrics-out <path>`.
+//! `--seed N`, `--metrics-out <path>`, `--trace-out <path>` (span trace as
+//! Chrome trace-event JSON plus a critical-path summary).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -59,6 +60,9 @@ struct Row {
     max_in_flight: u64,
     sender_stall_ns: u64,
     receiver_stall_ns: u64,
+    /// p99.9 of `skyway.pipeline.chunk_stall_ns` when this workload
+    /// finished (cumulative across the process's workloads so far).
+    chunk_stall_p999_ns: u64,
 }
 
 fn scale_ns(raw: u64, sim: &SimConfig) -> u64 {
@@ -178,8 +182,9 @@ fn run_workload(
         rvms.push(Vm::new(format!("pipe-r{i}"), heap, Arc::clone(cp)).expect("vm"));
     }
     for (i, rvm) in rvms.iter_mut().enumerate() {
-        let (_, report) = engine
-            .transfer(
+        let ctx = obs::global().tracer().new_trace();
+        let (got, report) = engine
+            .transfer_with_trace(
                 &pipe_sender,
                 rvm,
                 &pipe_dir,
@@ -189,8 +194,17 @@ fn run_workload(
                 (i + 1) as u16,
                 &pipe_roots,
                 None,
+                ctx,
             )
             .expect("pipelined transfer");
+        // Root the received graph and run a minor collection: the pause
+        // lands in the trace attributed to this transfer (the VM keeps the
+        // transfer's context). Unconditional, so traced and untraced runs
+        // do identical work and stay comparable.
+        for &a in &got {
+            rvm.handle(a);
+        }
+        rvm.minor_gc().expect("minor gc");
         pipe_total.wall_ns += report.pipelined_ns;
         pipe_total.produce_ns += report.produce_ns;
         pipe_total.net_ns += report.wire_ns;
@@ -212,8 +226,9 @@ fn run_workload(
     // pool now holds every backing the first pass used.
     let mut repeat = RepeatResult { wall_ns: 0, pool_hits: 0, pool_misses: 0 };
     for (i, rvm) in rvms.iter_mut().enumerate() {
+        let ctx = obs::global().tracer().new_trace();
         let (_, report) = engine
-            .transfer(
+            .transfer_with_trace(
                 &pipe_sender,
                 rvm,
                 &pipe_dir,
@@ -223,6 +238,7 @@ fn run_workload(
                 (receivers + i + 1) as u16,
                 &pipe_roots,
                 None,
+                ctx,
             )
             .expect("repeat transfer");
         repeat.wall_ns += report.pipelined_ns;
@@ -235,6 +251,11 @@ fn run_workload(
     } else {
         0.0
     };
+    let chunk_stall_p999_ns = obs::global()
+        .snapshot()
+        .histograms
+        .get(obs::names::PIPELINE_CHUNK_STALL_NS)
+        .map_or(0, |h| h.p999);
     Row {
         workload: name.to_owned(),
         receivers,
@@ -246,6 +267,7 @@ fn run_workload(
         max_in_flight,
         sender_stall_ns,
         receiver_stall_ns,
+        chunk_stall_p999_ns,
     }
 }
 
@@ -262,8 +284,12 @@ fn main() {
     let scale = arg("--scale", 10_000);
     let seed = arg("--seed", 42);
     let sim = SimConfig::default();
+    let tracing = skyway_bench::init_tracing();
 
     println!("Pipelined shuffle engine: sequential barrier vs chunk-granularity overlap");
+    if tracing {
+        println!("(tracing enabled)");
+    }
 
     // fig7 payload: JSBS media-content records, 4 receivers (the paper's
     // five-node broadcast).
@@ -331,8 +357,10 @@ fn main() {
             row.repeat.pool_hits,
             row.repeat.pool_misses,
         );
+        println!("  chunk stall p99.9 {:.3} ms", row.chunk_stall_p999_ns as f64 / 1e6,);
     }
 
     skyway_bench::write_json("BENCH_pipeline", &vec![fig7, fig8]);
     skyway_bench::dump_metrics();
+    skyway_bench::dump_trace();
 }

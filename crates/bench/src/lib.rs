@@ -346,6 +346,46 @@ pub fn dump_metrics() {
     }
 }
 
+/// Parses `--trace-out <path>` from the process arguments.
+pub fn trace_out_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == "--trace-out").map(|w| std::path::PathBuf::from(&w[1]))
+}
+
+/// Enables the process-wide tracer when `--trace-out <path>` was given.
+/// Call at the top of a harness `main`, before any transfers run; returns
+/// whether tracing is on so harnesses can report overhead mode.
+pub fn init_tracing() -> bool {
+    let on = trace_out_from_args().is_some();
+    if on {
+        obs::global().tracer().set_enabled(true);
+    }
+    on
+}
+
+/// When `--trace-out <path>` was given, exports every span recorded so far
+/// as Chrome trace-event JSON (open in Perfetto or `chrome://tracing`) and
+/// prints the critical-path summary. Call once at the end of a harness
+/// `main`. Failure to write is reported but non-fatal, matching
+/// [`write_json`].
+pub fn dump_trace() {
+    let Some(path) = trace_out_from_args() else {
+        return;
+    };
+    let tracer = obs::global().tracer();
+    let spans = tracer.spans();
+    let dropped = tracer.dropped();
+    if dropped > 0 {
+        eprintln!("note: span buffer overflowed; {dropped} spans were dropped");
+    }
+    if let Err(e) = std::fs::write(&path, obs::chrome_trace_json(&spans)) {
+        eprintln!("note: could not write {}: {e}", path.display());
+    } else {
+        println!("(trace written to {} — {} spans)", path.display(), spans.len());
+    }
+    println!("{}", obs::critical_path_summary(&spans));
+}
+
 /// Header matching [`print_summary_row`].
 pub fn print_summary_header(title: &str) {
     println!("\n=== {title} ===");

@@ -258,15 +258,29 @@ impl OutputBuffer {
 /// Frames a finished stream of chunks into one self-describing byte blob
 /// (what a Spark shuffle file or a socket payload carries).
 ///
-/// Layout: `magic "SKYW" | version u8 | flags u8 | chunk_count u32 |`
-/// then per chunk `len u32 | bytes`.
+/// Layout v1: `magic "SKYW" | version u8 | flags u8 | chunk_count u32 |`
+/// then per chunk `len u32 | bytes`. Version 2 (emitted only when a live
+/// trace context is attached — see [`frame_chunks_traced`]) inserts
+/// `trace_id u64 | parent_span u64` between the count and the chunks, so
+/// the receiver re-attaches the sender's transfer trace.
 pub fn frame_chunks(chunks: &[Vec<u8>], flags: u8) -> Vec<u8> {
+    frame_chunks_traced(chunks, flags, obs::TraceCtx::NONE)
+}
+
+/// [`frame_chunks`] with a trace context propagated in the header.
+/// [`obs::TraceCtx::NONE`] produces a plain v1 frame, so untraced blobs
+/// stay byte-identical to older writers.
+pub fn frame_chunks_traced(chunks: &[Vec<u8>], flags: u8, ctx: obs::TraceCtx) -> Vec<u8> {
     let total: usize = chunks.iter().map(|c| c.len() + 4).sum();
-    let mut out = Vec::with_capacity(total + 10);
+    let mut out = Vec::with_capacity(total + 26);
     out.extend_from_slice(b"SKYW");
-    out.push(1); // version
+    out.push(if ctx.is_none() { 1 } else { 2 }); // version
     out.push(flags);
     out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    if !ctx.is_none() {
+        out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+        out.extend_from_slice(&ctx.parent.to_le_bytes());
+    }
     for c in chunks {
         out.extend_from_slice(&(c.len() as u32).to_le_bytes());
         out.extend_from_slice(c);
@@ -283,21 +297,47 @@ fn read_u32_le(blob: &[u8], pos: usize) -> Result<u32> {
     Ok(u32::from_le_bytes(a))
 }
 
-/// Parses a framed blob back into chunks (borrowed slices).
+/// Reads a little-endian `u64` at `pos`, bounds-checked.
+fn read_u64_le(blob: &[u8], pos: usize) -> Result<u64> {
+    let s =
+        blob.get(pos..pos + 8).ok_or_else(|| Error::BadFrame("truncated trace header".into()))?;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(s);
+    Ok(u64::from_le_bytes(a))
+}
+
+/// Parses a framed blob back into chunks (borrowed slices), discarding
+/// any propagated trace context.
 ///
 /// # Errors
 /// [`Error::BadFrame`] for wrong magic/version/truncation.
 pub fn parse_frames(blob: &[u8]) -> Result<(u8, Vec<&[u8]>)> {
+    let (flags, _, chunks) = parse_frames_traced(blob)?;
+    Ok((flags, chunks))
+}
+
+/// Parses a framed blob back into chunks plus the trace context
+/// propagated in a v2 header ([`obs::TraceCtx::NONE`] for v1 frames).
+///
+/// # Errors
+/// [`Error::BadFrame`] for wrong magic/version/truncation.
+pub fn parse_frames_traced(blob: &[u8]) -> Result<(u8, obs::TraceCtx, Vec<&[u8]>)> {
     if blob.len() < 10 || &blob[0..4] != b"SKYW" {
         return Err(Error::BadFrame("missing SKYW magic".into()));
     }
-    if blob[4] != 1 {
+    if blob[4] != 1 && blob[4] != 2 {
         return Err(Error::BadFrame(format!("unsupported version {}", blob[4])));
     }
     let flags = blob[5];
     let n = read_u32_le(blob, 6)? as usize;
+    let (ctx, mut pos) = if blob[4] == 2 {
+        let ctx =
+            obs::TraceCtx { trace_id: read_u64_le(blob, 10)?, parent: read_u64_le(blob, 18)? };
+        (ctx, 26)
+    } else {
+        (obs::TraceCtx::NONE, 10)
+    };
     let mut chunks = Vec::with_capacity(n);
-    let mut pos = 10;
     for _ in 0..n {
         let len = read_u32_le(blob, pos)? as usize;
         pos += 4;
@@ -307,7 +347,7 @@ pub fn parse_frames(blob: &[u8]) -> Result<(u8, Vec<&[u8]>)> {
         chunks.push(&blob[pos..pos + len]);
         pos += len;
     }
-    Ok((flags, chunks))
+    Ok((flags, ctx, chunks))
 }
 
 #[cfg(test)]
@@ -388,9 +428,37 @@ mod tests {
     #[test]
     fn bad_frames_rejected() {
         assert!(parse_frames(b"nope").is_err());
-        assert!(parse_frames(b"SKYW\x02\x00\x00\x00\x00\x00").is_err());
+        // Version 3 does not exist.
+        assert!(parse_frames(b"SKYW\x03\x00\x00\x00\x00\x00").is_err());
+        // Version 2 without its 16-byte trace header is truncated.
+        assert!(parse_frames(b"SKYW\x02\x00\x01\x00\x00\x00").is_err());
         let blob = frame_chunks(&[vec![1, 2, 3]], 0);
         assert!(parse_frames(&blob[..blob.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_the_context() {
+        let ctx = obs::TraceCtx { trace_id: 0xdead_beef, parent: 42 };
+        let blob = frame_chunks_traced(&[vec![0u8; 8], vec![1u8; 16]], 5, ctx);
+        assert_eq!(blob[4], 2, "live context promotes the frame to v2");
+        let (flags, got, chunks) = parse_frames_traced(&blob).unwrap();
+        assert_eq!(flags, 5);
+        assert_eq!(got, ctx);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].len(), 16);
+        // The trace-blind parser still reads v2 frames.
+        let (flags, chunks) = parse_frames(&blob).unwrap();
+        assert_eq!(flags, 5);
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    fn untraced_frames_stay_v1() {
+        let blob = frame_chunks_traced(&[vec![0u8; 8]], 0, obs::TraceCtx::NONE);
+        assert_eq!(blob[4], 1);
+        assert_eq!(blob, frame_chunks(&[vec![0u8; 8]], 0));
+        let (_, ctx, _) = parse_frames_traced(&blob).unwrap();
+        assert!(ctx.is_none());
     }
 
     #[test]

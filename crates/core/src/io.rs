@@ -13,7 +13,7 @@ use mheap::layout::Addr;
 use mheap::Vm;
 use simnet::{Cluster, NodeId};
 
-use crate::buffer::{frame_chunks, parse_frames};
+use crate::buffer::{frame_chunks_traced, parse_frames_traced};
 use crate::registry::TypeDirectory;
 use crate::sender::{GraphSender, SendConfig, SendStats};
 use crate::stream::{ShuffleController, UpdateRegistry};
@@ -62,6 +62,14 @@ impl<'a> SkywayFileOutputStream<'a> {
         Ok(SkywayFileOutputStream { sender, node, name: name.into() })
     }
 
+    /// Attaches a transfer trace context, propagated in the file's frame
+    /// header so the reading node stitches into the same trace.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: obs::TraceCtx) -> Self {
+        self.sender = self.sender.with_trace(ctx);
+        self
+    }
+
     /// Transfers one object graph (drop-in `writeObject`).
     ///
     /// # Errors
@@ -77,9 +85,17 @@ impl<'a> SkywayFileOutputStream<'a> {
     /// Cluster errors.
     pub fn close(self, cluster: &mut Cluster) -> Result<SendStats> {
         let spec_byte = spec_flags(self.sender.receiver_spec());
+        let ctx = self.sender.trace_ctx();
+        let registry = std::sync::Arc::clone(self.sender.registry());
+        let node_name = self.sender.node_name().to_owned();
         let out = self.sender.finish();
-        let blob = frame_chunks(&out.chunks, spec_byte);
+        let blob = frame_chunks_traced(&out.chunks, spec_byte, ctx);
+        let mut span =
+            registry.tracer().start(obs::names::TRACE_SENDER_CHUNK_SEND, ctx, &node_name);
+        span.annotate("bytes", blob.len() as u64);
+        span.annotate("chunks", out.chunks.len() as u64);
         cluster.disk_write(self.node, self.name, blob).map_err(Error::Cluster)?;
+        drop(span);
         Ok(out.stats)
     }
 }
@@ -144,6 +160,14 @@ impl<'a> SkywaySocketOutputStream<'a> {
         Ok(SkywaySocketOutputStream { sender, src, dst })
     }
 
+    /// Attaches a transfer trace context, carried as a traced-chunk message
+    /// prefix so the receiving node stitches into the same trace.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: obs::TraceCtx) -> Self {
+        self.sender = self.sender.with_trace(ctx);
+        self
+    }
+
     /// Transfers one object graph, streaming any chunks that flushed while
     /// traversing (transfer overlaps computation, §3.2).
     ///
@@ -151,10 +175,26 @@ impl<'a> SkywaySocketOutputStream<'a> {
     /// Heap/registry/cluster errors.
     pub fn write_object(&mut self, root: Addr, cluster: &mut Cluster) -> Result<()> {
         self.sender.write_root(root)?;
+        let ctx = self.sender.trace_ctx();
+        let traced = if ctx.is_none() {
+            None
+        } else {
+            Some((
+                std::sync::Arc::clone(self.sender.registry()),
+                self.sender.node_name().to_owned(),
+            ))
+        };
         for chunk in self.sender.take_ready_chunks() {
+            let mut span = traced.as_ref().map(|(reg, node)| {
+                reg.tracer().start(obs::names::TRACE_SENDER_CHUNK_SEND, ctx, node)
+            });
+            if let Some(s) = span.as_mut() {
+                s.annotate("bytes", chunk.len() as u64);
+            }
             cluster
-                .net_send(self.src, self.dst, frame_chunk_msg(&chunk))
+                .net_send(self.src, self.dst, frame_chunk_msg(&chunk, ctx))
                 .map_err(Error::Cluster)?;
+            drop(span);
         }
         Ok(())
     }
@@ -164,18 +204,47 @@ impl<'a> SkywaySocketOutputStream<'a> {
     /// # Errors
     /// Cluster errors.
     pub fn close(self, cluster: &mut Cluster) -> Result<SendStats> {
+        let ctx = self.sender.trace_ctx();
+        let traced = if ctx.is_none() {
+            None
+        } else {
+            Some((
+                std::sync::Arc::clone(self.sender.registry()),
+                self.sender.node_name().to_owned(),
+            ))
+        };
         let out = self.sender.finish();
         for chunk in &out.chunks {
-            cluster.net_send(self.src, self.dst, frame_chunk_msg(chunk)).map_err(Error::Cluster)?;
+            let mut span = traced.as_ref().map(|(reg, node)| {
+                reg.tracer().start(obs::names::TRACE_SENDER_CHUNK_SEND, ctx, node)
+            });
+            if let Some(s) = span.as_mut() {
+                s.annotate("bytes", chunk.len() as u64);
+            }
+            cluster
+                .net_send(self.src, self.dst, frame_chunk_msg(chunk, ctx))
+                .map_err(Error::Cluster)?;
+            drop(span);
         }
         cluster.net_send(self.src, self.dst, vec![0u8]).map_err(Error::Cluster)?; // EOS
         Ok(out.stats)
     }
 }
 
-fn frame_chunk_msg(chunk: &[u8]) -> Vec<u8> {
-    let mut m = Vec::with_capacity(chunk.len() + 1);
-    m.push(1u8); // CHUNK
+/// Socket message framing: type 1 carries a bare chunk; type 2 prefixes the
+/// chunk with the 16-byte transfer trace context (trace id, parent span id,
+/// both little-endian) so the receiver can re-attach it.
+fn frame_chunk_msg(chunk: &[u8], ctx: obs::TraceCtx) -> Vec<u8> {
+    if ctx.is_none() {
+        let mut m = Vec::with_capacity(chunk.len() + 1);
+        m.push(1u8); // CHUNK
+        m.extend_from_slice(chunk);
+        return m;
+    }
+    let mut m = Vec::with_capacity(chunk.len() + 17);
+    m.push(2u8); // TRACED CHUNK
+    m.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    m.extend_from_slice(&ctx.parent.to_le_bytes());
     m.extend_from_slice(chunk);
     m
 }
@@ -204,6 +273,20 @@ impl SkywaySocketInputStream {
             let msg = cluster.net_recv(node, src).map_err(Error::Cluster)?;
             match msg.first() {
                 Some(1) => rx.push_chunk(&msg[1..])?,
+                Some(2) => {
+                    if msg.len() < 17 {
+                        return Err(Error::BadFrame("truncated traced socket message".into()));
+                    }
+                    let mut id = [0u8; 8];
+                    id.copy_from_slice(&msg[1..9]);
+                    let mut parent = [0u8; 8];
+                    parent.copy_from_slice(&msg[9..17]);
+                    rx.attach_trace(obs::TraceCtx {
+                        trace_id: u64::from_le_bytes(id),
+                        parent: u64::from_le_bytes(parent),
+                    });
+                    rx.push_chunk(&msg[17..])?;
+                }
                 Some(0) => break,
                 _ => return Err(Error::BadFrame("bad socket message".into())),
             }
@@ -221,7 +304,7 @@ fn read_blob(
     blob: &[u8],
     hooks: Option<&UpdateRegistry>,
 ) -> Result<Vec<Addr>> {
-    let (flags, chunks) = parse_frames(blob)?;
+    let (flags, ctx, chunks) = parse_frames_traced(blob)?;
     let wire = mheap::LayoutSpec {
         with_baddr: flags & 1 != 0,
         array_len_size: if flags & 2 != 0 { 4 } else { 8 },
@@ -233,6 +316,7 @@ fn read_blob(
         });
     }
     let mut rx = crate::receiver::GraphReceiver::new(vm, dir, node);
+    rx.attach_trace(ctx);
     for c in chunks {
         rx.push_chunk(c)?;
     }

@@ -239,6 +239,87 @@ impl PipelineEngine {
         roots: &[Addr],
         hooks: Option<&UpdateRegistry>,
     ) -> Result<(Vec<Addr>, PipelineReport)> {
+        self.transfer_with_trace(
+            sender_vm,
+            receiver_vm,
+            dir,
+            src,
+            dst,
+            sid,
+            stream,
+            roots,
+            hooks,
+            obs::TraceCtx::NONE,
+        )
+    }
+
+    /// [`Self::transfer`] under a trace context: opens a
+    /// [`obs::names::TRACE_TRANSFER`] root span and threads its child
+    /// context through the sender (traversal and chunk-send spans), the
+    /// simulated link (occupancy spans on the sim clock), and the receiver
+    /// (absorb, fixup, and card spans; GC pauses on the receiving VM are
+    /// attributed to this transfer until the next one re-tags it). With
+    /// [`obs::TraceCtx::NONE`] — or tracing disabled — this is exactly
+    /// [`Self::transfer`]: the traced path adds one branch per call site.
+    ///
+    /// # Errors
+    /// As for [`Self::transfer`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_with_trace(
+        &self,
+        sender_vm: &Vm,
+        receiver_vm: &mut Vm,
+        dir: &TypeDirectory,
+        src: NodeId,
+        dst: NodeId,
+        sid: u8,
+        stream: u16,
+        roots: &[Addr],
+        hooks: Option<&UpdateRegistry>,
+        parent: obs::TraceCtx,
+    ) -> Result<(Vec<Addr>, PipelineReport)> {
+        let registry = Arc::clone(&self.metrics.registry);
+        let mut root_span = if parent.is_none() {
+            None
+        } else {
+            Some(registry.tracer().start(obs::names::TRACE_TRANSFER, parent, &sender_vm.name))
+        };
+        let ctx = root_span.as_ref().map_or(obs::TraceCtx::NONE, obs::ActiveSpan::ctx);
+        let r = self.transfer_inner(
+            sender_vm,
+            receiver_vm,
+            dir,
+            src,
+            dst,
+            sid,
+            stream,
+            roots,
+            hooks,
+            ctx,
+        );
+        if let (Some(span), Ok((_, report))) = (root_span.as_mut(), &r) {
+            span.annotate("bytes", report.send_stats.total_bytes);
+            span.annotate("chunks", report.chunk_bytes.len() as u64);
+            span.annotate("pipelined_sim_ns", report.pipelined_ns);
+            span.annotate("sequential_sim_ns", report.sequential_ns);
+        }
+        r
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_inner(
+        &self,
+        sender_vm: &Vm,
+        receiver_vm: &mut Vm,
+        dir: &TypeDirectory,
+        src: NodeId,
+        dst: NodeId,
+        sid: u8,
+        stream: u16,
+        roots: &[Addr],
+        hooks: Option<&UpdateRegistry>,
+        ctx: obs::TraceCtx,
+    ) -> Result<(Vec<Addr>, PipelineReport)> {
         let send_cfg = SendConfig {
             chunk_limit: self.cfg.chunk_limit,
             receiver_spec: receiver_vm.spec(),
@@ -260,7 +341,8 @@ impl PipelineEngine {
         {
             let mut gs = GraphSender::new(sender_vm, dir, src, sid, stream, send_cfg)?
                 .with_metrics(Arc::clone(&self.metrics.registry))
-                .with_pool(Arc::clone(&self.pool));
+                .with_pool(Arc::clone(&self.pool))
+                .with_trace(ctx);
             if gs.estimate_flat_bytes(roots, self.cfg.chunk_limit as u64)?.is_some() {
                 return self.transfer_single_chunk(
                     gs,
@@ -271,6 +353,7 @@ impl PipelineEngine {
                     hooks,
                     pool_hits0,
                     pool_misses0,
+                    ctx,
                 );
             }
         }
@@ -299,11 +382,27 @@ impl PipelineEngine {
                 let sender_task = scope.spawn(move || -> Result<(SendStats, u64, u64)> {
                     let mut gs = GraphSender::new(sender_vm, dir, src, sid, stream, send_cfg)?
                         .with_metrics(Arc::clone(&metrics.registry))
-                        .with_pool(Arc::clone(pool));
+                        .with_pool(Arc::clone(pool))
+                        .with_trace(ctx);
                     let mut produce_ns = 0u64;
                     let mut stall_ns = 0u64;
                     let ship = |chunks: Vec<Vec<u8>>, produce_ns: u64, stall: &mut u64| {
                         for c in chunks {
+                            // The span covers the (possibly blocking) hand-
+                            // off, so backpressure stalls are visible as
+                            // long chunk-send spans in the trace.
+                            let mut span = if ctx.is_none() {
+                                None
+                            } else {
+                                Some(metrics.registry.tracer().start(
+                                    obs::names::TRACE_SENDER_CHUNK_SEND,
+                                    ctx,
+                                    &sender_vm.name,
+                                ))
+                            };
+                            if let Some(s) = span.as_mut() {
+                                s.annotate("bytes", c.len() as u64);
+                            }
                             let t0 = Instant::now();
                             // A closed channel means the receiver bailed
                             // with an error; stop producing quietly — the
@@ -312,6 +411,7 @@ impl PipelineEngine {
                                 return false;
                             }
                             *stall += t0.elapsed().as_nanos() as u64;
+                            drop(span);
                             let now = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
                             metrics.chunks_in_flight.set(now);
                             max_in_flight.fetch_max(now.max(0) as u64, Ordering::Relaxed);
@@ -337,6 +437,9 @@ impl PipelineEngine {
                 let recv_result = (|| -> Result<(Vec<Addr>, ReceiveStats)> {
                     let mut gr = GraphReceiver::new(receiver_vm, dir, dst)
                         .with_metrics(Arc::clone(&self.metrics.registry));
+                    if !ctx.is_none() {
+                        gr = gr.with_trace(ctx);
+                    }
                     loop {
                         let t0 = Instant::now();
                         let Ok((chunk, ready_ns)) = rx.recv() else { break };
@@ -389,6 +492,8 @@ impl PipelineEngine {
             pool_hits,
             pool_misses,
             max_in_flight.load(Ordering::Relaxed),
+            ctx,
+            &sender_vm.name,
         );
         Ok((roots_out, report))
     }
@@ -409,7 +514,9 @@ impl PipelineEngine {
         hooks: Option<&UpdateRegistry>,
         pool_hits0: u64,
         pool_misses0: u64,
+        ctx: obs::TraceCtx,
     ) -> Result<(Vec<Addr>, PipelineReport)> {
+        let gs_node = gs.node_name().to_owned();
         let t0 = Instant::now();
         for &root in roots {
             gs.write_root(root)?;
@@ -419,6 +526,9 @@ impl PipelineEngine {
 
         let mut gr = GraphReceiver::new(receiver_vm, dir, dst)
             .with_metrics(Arc::clone(&self.metrics.registry));
+        if !ctx.is_none() {
+            gr = gr.with_trace(ctx);
+        }
         let t1 = Instant::now();
         for c in &out.chunks {
             gr.push_chunk(c)?;
@@ -439,6 +549,18 @@ impl PipelineEngine {
 
         let scale = |ns: u64| -> u64 { (ns as f64 * self.cfg.sim.sd_cpu_scale) as u64 };
         let wire_ns = self.cfg.sim.net_ns(total_bytes);
+        if !ctx.is_none() {
+            // One inline chunk, one occupancy interval on the sim clock.
+            let start = scale(produce_raw_ns);
+            self.metrics.registry.tracer().record_sim(
+                obs::names::TRACE_LINK_XMIT,
+                ctx,
+                &gs_node,
+                start,
+                start + wire_ns,
+                &[("bytes", total_bytes)],
+            );
+        }
         let wall = scale(produce_raw_ns) + wire_ns + scale(absorb_raw_ns);
         let report = PipelineReport {
             send_stats: out.stats,
@@ -480,6 +602,8 @@ impl PipelineEngine {
         pool_hits: u64,
         pool_misses: u64,
         max_in_flight: u64,
+        ctx: obs::TraceCtx,
+        link_node: &str,
     ) -> PipelineReport {
         let scale = |ns: u64| -> u64 { (ns as f64 * self.cfg.sim.sd_cpu_scale) as u64 };
         let mut link = LinkClock::new(&self.cfg.sim);
@@ -487,8 +611,18 @@ impl PipelineEngine {
         let mut total_bytes = 0u64;
         let mut chunk_bytes = Vec::with_capacity(timeline.len());
         for &(ready_raw, bytes, absorb_raw) in timeline {
-            let arrival = link.send(scale(ready_raw), bytes);
-            absorber_free = absorber_free.max(arrival) + scale(absorb_raw);
+            let xmit = link.send_traced(scale(ready_raw), bytes);
+            if !ctx.is_none() {
+                self.metrics.registry.tracer().record_sim(
+                    obs::names::TRACE_LINK_XMIT,
+                    ctx,
+                    link_node,
+                    xmit.start_ns,
+                    xmit.end_ns,
+                    &[("bytes", bytes)],
+                );
+            }
+            absorber_free = absorber_free.max(xmit.arrival_ns) + scale(absorb_raw);
             total_bytes += bytes;
             chunk_bytes.push(bytes);
         }

@@ -125,6 +125,9 @@ pub struct GraphReceiver<'a> {
     /// of the next chunk.
     next_is_root: bool,
     pending_hooks: Vec<(Addr, usize)>,
+    /// Trace context re-attached from the wire (or directly by the
+    /// pipeline); [`obs::TraceCtx::NONE`] keeps every span inert.
+    trace_ctx: obs::TraceCtx,
 }
 
 impl<'a> std::fmt::Debug for GraphReceiver<'a> {
@@ -157,6 +160,7 @@ impl<'a> GraphReceiver<'a> {
             card_spans: Vec::new(),
             next_is_root: false,
             pending_hooks: Vec::new(),
+            trace_ctx: obs::TraceCtx::NONE,
         }
     }
 
@@ -166,6 +170,25 @@ impl<'a> GraphReceiver<'a> {
     pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
         self.metrics = ReceiverMetrics::new(registry);
         self
+    }
+
+    /// Re-attaches the sender's trace context so receiver-side spans
+    /// (absorb, fixup, card dirtying) and subsequent GC pauses on this
+    /// VM stitch into the same transfer trace.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: obs::TraceCtx) -> Self {
+        self.trace_ctx = ctx;
+        self.vm.set_trace_ctx(ctx);
+        self
+    }
+
+    /// Re-attaches a trace context mid-stream (wire carriers learn the
+    /// context from the first traced frame, after construction).
+    pub fn attach_trace(&mut self, ctx: obs::TraceCtx) {
+        if !ctx.is_none() {
+            self.trace_ctx = ctx;
+            self.vm.set_trace_ctx(ctx);
+        }
     }
 
     fn facts_for_tid(&mut self, tid: u32, hooks: Option<&UpdateRegistry>) -> Result<&TidFacts> {
@@ -260,7 +283,13 @@ impl<'a> GraphReceiver<'a> {
         if let Some(&k) = self.tid_cache.get(&tid) {
             return Ok(k);
         }
-        let name = self.dir.name_for_tid(self.node, tid)?;
+        let name = self.dir.name_for_tid_traced(
+            self.node,
+            tid,
+            self.metrics.registry.tracer(),
+            self.trace_ctx,
+            &self.vm.name,
+        )?;
         let loaded_before = self.vm.klasses().len();
         let kid = self.vm.load_class(&name).map_err(Error::Heap)?;
         if self.vm.klasses().len() > loaded_before {
@@ -289,8 +318,18 @@ impl<'a> GraphReceiver<'a> {
     /// Corrupt-stream and heap errors.
     pub fn absorb_ready(&mut self, hooks: Option<&UpdateRegistry>) -> Result<()> {
         let spec = self.vm.spec();
+        // Spans must not borrow `self` while the scan mutates it, so they
+        // are anchored to a cloned registry handle (only when traced).
+        let traced = if self.trace_ctx.is_none() {
+            None
+        } else {
+            Some((Arc::clone(&self.metrics.registry), self.vm.name.clone()))
+        };
         while self.absorbed < self.chunks.len() {
             let c = self.chunks[self.absorbed];
+            let mut span = traced.as_ref().map(|(reg, node)| {
+                reg.tracer().start(obs::names::TRACE_RECEIVER_CHUNK_ABSORB, self.trace_ctx, node)
+            });
             let objects_before = self.stats.objects;
             let mut at = c.base.0;
             let end = c.base.0 + c.len;
@@ -402,6 +441,11 @@ impl<'a> GraphReceiver<'a> {
                 bytes: c.len,
                 objects: self.stats.objects - objects_before,
             });
+            if let Some(s) = &mut span {
+                s.annotate("chunk", self.absorbed as u64);
+                s.annotate("bytes", c.len);
+                s.annotate("objects", self.stats.objects - objects_before);
+            }
             self.absorbed += 1;
         }
         Ok(())
@@ -425,8 +469,17 @@ impl<'a> GraphReceiver<'a> {
     /// Corrupt-stream and heap errors.
     pub fn finish(mut self, hooks: Option<&UpdateRegistry>) -> Result<(Vec<Addr>, ReceiveStats)> {
         self.absorb_ready(hooks)?;
+        let traced = if self.trace_ctx.is_none() {
+            None
+        } else {
+            Some((Arc::clone(&self.metrics.registry), self.vm.name.clone()))
+        };
         // Cross-chunk forward references: every chunk has arrived now, so
         // any still-unresolved target is genuinely dangling.
+        let mut fixup_span = traced.as_ref().map(|(reg, node)| {
+            reg.tracer().start(obs::names::TRACE_RECEIVER_FIXUP, self.trace_ctx, node)
+        });
+        let n_fixups = (self.ref_fixups.len() + self.root_fixups.len()) as u64;
         for (slot, logical) in std::mem::take(&mut self.ref_fixups) {
             let abs = self.translate(logical)?;
             self.vm.heap().arena().store_word(slot, abs.0).map_err(Error::Heap)?;
@@ -435,10 +488,21 @@ impl<'a> GraphReceiver<'a> {
             let abs = self.translate(logical)?;
             self.roots[idx] = abs;
         }
+        if let Some(s) = &mut fixup_span {
+            s.annotate("fixups", n_fixups);
+        }
+        drop(fixup_span);
         // One batched card-table pass over all absorbed ranges: tell the GC.
+        let mut card_span = traced.as_ref().map(|(reg, node)| {
+            reg.tracer().start(obs::names::TRACE_RECEIVER_CARD_DIRTY, self.trace_ctx, node)
+        });
         let cards = self.vm.heap_mut().dirty_card_batch(&self.card_spans);
         self.stats.cards_dirtied += cards;
         self.metrics.cards_dirtied.add(cards);
+        if let Some(s) = &mut card_span {
+            s.annotate("cards", cards);
+        }
+        drop(card_span);
         // Post-transfer field updates (§3.3 registerUpdate).
         if let Some(h) = hooks {
             for (obj, idx) in std::mem::take(&mut self.pending_hooks) {

@@ -221,6 +221,27 @@ impl TypeDirectory {
         Ok(name)
     }
 
+    /// [`TypeDirectory::name_for_tid`] wrapped in a
+    /// `trace.registry.class_load` span — the receiver's on-demand class
+    /// resolution is a protocol round trip worth seeing on a transfer's
+    /// timeline. Inert (plain lookup) when `ctx` is absent or tracing is
+    /// off.
+    ///
+    /// # Errors
+    /// Same as [`TypeDirectory::name_for_tid`].
+    pub fn name_for_tid_traced(
+        &self,
+        node: NodeId,
+        tid: u32,
+        tracer: &obs::Tracer,
+        ctx: obs::TraceCtx,
+        node_name: &str,
+    ) -> Result<String> {
+        let mut span = tracer.start(obs::names::TRACE_REGISTRY_CLASS_LOAD, ctx, node_name);
+        span.annotate("tid", u64::from(tid));
+        self.name_for_tid(node, tid)
+    }
+
     /// Registers every class currently loaded in a worker VM (bulk variant
     /// of the class-load hook, useful right after booting a workload).
     ///

@@ -157,6 +157,25 @@ pub struct GraphSender<'a> {
     stats: SendStats,
     klass_facts: HashMap<u32, KlassFacts>,
     metrics: SenderMetrics,
+    /// Trace context of the transfer this stream belongs to
+    /// ([`obs::TraceCtx::NONE`] keeps every span inert).
+    trace_ctx: obs::TraceCtx,
+    /// Open traverse-burst accumulator (see [`GraphSender::write_root`]).
+    traverse: Option<TraverseBurst>,
+}
+
+/// Accumulator for one `trace.sender.traverse` burst span: consecutive
+/// root traversals coalesce into a single span that closes when a chunk
+/// flushes (or at stream finish). Per-root spans would outnumber every
+/// other span kind a thousandfold on small-object workloads and dominate
+/// the tracing overhead; a burst per flushed chunk matches the pipeline's
+/// unit of work.
+struct TraverseBurst {
+    start_ns: u64,
+    roots: u64,
+    objects_before: u64,
+    bytes_before: u64,
+    cas_before: u64,
 }
 
 impl<'a> std::fmt::Debug for GraphSender<'a> {
@@ -201,6 +220,8 @@ impl<'a> GraphSender<'a> {
             stats: SendStats::default(),
             klass_facts: HashMap::new(),
             metrics: SenderMetrics::new(Arc::clone(obs::global())),
+            trace_ctx: obs::TraceCtx::NONE,
+            traverse: None,
         })
     }
 
@@ -210,6 +231,20 @@ impl<'a> GraphSender<'a> {
     pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
         self.metrics = SenderMetrics::new(registry);
         self
+    }
+
+    /// Attaches this stream's spans (traversal per root) to `ctx`.
+    /// Without this the sender emits no spans at all.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: obs::TraceCtx) -> Self {
+        self.trace_ctx = ctx;
+        self
+    }
+
+    /// The trace context this stream's spans attach to (for carriers
+    /// that propagate it on the wire).
+    pub fn trace_ctx(&self) -> obs::TraceCtx {
+        self.trace_ctx
     }
 
     /// Draws chunk backings from `pool` instead of allocating each one,
@@ -448,9 +483,54 @@ impl<'a> GraphSender<'a> {
     /// a top mark (or a backward reference if this root already went out in
     /// this phase), then drains the BFS queue.
     ///
+    /// When traced, consecutive roots accumulate into one open traverse
+    /// burst; [`GraphSender::take_ready_chunks`] and
+    /// [`GraphSender::finish`] close it, so traverse spans scale with
+    /// flushed chunks rather than with object count.
+    ///
     /// # Errors
     /// Heap/registry errors.
     pub fn write_root(&mut self, root: Addr) -> Result<()> {
+        if self.trace_ctx.is_none() {
+            return self.write_root_inner(root);
+        }
+        if self.traverse.is_none() {
+            self.traverse = Some(TraverseBurst {
+                start_ns: self.metrics.registry.tracer().now_ns(),
+                roots: 0,
+                objects_before: self.stats.objects,
+                bytes_before: self.out.total_bytes(),
+                cas_before: self.stats.cas_conflicts,
+            });
+        }
+        if let Some(b) = self.traverse.as_mut() {
+            b.roots += 1;
+        }
+        self.write_root_inner(root)
+    }
+
+    /// Publishes the open traverse-burst span, ending now.
+    fn close_traverse_burst(&mut self) {
+        let Some(b) = self.traverse.take() else {
+            return;
+        };
+        let tracer = self.metrics.registry.tracer();
+        let dur = tracer.now_ns().saturating_sub(b.start_ns);
+        tracer.record_closed(
+            obs::names::TRACE_SENDER_TRAVERSE,
+            self.trace_ctx,
+            &self.vm.name,
+            dur,
+            &[
+                ("roots", b.roots),
+                ("objects", self.stats.objects - b.objects_before),
+                ("bytes", self.out.total_bytes() - b.bytes_before),
+                ("cas_conflicts", self.stats.cas_conflicts - b.cas_before),
+            ],
+        );
+    }
+
+    fn write_root_inner(&mut self, root: Addr) -> Result<()> {
         if root.is_null() {
             return Err(Error::NullRoot);
         }
@@ -476,6 +556,7 @@ impl<'a> GraphSender<'a> {
 
     /// Completes the stream.
     pub fn finish(mut self) -> StreamOut {
+        self.close_traverse_burst();
         self.stats.total_bytes = self.out.total_bytes();
         self.metrics.bytes_cloned.add(self.stats.total_bytes);
         let chunks = self.out.finish();
@@ -534,6 +615,10 @@ impl<'a> GraphSender<'a> {
     /// transfer overlaps with the traversal, §3.2).
     pub fn take_ready_chunks(&mut self) -> Vec<Vec<u8>> {
         let chunks = self.out.take_ready_chunks();
+        if !chunks.is_empty() {
+            // A chunk boundary ends the current traverse burst.
+            self.close_traverse_burst();
+        }
         for c in &chunks {
             self.note_chunk_sent(c.len());
         }
@@ -551,6 +636,17 @@ impl<'a> GraphSender<'a> {
     /// The receiver object format this sender is writing for.
     pub fn receiver_spec(&self) -> LayoutSpec {
         self.cfg.receiver_spec
+    }
+
+    /// The registry this sender reports into (carriers emit their
+    /// chunk-send spans through the same tracer).
+    pub(crate) fn registry(&self) -> &Arc<obs::Registry> {
+        &self.metrics.registry
+    }
+
+    /// The sending VM's node name (span labeling).
+    pub(crate) fn node_name(&self) -> &str {
+        &self.vm.name
     }
 }
 

@@ -72,6 +72,19 @@ impl ShuffleController {
         obs::global().counter(obs::names::SHUFFLE_STREAMS_ALLOCATED).inc();
         (self.stream_counter.fetch_add(1, Ordering::AcqRel) % 0xfffe) as u16 + 1
     }
+
+    /// Allocates a per-transfer trace context under `parent` (a stage
+    /// root, or [`obs::TraceCtx::NONE`] for a standalone transfer).
+    /// Sender, wire, receiver, and GC spans of the transfer all stitch
+    /// under the returned context. [`obs::TraceCtx::NONE`] while tracing
+    /// is disabled, which keeps the whole path span-free.
+    pub fn begin_transfer(&self, parent: obs::TraceCtx) -> obs::TraceCtx {
+        if parent.is_none() {
+            obs::global().tracer().new_trace()
+        } else {
+            parent
+        }
+    }
 }
 
 /// Zeroes every `baddr` word in the heap — required when the one-byte
@@ -191,6 +204,15 @@ impl<'a> SkywayObjectOutputStream<'a> {
         self
     }
 
+    /// Attaches the stream to a transfer trace context (see
+    /// [`ShuffleController::begin_transfer`]); wire carriers propagate it
+    /// in the frame header.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: obs::TraceCtx) -> Self {
+        self.sender = self.sender.with_trace(ctx);
+        self
+    }
+
     /// Transfers the object graph rooted at `root` — the drop-in
     /// counterpart of `stream.writeObject(o)`.
     ///
@@ -236,6 +258,14 @@ impl<'a> SkywayObjectInputStream<'a> {
     #[must_use]
     pub fn with_metrics(mut self, registry: std::sync::Arc<obs::Registry>) -> Self {
         self.receiver = self.receiver.with_metrics(registry);
+        self
+    }
+
+    /// Re-attaches a transfer trace context on the receiving side (wire
+    /// carriers do this automatically from traced frame headers).
+    #[must_use]
+    pub fn with_trace(mut self, ctx: obs::TraceCtx) -> Self {
+        self.receiver = self.receiver.with_trace(ctx);
         self
     }
 

@@ -136,6 +136,15 @@ impl Vm {
             ns: pause_ns,
             promoted_bytes,
         });
+        // Attribute the pause to the transfer that last touched this
+        // heap (inert unless tracing is on and a context was attached).
+        reg.tracer().record_closed(
+            obs::names::TRACE_GC_PAUSE,
+            self.trace_ctx.get(),
+            &self.name,
+            pause_ns,
+            &[("full", u64::from(full)), ("promoted_bytes", promoted_bytes)],
+        );
     }
 
     /// Copies one young object out of the collected region, leaving a

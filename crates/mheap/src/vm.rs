@@ -87,6 +87,11 @@ pub struct Vm {
     pub stats: VmStats,
     /// Where GC metrics and flight-recorder events are reported.
     pub(crate) metrics: Arc<obs::Registry>,
+    /// Trace context of the transfer that last touched this heap, so GC
+    /// pauses can be attributed to the task that caused the allocation
+    /// (the Yak/Broom diagnostic). Left in place after a transfer
+    /// finishes: a later pause is still that transfer's garbage.
+    pub(crate) trace_ctx: obs::TraceCtxCell,
 }
 
 impl std::fmt::Debug for Vm {
@@ -120,6 +125,7 @@ impl Vm {
             temp_roots: Vec::new(),
             stats: VmStats::default(),
             metrics: Arc::clone(obs::global()),
+            trace_ctx: obs::TraceCtxCell::default(),
         })
     }
 
@@ -129,6 +135,17 @@ impl Vm {
     pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
         self.metrics = registry;
         self
+    }
+
+    /// Attributes subsequent GC pauses to `ctx` (the transfer currently
+    /// allocating into this heap). See [`Vm::trace_ctx`].
+    pub fn set_trace_ctx(&self, ctx: obs::TraceCtx) {
+        self.trace_ctx.set(ctx);
+    }
+
+    /// The trace context GC pauses are currently attributed to.
+    pub fn trace_ctx(&self) -> obs::TraceCtx {
+        self.trace_ctx.get()
     }
 
     /// Boots a VM with a default-sized heap.

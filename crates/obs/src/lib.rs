@@ -21,10 +21,15 @@
 mod metrics;
 mod recorder;
 mod snapshot;
+mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, ScopedTimer, HISTOGRAM_BUCKETS};
 pub use recorder::{Event, FlightRecorder, TimedEvent};
 pub use snapshot::{HistogramSnapshot, ProfileSection, Snapshot};
+pub use trace::{
+    chrome_trace_json, critical_path_summary, ActiveSpan, Span, SpanBuffer, TraceCtx, TraceCtxCell,
+    Tracer, DEFAULT_SPAN_CAPACITY,
+};
 
 /// Canonical dotted names for cross-crate metrics, so producers and the
 /// dashboards/tests that read snapshots cannot drift apart. Components
@@ -95,6 +100,38 @@ pub mod names {
     pub const GC_PROMOTED_BYTES: &str = "mheap.gc.promoted_bytes";
     /// Counter: card-table cards scanned by minor collections.
     pub const GC_CARDS_SCANNED: &str = "mheap.gc.cards_scanned";
+
+    /// Counter: flight-recorder events evicted before capture (ring
+    /// full). Injected into every snapshot's counter section.
+    pub const OBS_EVENTS_DROPPED: &str = "skyway.obs.events_dropped";
+    /// Counter: trace spans discarded because the span buffer's lifetime
+    /// budget ran out. Injected into every snapshot's counter section.
+    pub const OBS_SPANS_DROPPED: &str = "skyway.obs.spans_dropped";
+
+    /// Span: one sparklite stage (shuffle) — the per-stage trace root.
+    pub const TRACE_STAGE: &str = "trace.stage";
+    /// Span: one heap-to-heap transfer (sender, wire, receiver, GC spans
+    /// all stitch under this root's trace id).
+    pub const TRACE_TRANSFER: &str = "trace.transfer";
+    /// Span: one sender traversal burst — the closure traversals feeding
+    /// one flushed chunk (or the stream tail); the `roots` annotation
+    /// counts the `writeObject` calls it covers.
+    pub const TRACE_SENDER_TRAVERSE: &str = "trace.sender.traverse";
+    /// Span: sealing + handing one chunk to the carrier.
+    pub const TRACE_SENDER_CHUNK_SEND: &str = "trace.sender.chunk_send";
+    /// Span (simulated clock): one chunk occupying the network link.
+    pub const TRACE_LINK_XMIT: &str = "trace.link.xmit";
+    /// Span: absolutizing one absorbed chunk on the receiver.
+    pub const TRACE_RECEIVER_CHUNK_ABSORB: &str = "trace.receiver.chunk_absorb";
+    /// Span: draining deferred cross-chunk ref/root fixups.
+    pub const TRACE_RECEIVER_FIXUP: &str = "trace.receiver.fixup";
+    /// Span: batch-dirtying card-table cards for absorbed objects.
+    pub const TRACE_RECEIVER_CARD_DIRTY: &str = "trace.receiver.card_dirty";
+    /// Span: loading a class on demand for an unknown incoming tID.
+    pub const TRACE_REGISTRY_CLASS_LOAD: &str = "trace.registry.class_load";
+    /// Span: one GC pause, attributed to the transfer that last touched
+    /// the collecting VM's heap.
+    pub const TRACE_GC_PAUSE: &str = "trace.gc.pause";
 }
 
 use std::collections::BTreeMap;
@@ -118,6 +155,7 @@ pub struct Registry {
     histograms: MetricMap<Histogram>,
     profiles: RwLock<BTreeMap<String, ProfileSection>>,
     recorder: FlightRecorder,
+    tracer: Tracer,
 }
 
 impl Default for Registry {
@@ -140,6 +178,7 @@ impl Registry {
             histograms: RwLock::new(BTreeMap::new()),
             profiles: RwLock::new(BTreeMap::new()),
             recorder: FlightRecorder::new(capacity),
+            tracer: Tracer::default(),
         }
     }
 
@@ -183,6 +222,11 @@ impl Registry {
         &self.recorder
     }
 
+    /// The span tracer (disabled until [`Tracer::set_enabled`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Attaches (or replaces) a named profile ledger so it appears in
     /// snapshots alongside the metrics.
     pub fn put_profile(&self, label: &str, section: ProfileSection) {
@@ -190,14 +234,21 @@ impl Registry {
     }
 
     /// Captures everything into an owned, serializable [`Snapshot`].
+    ///
+    /// The loss counters [`names::OBS_EVENTS_DROPPED`] and
+    /// [`names::OBS_SPANS_DROPPED`] are injected into the counter
+    /// section, so "did we silently lose telemetry?" is answerable from
+    /// every snapshot (JSON and text table alike).
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self
+        let mut counters: BTreeMap<String, u64> = self
             .counters
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        counters.insert(names::OBS_EVENTS_DROPPED.to_owned(), self.recorder.dropped());
+        counters.insert(names::OBS_SPANS_DROPPED.to_owned(), self.tracer.dropped());
         let gauges = self
             .gauges
             .read()
@@ -237,6 +288,7 @@ impl Registry {
         }
         self.profiles.write().unwrap_or_else(|e| e.into_inner()).clear();
         self.recorder.clear();
+        self.tracer.clear();
     }
 }
 
@@ -277,6 +329,29 @@ mod tests {
         assert_eq!(s.profiles["run"].ser_ns, 5);
         assert_eq!(s.events.len(), 1);
         assert_eq!(s.events_dropped, 0);
+    }
+
+    #[test]
+    fn snapshot_injects_loss_counters() {
+        let r = Registry::with_event_capacity(1);
+        r.record(Event::Marker { label: "a".into() });
+        r.record(Event::Marker { label: "b".into() });
+        let s = r.snapshot();
+        assert_eq!(s.counter(names::OBS_EVENTS_DROPPED), 1, "ring of 1 evicted one event");
+        assert_eq!(s.counter(names::OBS_SPANS_DROPPED), 0);
+        assert_eq!(s.events_dropped, 1);
+        assert!(s.to_string().contains(names::OBS_EVENTS_DROPPED), "text table shows the loss");
+    }
+
+    #[test]
+    fn reset_clears_tracer_spans() {
+        let r = Registry::new();
+        r.tracer().set_enabled(true);
+        let ctx = r.tracer().new_trace();
+        r.tracer().start(names::TRACE_TRANSFER, ctx, "n").finish();
+        assert_eq!(r.tracer().spans().len(), 1);
+        r.reset();
+        assert!(r.tracer().spans().is_empty());
     }
 
     #[test]

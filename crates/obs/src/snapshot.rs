@@ -26,6 +26,8 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
+    /// Estimated 99.9th percentile (tail of the log₂ buckets).
+    pub p999: u64,
 }
 
 impl HistogramSnapshot {
@@ -39,6 +41,7 @@ impl HistogramSnapshot {
             p50: h.percentile(50.0),
             p95: h.percentile(95.0),
             p99: h.percentile(99.0),
+            p999: h.percentile(99.9),
         }
     }
 }
@@ -132,14 +135,14 @@ impl fmt::Display for Snapshot {
             writeln!(f, "-- histograms {:-<46}", "")?;
             writeln!(
                 f,
-                "{:<36} {:>8} {:>10} {:>10} {:>10} {:>10}",
-                "name", "count", "p50", "p95", "p99", "max"
+                "{:<36} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "p50", "p95", "p99", "p99.9", "max"
             )?;
             for (name, h) in &self.histograms {
                 writeln!(
                     f,
-                    "{:<36} {:>8} {:>10} {:>10} {:>10} {:>10}",
-                    name, h.count, h.p50, h.p95, h.p99, h.max
+                    "{:<36} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    name, h.count, h.p50, h.p95, h.p99, h.p999, h.max
                 )?;
             }
         }
@@ -189,7 +192,7 @@ mod tests {
         s.gauges.insert("g".into(), -1);
         s.histograms.insert(
             "h".into(),
-            HistogramSnapshot { count: 1, sum: 5, min: 5, max: 5, p50: 5, p95: 5, p99: 5 },
+            HistogramSnapshot { count: 1, sum: 5, min: 5, max: 5, p50: 5, p95: 5, p99: 5, p999: 5 },
         );
         s.profiles.insert("run".into(), ProfileSection::default());
         s.events.push(TimedEvent { seq: 0, ts_ns: 1, event: Event::Marker { label: "x".into() } });

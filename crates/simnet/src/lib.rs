@@ -29,7 +29,7 @@ pub mod link;
 pub mod profile;
 
 pub use cluster::{Cluster, NodeId, SimConfig};
-pub use link::LinkClock;
+pub use link::{LinkClock, LinkXmit};
 pub use profile::{BreakdownRow, Category, Profile};
 
 /// Errors produced by the cluster fabric.

@@ -42,11 +42,22 @@ impl LinkClock {
     /// Schedules a chunk of `bytes` that becomes ready at `ready_ns`.
     /// Returns its arrival time at the receiver.
     pub fn send(&mut self, ready_ns: u64, bytes: u64) -> u64 {
+        self.send_traced(ready_ns, bytes).arrival_ns
+    }
+
+    /// Like [`LinkClock::send`], but also reports the wire-occupancy
+    /// interval so callers can emit a simulated-clock trace span for the
+    /// transmission.
+    pub fn send_traced(&mut self, ready_ns: u64, bytes: u64) -> LinkXmit {
         let start = self.free_at_ns.max(ready_ns);
         let tx = bytes.saturating_mul(1_000_000_000) / self.bandwidth_bps;
         self.free_at_ns = start.saturating_add(tx);
         self.busy_ns += tx;
-        self.free_at_ns.saturating_add(self.latency_ns)
+        LinkXmit {
+            start_ns: start,
+            end_ns: self.free_at_ns,
+            arrival_ns: self.free_at_ns.saturating_add(self.latency_ns),
+        }
     }
 
     /// When the link next becomes free.
@@ -58,6 +69,18 @@ impl LinkClock {
     pub fn busy_ns(&self) -> u64 {
         self.busy_ns
     }
+}
+
+/// One scheduled transmission on the simulated timeline: when the chunk
+/// occupied the wire and when it arrived at the far end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkXmit {
+    /// Wire occupancy begins (chunk and link both available).
+    pub start_ns: u64,
+    /// Wire occupancy ends (transmission complete, pre-latency).
+    pub end_ns: u64,
+    /// Arrival at the receiver (`end_ns` + one-way latency).
+    pub arrival_ns: u64,
 }
 
 #[cfg(test)]
@@ -88,6 +111,16 @@ mod tests {
         // Ready only at t=500, link free since t=100: starts at 500.
         assert_eq!(l.send(500, 100), 650);
         assert_eq!(l.free_at(), 600);
+    }
+
+    #[test]
+    fn traced_send_reports_the_occupancy_interval() {
+        let mut l = LinkClock::new(&cfg());
+        assert_eq!(l.send(0, 100), 150);
+        // Ready at t=50 but the link is busy until t=100.
+        let x = l.send_traced(50, 100);
+        assert_eq!(x, LinkXmit { start_ns: 100, end_ns: 200, arrival_ns: 250 });
+        assert_eq!(l.busy_ns(), 200);
     }
 
     #[test]

@@ -522,6 +522,21 @@ impl SparkCluster {
         let seq = self.shuffle_seq;
         let w = self.n_workers();
 
+        // One stage root span per shuffle: every cross-node transfer of
+        // this stage opens its `trace.transfer` root under this context,
+        // so a whole stage reads as one tree in the exported trace. Inert
+        // (and free) while tracing is disabled.
+        let tracer = obs::global().tracer();
+        let mut stage_span = if tracer.enabled() {
+            Some(tracer.start(obs::names::TRACE_STAGE, tracer.new_trace(), "driver"))
+        } else {
+            None
+        };
+        if let Some(s) = stage_span.as_mut() {
+            s.annotate("shuffle_seq", seq);
+        }
+        let stage_ctx = stage_span.as_ref().map_or(obs::TraceCtx::NONE, obs::ActiveSpan::ctx);
+
         // shuffleStart (§3.3): new phase on every node's controller; scrub
         // baddr words when the one-byte sID wraps.
         if self.skyway_phases {
@@ -580,9 +595,12 @@ impl SparkCluster {
                         // overlap-aware stream schedule.
                         let sid = self.controllers[node.0].sid();
                         let stream = self.controllers[node.0].next_stream();
+                        let ctx = self.controllers[node.0].begin_transfer(stage_ctx);
                         let (s_vm, d_vm) = Self::vm_pair(&mut self.vms, node.0, dst.0);
                         let (got, report) = engine
-                            .transfer(s_vm, d_vm, &self.dir, node, dst, sid, stream, &roots, None)
+                            .transfer_with_trace(
+                                s_vm, d_vm, &self.dir, node, dst, sid, stream, &roots, None, ctx,
+                            )
                             .map_err(Error::Skyway)?;
                         let lh = dst_lists.as_ref().expect("pipelined mode has lists")[dst_idx];
                         adopt_roots(d_vm, &got, lh)?;

@@ -26,9 +26,9 @@
 //!   scopes; cycles are potential deadlocks, and holding a guard across a
 //!   blocking channel `send`/`recv` is flagged (`guard-across-send`).
 //! * `metric-literal` + `dead-metric` — **registry consistency.** Every
-//!   `"skyway.*"` / `"mheap.*"` string literal outside `crates/obs` must
-//!   be an `obs::names` const reference, and every const in `obs::names`
-//!   must have at least one use site.
+//!   `"skyway.*"` / `"mheap.*"` metric literal and every `"trace.*"` span
+//!   name outside `crates/obs` must be an `obs::names` const reference,
+//!   and every const in `obs::names` must have at least one use site.
 //! * `fault-coverage` — every `HeapFault` variant appears in at least one
 //!   test, so no corruption class the verifier can report goes
 //!   unexercised.
@@ -63,7 +63,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("unsafe-safety", "every unsafe block/fn/impl carries a // SAFETY: comment"),
     ("panic", "no unwrap()/expect()/panic! in non-test code of crates/core and crates/mheap"),
     ("lock-order", "no lock-acquisition cycles; no guard held across a blocking channel send/recv"),
-    ("metric-literal", "metric name literals outside crates/obs must be obs::names consts"),
+    ("metric-literal", "metric/span name literals outside crates/obs must be obs::names consts"),
     ("dead-metric", "every obs::names const has at least one use site"),
     ("fault-coverage", "every HeapFault variant appears in at least one test"),
 ];
@@ -135,7 +135,7 @@ impl Config {
             ],
             lock_exempt: vec!["shims".into()],
             metric_exempt: vec!["crates/obs".into(), "crates/tidy".into()],
-            metric_prefixes: vec!["skyway.".into(), "mheap.".into()],
+            metric_prefixes: vec!["skyway.".into(), "mheap.".into(), "trace.".into()],
             names_file: Some("crates/obs/src/lib.rs".into()),
             fault_file: Some("crates/mheap/src/verify.rs".into()),
             allow: BTreeMap::new(),
@@ -158,7 +158,7 @@ impl Config {
             arith_paths: vec!["checked_arith.rs".into()],
             lock_exempt: vec![],
             metric_exempt: vec!["names.rs".into()],
-            metric_prefixes: vec!["skyway.".into(), "mheap.".into()],
+            metric_prefixes: vec!["skyway.".into(), "mheap.".into(), "trace.".into()],
             names_file: Some("names.rs".into()),
             fault_file: Some("faults.rs".into()),
             allow: BTreeMap::new(),

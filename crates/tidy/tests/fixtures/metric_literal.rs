@@ -1,9 +1,11 @@
-// Fixture: metric-literal must fire on lines 5 and 6, not on the const
-// reference or the unrelated literal.
+// Fixture: metric-literal must fire on lines 5, 6, and 7 — metric names
+// and span names alike — not on const references or unrelated literals.
 
-pub fn bad(reg: &Registry) {
+pub fn bad(reg: &Registry, tracer: &Tracer, ctx: TraceCtx) {
     reg.counter("skyway.fixture.bad_counter").inc();
     reg.gauge("mheap.fixture.bad_gauge").set(1);
+    let _ = tracer.start("trace.fixture.bad_span", ctx, "node");
     reg.counter(names::GOOD).inc();
+    let _ = tracer.start(names::FIXTURE_SPAN_USED, ctx, "node");
     reg.counter("unrelated.name").inc();
 }

@@ -1,6 +1,8 @@
 // Fixture names registry: dead-metric must fire on FIXTURE_DEAD (line 5)
-// and not on FIXTURE_USED (referenced from names_user.rs).
+// and FIXTURE_SPAN_DEAD (line 7), not on the consts with use sites.
 
 pub const FIXTURE_USED: &str = "skyway.fixture.used";
 pub const FIXTURE_DEAD: &str = "skyway.fixture.dead";
+pub const FIXTURE_SPAN_USED: &str = "trace.fixture.span_used";
+pub const FIXTURE_SPAN_DEAD: &str = "trace.fixture.span_dead";
 pub const NOT_A_METRIC: &str = "plain string, exempt by prefix";

@@ -58,16 +58,20 @@ fn metric_literal_fires_per_literal() {
     let vs = fixture_violations();
     assert_fired(&vs, "metric-literal", "metric_literal.rs", 5);
     assert_fired(&vs, "metric-literal", "metric_literal.rs", 6);
+    // Span names are covered by the same rule via the "trace." prefix.
+    assert_fired(&vs, "metric-literal", "metric_literal.rs", 7);
     let count =
         vs.iter().filter(|v| v.rule == "metric-literal" && v.file == "metric_literal.rs").count();
-    assert_eq!(count, 2, "{vs:#?}");
+    assert_eq!(count, 3, "{vs:#?}");
 }
 
 #[test]
 fn dead_metric_fires_on_unused_const_only() {
     let vs = fixture_violations();
     assert_fired(&vs, "dead-metric", "names.rs", 5);
-    assert_eq!(vs.iter().filter(|v| v.rule == "dead-metric").count(), 1, "{vs:#?}");
+    // An unused span-name const is just as dead as an unused metric const.
+    assert_fired(&vs, "dead-metric", "names.rs", 7);
+    assert_eq!(vs.iter().filter(|v| v.rule == "dead-metric").count(), 2, "{vs:#?}");
 }
 
 #[test]

@@ -307,11 +307,35 @@ impl<'a> Parser<'a> {
                         c => return Err(Error(format!("bad escape `\\{}`", c as char))),
                     }
                 }
+                b if b < 0x80 => {
+                    // ASCII fast path: consume a run of plain bytes at once
+                    // (validating the whole remaining input per character
+                    // made parsing quadratic on large documents).
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\' || b >= 0x80)
+                        .unwrap_or(rest.len());
+                    s.push_str(
+                        std::str::from_utf8(&rest[..run])
+                            .map_err(|_| Error("invalid UTF-8".into()))?,
+                    );
+                    self.pos += run;
+                }
                 _ => {
-                    // Consume one UTF-8 character.
-                    let tail =
-                        std::str::from_utf8(rest).map_err(|_| Error("invalid UTF-8".into()))?;
-                    let c = tail.chars().next().expect("nonempty");
+                    // Consume one multi-byte UTF-8 character (at most 4
+                    // bytes — never re-validate the whole tail).
+                    let take = rest.len().min(4);
+                    let c = match std::str::from_utf8(&rest[..take]) {
+                        Ok(t) => t.chars().next().expect("nonempty"),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("nonempty")
+                        }
+                        Err(_) => return Err(Error("invalid UTF-8".into())),
+                    };
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
