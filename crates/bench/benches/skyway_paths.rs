@@ -9,7 +9,8 @@ use serlab::jsbs::{build_dataset, define_jsbs_classes};
 use serlab::Serializer;
 use simnet::{NodeId, Profile};
 use skyway::{
-    send_roots_parallel, SendConfig, ShuffleController, SkywaySerializer, Tracking, TypeDirectory,
+    send_roots_parallel, ParallelConfig, SendConfig, ShuffleController, SkywaySerializer, Tracking,
+    TypeDirectory,
 };
 
 const N_RECORDS: usize = 500;
@@ -93,6 +94,7 @@ fn bench_parallel_send(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_send_500_records");
     for threads in [1usize, 2, 4] {
         g.bench_function(format!("{threads}_threads"), |b| {
+            let par = ParallelConfig::with_workers(threads);
             b.iter(|| {
                 controller.start_phase();
                 send_roots_parallel(
@@ -100,8 +102,9 @@ fn bench_parallel_send(c: &mut Criterion) {
                     &e.dir,
                     NodeId(0),
                     controller.sid(),
+                    controller.next_stream_block(threads as u16),
                     &e.roots,
-                    threads,
+                    &par,
                     SendConfig::for_vm(&e.vm),
                 )
                 .unwrap()

@@ -4,10 +4,12 @@
 //! Checks: the document is an object with a `traceEvents` array; every
 //! complete (`ph == "X"`) event carries `name`/`ts`/`dur`/`pid`/`tid` and
 //! `args` with `trace_id`/`span_id`/`parent`; no span references a parent
-//! id that is neither 0 nor another span of the same trace (orphans); and
+//! id that is neither 0 nor another span of the same trace (orphans);
 //! within each `(pid, tid)` lane timestamps are monotonically
-//! non-decreasing. Exits non-zero with a description on the first
-//! violation.
+//! non-decreasing; and every event tagged with a worker lane
+//! (`args.lane`, emitted by parallel-transfer workers) sits on its own
+//! Perfetto row (`tid == 2 + lane` — tid 1 is the main lane, tid 2 the GC
+//! row). Exits non-zero with a description on the first violation.
 //!
 //! Usage: `tracecheck <trace.json>`
 
@@ -76,6 +78,19 @@ fn check(text: &str) -> Result<String, String> {
         }
         if !spans_by_trace.entry(trace_id).or_default().insert(span_id) {
             return Err(format!("event {i}: duplicate span id {span_id} in trace {trace_id}"));
+        }
+        // Worker-lane events must render on the lane's own row.
+        if let Some(lane) = field(args, "lane").and_then(as_u64) {
+            if lane == 0 {
+                return Err(format!("event {i}: args.lane present but zero (main lane)"));
+            }
+            let tid = field(ev, "tid").and_then(as_u64).unwrap_or(0);
+            if tid != 2 + lane {
+                return Err(format!(
+                    "event {i}: worker lane {lane} on tid {tid} (expected {})",
+                    2 + lane
+                ));
+            }
         }
     }
     if complete == 0 {

@@ -75,10 +75,15 @@ pub use io::{
     SkywayFileInputStream, SkywayFileOutputStream, SkywaySocketInputStream,
     SkywaySocketOutputStream,
 };
-pub use pipeline::{sequential_transfer, PipelineConfig, PipelineEngine, PipelineReport};
-pub use receiver::{GraphReceiver, ReceiveStats};
+pub use pipeline::{
+    sequential_transfer, PipelineConfig, PipelineEngine, PipelineReport, TransferMode,
+};
+pub use receiver::{GraphReceiver, ReceiveStats, StreamAbsorber, StreamIn};
 pub use registry::{RegistryStats, TypeDirectory};
-pub use sender::{send_roots_parallel, GraphSender, SendConfig, SendStats, StreamOut, Tracking};
+pub use sender::{
+    send_roots_parallel, GraphSender, ParallelConfig, ParallelSend, SendConfig, SendStats,
+    StreamOut, Tracking,
+};
 pub use serializer::SkywaySerializer;
 pub use stream::{
     scrub_baddrs, ShuffleController, SkywayObjectInputStream, SkywayObjectOutputStream,

@@ -13,6 +13,14 @@
 //! * top marks identify the root objects without re-traversal;
 //! * card-table entries covering the buffers are dirtied so the collector
 //!   accounts for the new pointers.
+//!
+//! Two front ends share one absorption core: [`GraphReceiver`] owns a
+//! `&mut Vm` and completes a stream end to end (allocation, scan, card
+//! batch, hooks), while [`StreamAbsorber`] runs the same scan over a
+//! shared `&Vm` — N of them absorb concurrent streams of one parallel
+//! transfer, each allocating input buffers through the heap's shared
+//! old-generation window, and hand their heap-mutating leftovers (card
+//! spans, update hooks) back to the coordinator as a [`StreamIn`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -63,6 +71,18 @@ pub struct ReceiveStats {
     pub cards_dirtied: u64,
 }
 
+impl ReceiveStats {
+    /// Accumulates another stream's statistics (parallel-stream merge).
+    pub fn merge(&mut self, o: &ReceiveStats) {
+        self.objects += o.objects;
+        self.bytes += o.bytes;
+        self.chunks += o.chunks;
+        self.classes_loaded += o.classes_loaded;
+        self.ref_fixups += o.ref_fixups;
+        self.cards_dirtied += o.cards_dirtied;
+    }
+}
+
 /// Cached observability handles for the receiver's linear scan.
 #[derive(Debug)]
 struct ReceiverMetrics {
@@ -91,16 +111,12 @@ impl ReceiverMetrics {
     }
 }
 
-/// The receiver side of one stream: accumulates chunks and absolutizes
-/// them — either in one pass at [`GraphReceiver::finish`] (the sequential
-/// path) or chunk by chunk as they arrive via
-/// [`GraphReceiver::absorb_ready`] (the pipelined path). Incremental
-/// absorption resolves every intra-chunk and backward reference on the
-/// spot; forward references into chunks that have not arrived yet go onto
-/// a short fixup list drained in `finish`.
-pub struct GraphReceiver<'a> {
-    vm: &'a mut Vm,
-    dir: &'a TypeDirectory,
+/// The heap-independent absorption state of one stream: chunk map, caches,
+/// fixup lists, statistics. Every method takes `vm: &Vm` — the scan reads
+/// and rewrites input-buffer words through the arena's interior
+/// mutability, so concurrent absorbers over disjoint buffers never alias.
+struct AbsorbCore<'d> {
+    dir: &'d TypeDirectory,
     node: NodeId,
     chunks: Vec<ChunkMap>,
     next_logical: u64,
@@ -119,7 +135,7 @@ pub struct GraphReceiver<'a> {
     /// `roots`, logical target).
     root_fixups: Vec<(usize, u64)>,
     /// One absorbed range per chunk; cards are dirtied in one batch at
-    /// `finish` instead of object by object during absorption.
+    /// the end instead of object by object during absorption.
     card_spans: Vec<(Addr, u64)>,
     /// A top mark at the very end of a chunk applies to the first object
     /// of the next chunk.
@@ -128,23 +144,13 @@ pub struct GraphReceiver<'a> {
     /// Trace context re-attached from the wire (or directly by the
     /// pipeline); [`obs::TraceCtx::NONE`] keeps every span inert.
     trace_ctx: obs::TraceCtx,
+    /// Trace lane (0 = main; parallel absorber *w* records on lane `w+1`).
+    lane: u32,
 }
 
-impl<'a> std::fmt::Debug for GraphReceiver<'a> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GraphReceiver")
-            .field("node", &self.node)
-            .field("chunks", &self.chunks.len())
-            .field("bytes", &self.next_logical)
-            .finish()
-    }
-}
-
-impl<'a> GraphReceiver<'a> {
-    /// Starts receiving a stream into `vm` on `node`.
-    pub fn new(vm: &'a mut Vm, dir: &'a TypeDirectory, node: NodeId) -> Self {
-        GraphReceiver {
-            vm,
+impl<'d> AbsorbCore<'d> {
+    fn new(dir: &'d TypeDirectory, node: NodeId) -> Self {
+        AbsorbCore {
             dir,
             node,
             chunks: Vec::new(),
@@ -161,40 +167,19 @@ impl<'a> GraphReceiver<'a> {
             next_is_root: false,
             pending_hooks: Vec::new(),
             trace_ctx: obs::TraceCtx::NONE,
+            lane: 0,
         }
     }
 
-    /// Reports into `registry` instead of the process-wide default
-    /// (scoped registries keep test assertions exact).
-    #[must_use]
-    pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
-        self.metrics = ReceiverMetrics::new(registry);
-        self
-    }
-
-    /// Re-attaches the sender's trace context so receiver-side spans
-    /// (absorb, fixup, card dirtying) and subsequent GC pauses on this
-    /// VM stitch into the same transfer trace.
-    #[must_use]
-    pub fn with_trace(mut self, ctx: obs::TraceCtx) -> Self {
-        self.trace_ctx = ctx;
-        self.vm.set_trace_ctx(ctx);
-        self
-    }
-
-    /// Re-attaches a trace context mid-stream (wire carriers learn the
-    /// context from the first traced frame, after construction).
-    pub fn attach_trace(&mut self, ctx: obs::TraceCtx) {
-        if !ctx.is_none() {
-            self.trace_ctx = ctx;
-            self.vm.set_trace_ctx(ctx);
-        }
-    }
-
-    fn facts_for_tid(&mut self, tid: u32, hooks: Option<&UpdateRegistry>) -> Result<&TidFacts> {
+    fn facts_for_tid(
+        &mut self,
+        vm: &Vm,
+        tid: u32,
+        hooks: Option<&UpdateRegistry>,
+    ) -> Result<&TidFacts> {
         if !self.facts_cache.contains_key(&tid) {
-            let kid = self.klass_for_tid(tid)?;
-            let k = self.vm.klasses().get(kid).map_err(Error::Heap)?;
+            let kid = self.klass_for_tid(vm, tid)?;
+            let k = vm.klasses().get(kid).map_err(Error::Heap)?;
             let facts = TidFacts {
                 klass_word: u64::from(kid.0),
                 kind: k.kind,
@@ -216,33 +201,15 @@ impl<'a> GraphReceiver<'a> {
         Ok(&self.facts_cache[&tid])
     }
 
-    /// Places one received chunk into a fresh old-generation input buffer.
-    /// Chunks must arrive in stream order (they do: links are FIFO).
-    ///
-    /// # Errors
-    /// [`mheap::Error::OldGenFull`] (wrapped) when the heap cannot host the
-    /// buffer; alignment errors for corrupt chunks.
-    pub fn push_chunk(&mut self, bytes: &[u8]) -> Result<()> {
-        if !bytes.len().is_multiple_of(8) {
-            return Err(Error::BadFrame(format!("chunk length {} not 8-aligned", bytes.len())));
-        }
-        if bytes.is_empty() {
-            return Ok(());
-        }
-        let base = self.vm.heap_mut().alloc_raw_old(bytes.len() as u64).map_err(Error::Heap)?;
-        self.vm.heap().arena().write_bytes(base.0, bytes).map_err(Error::Heap)?;
-        self.chunks.push(ChunkMap {
-            logical_start: self.next_logical,
-            base,
-            len: bytes.len() as u64,
-        });
-        self.next_logical += bytes.len() as u64;
+    /// Records a chunk already written at `base` into the chunk map.
+    fn note_chunk(&mut self, base: Addr, len: u64) {
+        self.chunks.push(ChunkMap { logical_start: self.next_logical, base, len });
+        self.next_logical += len;
         self.stats.chunks += 1;
-        self.stats.bytes += bytes.len() as u64;
+        self.stats.bytes += len;
         self.metrics.chunks.inc();
-        self.metrics.bytes.add(bytes.len() as u64);
-        self.metrics.chunk_bytes.record(bytes.len() as u64);
-        Ok(())
+        self.metrics.bytes.add(len);
+        self.metrics.chunk_bytes.record(len);
     }
 
     /// Translates a logical stream offset to an absolute heap address.
@@ -261,14 +228,14 @@ impl<'a> GraphReceiver<'a> {
 
     /// Rewrites one reference slot from a relative to an absolute address.
     /// A forward reference into a chunk that has not arrived yet is left
-    /// relative and queued on the fixup list for [`GraphReceiver::finish`].
-    fn absolutize_slot(&mut self, obj: Addr, off: u64) -> Result<()> {
+    /// relative and queued on the fixup list for the finish pass.
+    fn absolutize_slot(&mut self, vm: &Vm, obj: Addr, off: u64) -> Result<()> {
         let slot = obj.0 + off;
-        let v = self.vm.heap().arena().load_word(slot).map_err(Error::Heap)?;
+        let v = vm.heap().arena().load_word(slot).map_err(Error::Heap)?;
         self.stats.ref_fixups += 1;
         self.metrics.ref_fixups.inc();
         if v == 0 {
-            return self.vm.heap().arena().store_word(slot, Addr::NULL.0).map_err(Error::Heap);
+            return vm.heap().arena().store_word(slot, Addr::NULL.0).map_err(Error::Heap);
         }
         let logical = v - 1;
         if logical >= self.next_logical {
@@ -276,10 +243,10 @@ impl<'a> GraphReceiver<'a> {
             return Ok(());
         }
         let abs = self.translate(logical)?;
-        self.vm.heap().arena().store_word(slot, abs.0).map_err(Error::Heap)
+        vm.heap().arena().store_word(slot, abs.0).map_err(Error::Heap)
     }
 
-    fn klass_for_tid(&mut self, tid: u32) -> Result<KlassId> {
+    fn klass_for_tid(&mut self, vm: &Vm, tid: u32) -> Result<KlassId> {
         if let Some(&k) = self.tid_cache.get(&tid) {
             return Ok(k);
         }
@@ -288,11 +255,11 @@ impl<'a> GraphReceiver<'a> {
             tid,
             self.metrics.registry.tracer(),
             self.trace_ctx,
-            &self.vm.name,
+            &vm.name,
         )?;
-        let loaded_before = self.vm.klasses().len();
-        let kid = self.vm.load_class(&name).map_err(Error::Heap)?;
-        if self.vm.klasses().len() > loaded_before {
+        let loaded_before = vm.klasses().len();
+        let kid = vm.load_class(&name).map_err(Error::Heap)?;
+        if vm.klasses().len() > loaded_before {
             self.stats.classes_loaded += 1;
             self.metrics.classes_loaded.inc();
             self.metrics
@@ -301,7 +268,7 @@ impl<'a> GraphReceiver<'a> {
         }
         // Make sure the local klass knows its tid too (it may serve as a
         // sender later).
-        let k = self.vm.klasses().get(kid).map_err(Error::Heap)?;
+        let k = vm.klasses().get(kid).map_err(Error::Heap)?;
         self.dir.tid_for(self.node, &k)?;
         self.tid_cache.insert(tid, kid);
         Ok(kid)
@@ -311,38 +278,39 @@ impl<'a> GraphReceiver<'a> {
     /// pipelined receive path calls this after each arrival so absorption
     /// overlaps with the transfer of later chunks. Intra-chunk and
     /// backward references resolve immediately; forward references into
-    /// chunks that have not arrived yet are queued and drained by
-    /// [`GraphReceiver::finish`].
-    ///
-    /// # Errors
-    /// Corrupt-stream and heap errors.
-    pub fn absorb_ready(&mut self, hooks: Option<&UpdateRegistry>) -> Result<()> {
-        let spec = self.vm.spec();
+    /// chunks that have not arrived yet are queued for the finish pass.
+    fn absorb_ready(&mut self, vm: &Vm, hooks: Option<&UpdateRegistry>) -> Result<()> {
+        let spec = vm.spec();
         // Spans must not borrow `self` while the scan mutates it, so they
         // are anchored to a cloned registry handle (only when traced).
         let traced = if self.trace_ctx.is_none() {
             None
         } else {
-            Some((Arc::clone(&self.metrics.registry), self.vm.name.clone()))
+            Some((Arc::clone(&self.metrics.registry), vm.name.clone()))
         };
         while self.absorbed < self.chunks.len() {
             let c = self.chunks[self.absorbed];
             let mut span = traced.as_ref().map(|(reg, node)| {
-                reg.tracer().start(obs::names::TRACE_RECEIVER_CHUNK_ABSORB, self.trace_ctx, node)
+                reg.tracer().start_on(
+                    obs::names::TRACE_RECEIVER_CHUNK_ABSORB,
+                    self.trace_ctx,
+                    node,
+                    self.lane,
+                )
             });
             let objects_before = self.stats.objects;
             let mut at = c.base.0;
             let end = c.base.0 + c.len;
             while at < end {
-                let w = self.vm.heap().arena().load_word(at).map_err(Error::Heap)?;
+                let w = vm.heap().arena().load_word(at).map_err(Error::Heap)?;
                 if w == TOP_MARK {
                     self.next_is_root = true;
-                    self.vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
+                    vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
                     at += 8;
                     continue;
                 }
                 if w == TOP_REF {
-                    let l = self.vm.heap().arena().load_word(at + 8).map_err(Error::Heap)?;
+                    let l = vm.heap().arena().load_word(at + 8).map_err(Error::Heap)?;
                     if l == 0 {
                         return Err(Error::BadFrame("null top reference".into()));
                     }
@@ -354,8 +322,8 @@ impl<'a> GraphReceiver<'a> {
                         let r = self.translate(l - 1)?;
                         self.roots.push(r);
                     }
-                    self.vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
-                    self.vm.heap().arena().store_word(at + 8, FILLER_WORD).map_err(Error::Heap)?;
+                    vm.heap().arena().store_word(at, FILLER_WORD).map_err(Error::Heap)?;
+                    vm.heap().arena().store_word(at + 8, FILLER_WORD).map_err(Error::Heap)?;
                     at += 16;
                     continue;
                 }
@@ -366,20 +334,19 @@ impl<'a> GraphReceiver<'a> {
                 // An object: resolve its type, then absolutize.
                 let obj = Addr::from_raw(at);
                 let tid_word =
-                    self.vm.heap().arena().load_word(at + spec.klass_off()).map_err(Error::Heap)?;
+                    vm.heap().arena().load_word(at + spec.klass_off()).map_err(Error::Heap)?;
                 if tid_word > u64::from(u32::MAX) {
                     return Err(Error::BadFrame(format!("implausible tID {tid_word:#x}")));
                 }
-                let facts = self.facts_for_tid(tid_word as u32, hooks)?.clone();
-                self.vm
-                    .heap()
+                let facts = self.facts_for_tid(vm, tid_word as u32, hooks)?.clone();
+                vm.heap()
                     .arena()
                     .store_word(at + spec.klass_off(), facts.klass_word)
                     .map_err(Error::Heap)?;
                 // Mark words arrive sanitized; a forwarding bit here means
                 // the stream is corrupt (this is untrusted input, so it is
                 // a validation error, not an assertion).
-                if mark::is_forwarded(self.vm.heap().arena().load_word(at).map_err(Error::Heap)?) {
+                if mark::is_forwarded(vm.heap().arena().load_word(at).map_err(Error::Heap)?) {
                     return Err(Error::BadFrame(format!(
                         "object at logical {at:#x} carries a forwarding mark"
                     )));
@@ -387,7 +354,7 @@ impl<'a> GraphReceiver<'a> {
                 let size = match facts.kind {
                     KlassKind::Instance => facts.instance_size,
                     _ => {
-                        let len = self.vm.array_len(obj).map_err(Error::Heap)?;
+                        let len = vm.array_len(obj).map_err(Error::Heap)?;
                         // Checked arithmetic: a corrupted length must not
                         // overflow into a bogus small size.
                         let body = len
@@ -406,15 +373,16 @@ impl<'a> GraphReceiver<'a> {
                 // Absolutize reference slots.
                 match facts.kind {
                     KlassKind::RefArray => {
-                        let len = self.vm.array_len(obj).map_err(Error::Heap)?;
+                        let len = vm.array_len(obj).map_err(Error::Heap)?;
                         let base = spec.array_header();
                         for i in 0..len {
-                            self.absolutize_slot(obj, base + i * 8)?;
+                            self.absolutize_slot(vm, obj, base + i * 8)?;
                         }
                     }
                     KlassKind::Instance => {
                         for i in 0..facts.ref_offsets.len() {
                             self.absolutize_slot(
+                                vm,
                                 obj,
                                 self.facts_cache[&(tid_word as u32)].ref_offsets[i],
                             )?;
@@ -434,7 +402,7 @@ impl<'a> GraphReceiver<'a> {
                 at += size;
             }
             // New pointers now live in the old generation; the card table
-            // is updated in one batch at `finish` (no allocation — and
+            // is updated in one batch at the end (no allocation — and
             // therefore no GC — can happen before the roots are returned).
             self.card_spans.push((c.base, c.len));
             self.metrics.registry.record(obs::Event::ChunkAbsorbed {
@@ -451,10 +419,117 @@ impl<'a> GraphReceiver<'a> {
         Ok(())
     }
 
+    /// Drains this stream's own cross-chunk fixups — every chunk of the
+    /// stream has arrived, so any still-unresolved target is genuinely
+    /// dangling. Streams are self-contained (relative addresses never
+    /// cross streams), so each parallel absorber drains its own list.
+    fn drain_fixups(&mut self, vm: &Vm) -> Result<u64> {
+        let n = (self.ref_fixups.len() + self.root_fixups.len()) as u64;
+        for (slot, logical) in std::mem::take(&mut self.ref_fixups) {
+            let abs = self.translate(logical)?;
+            vm.heap().arena().store_word(slot, abs.0).map_err(Error::Heap)?;
+        }
+        for (idx, logical) in std::mem::take(&mut self.root_fixups) {
+            let abs = self.translate(logical)?;
+            self.roots[idx] = abs;
+        }
+        Ok(n)
+    }
+}
+
+/// The receiver side of one stream: accumulates chunks and absolutizes
+/// them — either in one pass at [`GraphReceiver::finish`] (the sequential
+/// path) or chunk by chunk as they arrive via
+/// [`GraphReceiver::absorb_ready`] (the pipelined path). Incremental
+/// absorption resolves every intra-chunk and backward reference on the
+/// spot; forward references into chunks that have not arrived yet go onto
+/// a short fixup list drained in `finish`.
+pub struct GraphReceiver<'a> {
+    vm: &'a mut Vm,
+    core: AbsorbCore<'a>,
+}
+
+impl<'a> std::fmt::Debug for GraphReceiver<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphReceiver")
+            .field("node", &self.core.node)
+            .field("chunks", &self.core.chunks.len())
+            .field("bytes", &self.core.next_logical)
+            .finish()
+    }
+}
+
+impl<'a> GraphReceiver<'a> {
+    /// Starts receiving a stream into `vm` on `node`.
+    pub fn new(vm: &'a mut Vm, dir: &'a TypeDirectory, node: NodeId) -> Self {
+        GraphReceiver { vm, core: AbsorbCore::new(dir, node) }
+    }
+
+    /// Reports into `registry` instead of the process-wide default
+    /// (scoped registries keep test assertions exact).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.core.metrics = ReceiverMetrics::new(registry);
+        self
+    }
+
+    /// Re-attaches the sender's trace context so receiver-side spans
+    /// (absorb, fixup, card dirtying) and subsequent GC pauses on this
+    /// VM stitch into the same transfer trace.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: obs::TraceCtx) -> Self {
+        self.core.trace_ctx = ctx;
+        self.vm.set_trace_ctx(ctx);
+        self
+    }
+
+    /// Re-attaches a trace context mid-stream (wire carriers learn the
+    /// context from the first traced frame, after construction).
+    pub fn attach_trace(&mut self, ctx: obs::TraceCtx) {
+        if !ctx.is_none() {
+            self.core.trace_ctx = ctx;
+            self.vm.set_trace_ctx(ctx);
+        }
+    }
+
+    /// Places one received chunk into a fresh old-generation input buffer.
+    /// Chunks must arrive in stream order (they do: links are FIFO).
+    ///
+    /// # Errors
+    /// [`mheap::Error::OldGenFull`] (wrapped) when the heap cannot host the
+    /// buffer; alignment errors for corrupt chunks.
+    pub fn push_chunk(&mut self, bytes: &[u8]) -> Result<()> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(Error::BadFrame(format!("chunk length {} not 8-aligned", bytes.len())));
+        }
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let base = self.vm.heap_mut().alloc_raw_old(bytes.len() as u64).map_err(Error::Heap)?;
+        self.vm.heap().arena().write_bytes(base.0, bytes).map_err(Error::Heap)?;
+        self.core.note_chunk(base, bytes.len() as u64);
+        Ok(())
+    }
+
+    #[cfg(test)]
+    fn translate(&self, logical: u64) -> Result<Addr> {
+        self.core.translate(logical)
+    }
+
+    /// Absolutizes every chunk placed so far but not yet absorbed (see
+    /// [`AbsorbCore::absorb_ready`] semantics described on
+    /// [`GraphReceiver`]).
+    ///
+    /// # Errors
+    /// Corrupt-stream and heap errors.
+    pub fn absorb_ready(&mut self, hooks: Option<&UpdateRegistry>) -> Result<()> {
+        self.core.absorb_ready(self.vm, hooks)
+    }
+
     /// Number of forward references still awaiting their target chunk
     /// (pipeline diagnostics).
     pub fn pending_fixups(&self) -> usize {
-        self.ref_fixups.len() + self.root_fixups.len()
+        self.core.ref_fixups.len() + self.core.root_fixups.len()
     }
 
     /// Completes the receive: absolutizes any chunks not yet absorbed,
@@ -468,48 +543,162 @@ impl<'a> GraphReceiver<'a> {
     /// # Errors
     /// Corrupt-stream and heap errors.
     pub fn finish(mut self, hooks: Option<&UpdateRegistry>) -> Result<(Vec<Addr>, ReceiveStats)> {
-        self.absorb_ready(hooks)?;
-        let traced = if self.trace_ctx.is_none() {
+        self.core.absorb_ready(self.vm, hooks)?;
+        let traced = if self.core.trace_ctx.is_none() {
             None
         } else {
-            Some((Arc::clone(&self.metrics.registry), self.vm.name.clone()))
+            Some((Arc::clone(&self.core.metrics.registry), self.vm.name.clone()))
         };
         // Cross-chunk forward references: every chunk has arrived now, so
         // any still-unresolved target is genuinely dangling.
         let mut fixup_span = traced.as_ref().map(|(reg, node)| {
-            reg.tracer().start(obs::names::TRACE_RECEIVER_FIXUP, self.trace_ctx, node)
+            reg.tracer().start(obs::names::TRACE_RECEIVER_FIXUP, self.core.trace_ctx, node)
         });
-        let n_fixups = (self.ref_fixups.len() + self.root_fixups.len()) as u64;
-        for (slot, logical) in std::mem::take(&mut self.ref_fixups) {
-            let abs = self.translate(logical)?;
-            self.vm.heap().arena().store_word(slot, abs.0).map_err(Error::Heap)?;
-        }
-        for (idx, logical) in std::mem::take(&mut self.root_fixups) {
-            let abs = self.translate(logical)?;
-            self.roots[idx] = abs;
-        }
+        let n_fixups = self.core.drain_fixups(self.vm)?;
         if let Some(s) = &mut fixup_span {
             s.annotate("fixups", n_fixups);
         }
         drop(fixup_span);
         // One batched card-table pass over all absorbed ranges: tell the GC.
         let mut card_span = traced.as_ref().map(|(reg, node)| {
-            reg.tracer().start(obs::names::TRACE_RECEIVER_CARD_DIRTY, self.trace_ctx, node)
+            reg.tracer().start(obs::names::TRACE_RECEIVER_CARD_DIRTY, self.core.trace_ctx, node)
         });
-        let cards = self.vm.heap_mut().dirty_card_batch(&self.card_spans);
-        self.stats.cards_dirtied += cards;
-        self.metrics.cards_dirtied.add(cards);
+        let cards = self.vm.heap_mut().dirty_card_batch(&self.core.card_spans);
+        self.core.stats.cards_dirtied += cards;
+        self.core.metrics.cards_dirtied.add(cards);
         if let Some(s) = &mut card_span {
             s.annotate("cards", cards);
         }
         drop(card_span);
         // Post-transfer field updates (§3.3 registerUpdate).
         if let Some(h) = hooks {
-            for (obj, idx) in std::mem::take(&mut self.pending_hooks) {
+            for (obj, idx) in std::mem::take(&mut self.core.pending_hooks) {
                 h.apply(self.vm, obj, idx)?;
             }
         }
-        Ok((std::mem::take(&mut self.roots), self.stats))
+        Ok((std::mem::take(&mut self.core.roots), self.core.stats))
+    }
+}
+
+/// A finished parallel stream's receiver-side output: its roots (in
+/// emission order), statistics, and the heap-mutating leftovers the
+/// coordinator applies once it regains `&mut Vm` — card-table spans and
+/// pending update hooks.
+#[derive(Debug)]
+pub struct StreamIn {
+    /// Roots recovered from this stream, in emission order.
+    pub roots: Vec<Addr>,
+    /// This stream's receive statistics.
+    pub stats: ReceiveStats,
+    /// Absorbed input-buffer ranges awaiting one batched card-dirty pass.
+    pub card_spans: Vec<(Addr, u64)>,
+    /// `(object, hook index)` pairs awaiting post-transfer update hooks.
+    pub pending_hooks: Vec<(Addr, usize)>,
+}
+
+/// One stream's absorber in a parallel transfer: the same scan as
+/// [`GraphReceiver`] but over a shared `&Vm`, allocating input buffers
+/// through the heap's shared old-generation window
+/// ([`mheap::Heap::begin_shared_old_alloc`] must be open). Heap-mutating
+/// finish work (card batch, hooks) is returned as a [`StreamIn`] for the
+/// coordinator instead of being applied here.
+pub struct StreamAbsorber<'a> {
+    vm: &'a Vm,
+    core: AbsorbCore<'a>,
+}
+
+impl<'a> std::fmt::Debug for StreamAbsorber<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamAbsorber")
+            .field("node", &self.core.node)
+            .field("chunks", &self.core.chunks.len())
+            .field("bytes", &self.core.next_logical)
+            .finish()
+    }
+}
+
+impl<'a> StreamAbsorber<'a> {
+    /// Starts absorbing one parallel stream into `vm` on `node`.
+    pub fn new(vm: &'a Vm, dir: &'a TypeDirectory, node: NodeId) -> Self {
+        StreamAbsorber { vm, core: AbsorbCore::new(dir, node) }
+    }
+
+    /// Reports into `registry` instead of the process-wide default.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.core.metrics = ReceiverMetrics::new(registry);
+        self
+    }
+
+    /// Attaches the transfer's trace context; spans record on `lane`
+    /// (worker *w* of a parallel transfer uses lane `w + 1`).
+    #[must_use]
+    pub fn with_trace(mut self, ctx: obs::TraceCtx, lane: u32) -> Self {
+        self.core.trace_ctx = ctx;
+        self.core.lane = lane;
+        self
+    }
+
+    /// Places one received chunk into a fresh old-generation input buffer
+    /// claimed through the heap's shared allocation window.
+    ///
+    /// # Errors
+    /// [`mheap::Error::OldGenFull`] (wrapped) when the heap cannot host
+    /// the buffer; alignment errors for corrupt chunks.
+    pub fn push_chunk(&mut self, bytes: &[u8]) -> Result<()> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(Error::BadFrame(format!("chunk length {} not 8-aligned", bytes.len())));
+        }
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let base = self.vm.heap().shared_alloc_raw_old(bytes.len() as u64).map_err(Error::Heap)?;
+        self.vm.heap().arena().write_bytes(base.0, bytes).map_err(Error::Heap)?;
+        self.core.note_chunk(base, bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Absolutizes every chunk placed so far but not yet absorbed.
+    ///
+    /// # Errors
+    /// Corrupt-stream and heap errors.
+    pub fn absorb_ready(&mut self, hooks: Option<&UpdateRegistry>) -> Result<()> {
+        self.core.absorb_ready(self.vm, hooks)
+    }
+
+    /// Completes this stream: absorbs remaining chunks and drains its own
+    /// cross-chunk fixups (streams are self-contained — relative
+    /// addresses never cross streams), returning the roots plus the
+    /// heap-mutating leftovers for the coordinator.
+    ///
+    /// # Errors
+    /// Corrupt-stream and heap errors.
+    pub fn finish_stream(mut self, hooks: Option<&UpdateRegistry>) -> Result<StreamIn> {
+        self.core.absorb_ready(self.vm, hooks)?;
+        let traced = if self.core.trace_ctx.is_none() {
+            None
+        } else {
+            Some((Arc::clone(&self.core.metrics.registry), self.vm.name.clone()))
+        };
+        let mut fixup_span = traced.as_ref().map(|(reg, node)| {
+            reg.tracer().start_on(
+                obs::names::TRACE_RECEIVER_FIXUP,
+                self.core.trace_ctx,
+                node,
+                self.core.lane,
+            )
+        });
+        let n_fixups = self.core.drain_fixups(self.vm)?;
+        if let Some(s) = &mut fixup_span {
+            s.annotate("fixups", n_fixups);
+        }
+        drop(fixup_span);
+        Ok(StreamIn {
+            roots: std::mem::take(&mut self.core.roots),
+            stats: self.core.stats,
+            card_spans: std::mem::take(&mut self.core.card_spans),
+            pending_hooks: std::mem::take(&mut self.core.pending_hooks),
+        })
     }
 }
 

@@ -20,7 +20,10 @@
 //! receiver's format*, so only the sender pays (§3.1).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use mheap::layout::{baddr, mark};
 use mheap::{Addr, KlassKind, LayoutSpec, Vm};
@@ -88,6 +91,21 @@ pub struct SendStats {
     /// `baddr` CAS races lost to a concurrent stream (each falls back to
     /// the thread-local table and duplicates the object per stream).
     pub cas_conflicts: u64,
+}
+
+impl SendStats {
+    /// Accumulates another stream's statistics (parallel-stream merge).
+    pub fn merge(&mut self, o: &SendStats) {
+        self.objects += o.objects;
+        self.total_bytes += o.total_bytes;
+        self.header_bytes += o.header_bytes;
+        self.padding_bytes += o.padding_bytes;
+        self.pointer_bytes += o.pointer_bytes;
+        self.data_bytes += o.data_bytes;
+        self.marker_bytes += o.marker_bytes;
+        self.fallback_hits += o.fallback_hits;
+        self.cas_conflicts += o.cas_conflicts;
+    }
 }
 
 /// A finished per-destination stream: chunks plus statistics.
@@ -160,6 +178,8 @@ pub struct GraphSender<'a> {
     /// Trace context of the transfer this stream belongs to
     /// ([`obs::TraceCtx::NONE`] keeps every span inert).
     trace_ctx: obs::TraceCtx,
+    /// Trace lane (0 = main; parallel worker *w* records on lane `w+1`).
+    lane: u32,
     /// Open traverse-burst accumulator (see [`GraphSender::write_root`]).
     traverse: Option<TraverseBurst>,
 }
@@ -221,6 +241,7 @@ impl<'a> GraphSender<'a> {
             klass_facts: HashMap::new(),
             metrics: SenderMetrics::new(Arc::clone(obs::global())),
             trace_ctx: obs::TraceCtx::NONE,
+            lane: 0,
             traverse: None,
         })
     }
@@ -245,6 +266,14 @@ impl<'a> GraphSender<'a> {
     /// that propagate it on the wire).
     pub fn trace_ctx(&self) -> obs::TraceCtx {
         self.trace_ctx
+    }
+
+    /// Records this stream's spans on worker lane `lane` (its own Perfetto
+    /// thread row) instead of the node's main lane.
+    #[must_use]
+    pub fn with_lane(mut self, lane: u32) -> Self {
+        self.lane = lane;
+        self
     }
 
     /// Draws chunk backings from `pool` instead of allocating each one,
@@ -516,10 +545,11 @@ impl<'a> GraphSender<'a> {
         };
         let tracer = self.metrics.registry.tracer();
         let dur = tracer.now_ns().saturating_sub(b.start_ns);
-        tracer.record_closed(
+        tracer.record_closed_on(
             obs::names::TRACE_SENDER_TRAVERSE,
             self.trace_ctx,
             &self.vm.name,
+            self.lane,
             dur,
             &[
                 ("roots", b.roots),
@@ -648,41 +678,203 @@ impl<'a> GraphSender<'a> {
     pub(crate) fn node_name(&self) -> &str {
         &self.vm.name
     }
+
+    /// Records one successful steal by this worker: a lane-attributed
+    /// trace span annotated with the victim worker and batch size.
+    pub(crate) fn note_steal(&self, victim: usize, batch: usize, dur_ns: u64) {
+        self.metrics.registry.tracer().record_closed_on(
+            obs::names::TRACE_SENDER_STEAL,
+            self.trace_ctx,
+            &self.vm.name,
+            self.lane,
+            dur_ns,
+            &[("victim", victim as u64), ("batch", batch as u64)],
+        );
+    }
 }
 
-/// Sends `roots` using `n_threads` parallel streams over one shared heap
-/// (§4.2 "Support for Threads"): roots are partitioned round-robin, each
-/// thread claims objects via CAS on `baddr`, and objects reached by several
-/// threads are duplicated per stream — the same semantics as the existing
-/// serializers.
+/// Worker-count and stealing knobs for parallel traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Traversal workers (= streams). Defaults to the host's available
+    /// parallelism; never clamped to a magic ceiling.
+    pub workers: usize,
+    /// Upper bound on roots moved per steal (half the victim's queue is
+    /// taken, capped here so one steal cannot empty a large victim).
+    pub steal_batch: usize,
+    /// Pipeline policy knob: parallel mode engages only when
+    /// `roots >= workers * min_roots_per_worker` — below that the
+    /// per-worker setup outweighs the traversal it parallelizes.
+    pub min_roots_per_worker: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            steal_batch: 32,
+            min_roots_per_worker: 8,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A config with an explicit worker count (other knobs default).
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig { workers: workers.max(1), ..ParallelConfig::default() }
+    }
+}
+
+/// Shared work-stealing root queues for one parallel traversal: one deque
+/// per worker seeded with a contiguous block of `(original index, root)`
+/// pairs; an idle worker steals the back half of a victim's queue.
+///
+/// Lock discipline: every method holds at most ONE queue lock at a time —
+/// a steal drains the victim into a local buffer, releases, and only then
+/// locks the thief's own queue.
+pub(crate) struct StealSet {
+    queues: Vec<Mutex<VecDeque<(u32, Addr)>>>,
+    steal_batch: usize,
+    steals: AtomicU64,
+}
+
+impl StealSet {
+    /// Partitions `roots` into contiguous per-worker blocks (contiguity
+    /// keeps a steal's batch adjacent in the original root order, which
+    /// the receiver's index table reassembles anyway).
+    pub(crate) fn new(roots: &[Addr], workers: usize, steal_batch: usize) -> Self {
+        let workers = workers.max(1);
+        let per = roots.len().div_ceil(workers).max(1);
+        let mut queues: Vec<Mutex<VecDeque<(u32, Addr)>>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = (w * per).min(roots.len());
+            let hi = ((w + 1) * per).min(roots.len());
+            queues.push(Mutex::new(
+                roots[lo..hi].iter().enumerate().map(|(i, &r)| ((lo + i) as u32, r)).collect(),
+            ));
+        }
+        StealSet { queues, steal_batch: steal_batch.max(1), steals: AtomicU64::new(0) }
+    }
+
+    /// Pops the next root from `me`'s own queue.
+    pub(crate) fn pop_local(&self, me: usize) -> Option<(u32, Addr)> {
+        self.queues[me].lock().pop_front()
+    }
+
+    /// Steals up to half of some victim's queue into `me`'s queue,
+    /// returning `(victim, batch)` on success and `None` when every other
+    /// queue is empty (at which point no new roots can ever appear —
+    /// traversal-discovered objects live in each sender's private BFS
+    /// queue, never here — so `None` is the termination signal).
+    pub(crate) fn steal(&self, me: usize) -> Option<(usize, usize)> {
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (me + i) % n;
+            let grabbed: VecDeque<(u32, Addr)> = {
+                let mut q = self.queues[victim].lock();
+                let take = q.len().div_ceil(2).min(self.steal_batch);
+                if take == 0 {
+                    continue;
+                }
+                let at = q.len() - take;
+                q.split_off(at)
+            };
+            let batch = grabbed.len();
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            let mut own = self.queues[me].lock();
+            own.extend(grabbed);
+            return Some((victim, batch));
+        }
+        None
+    }
+
+    /// Total successful steals across all workers.
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// Result of a work-stealing parallel send: the non-empty streams, the
+/// original root index of every emitted root (per stream, in emission
+/// order — the receiver's reassembly table), and the steal count.
+#[derive(Debug)]
+pub struct ParallelSend {
+    /// Finished streams (workers that never claimed a root produce none).
+    pub streams: Vec<StreamOut>,
+    /// `root_order[i][j]` = original index in `roots` of the `j`-th root
+    /// emitted by `streams[i]`.
+    pub root_order: Vec<Vec<u32>>,
+    /// Successful inter-worker steals during the traversal.
+    pub steals: u64,
+}
+
+/// Sends `roots` using work-stealing parallel streams over one shared heap
+/// (§4.2 "Support for Threads"): roots start as contiguous per-worker
+/// blocks, idle workers steal from victims, each worker claims objects via
+/// CAS on `baddr`, and objects reached by several workers are duplicated
+/// per stream. Worker `t` sends as stream `stream_base + t`; workers that
+/// end up with zero roots (all stolen away, or more workers than roots)
+/// exit without allocating a stream.
 ///
 /// # Errors
-/// Propagates the first sender error from any thread.
+/// Propagates the first sender error from any worker.
+#[allow(clippy::too_many_arguments)]
 pub fn send_roots_parallel(
     vm: &Vm,
     dir: &TypeDirectory,
     node: NodeId,
     sid: u8,
+    stream_base: u16,
     roots: &[Addr],
-    n_threads: usize,
+    par: &ParallelConfig,
     cfg: SendConfig,
-) -> Result<Vec<StreamOut>> {
-    let n_threads = n_threads.clamp(1, 64);
-    let mut partitions: Vec<Vec<Addr>> = vec![Vec::new(); n_threads];
-    for (i, &r) in roots.iter().enumerate() {
-        partitions[i % n_threads].push(r);
-    }
-    let results: Vec<Result<StreamOut>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .iter()
-            .enumerate()
-            .map(|(t, part)| {
-                scope.spawn(move || -> Result<StreamOut> {
-                    let mut sender = GraphSender::new(vm, dir, node, sid, (t as u16) + 1, cfg)?;
-                    for &root in part {
-                        sender.write_root(root)?;
+) -> Result<ParallelSend> {
+    let workers = par.workers.max(1);
+    // A worker's output: its finished stream plus the original root
+    // indices it emitted, or `None` when every root was stolen away.
+    type WorkerStream = Option<(StreamOut, Vec<u32>)>;
+    let steal_set = StealSet::new(roots, workers, par.steal_batch);
+    let results: Vec<Result<WorkerStream>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                let steal_set = &steal_set;
+                scope.spawn(move || -> Result<WorkerStream> {
+                    let mut sender: Option<GraphSender<'_>> = None;
+                    let mut order: Vec<u32> = Vec::new();
+                    loop {
+                        let (idx, root) = match steal_set.pop_local(t) {
+                            Some(item) => item,
+                            None => {
+                                let t0 = std::time::Instant::now();
+                                match steal_set.steal(t) {
+                                    Some((victim, batch)) => {
+                                        if let Some(s) = sender.as_ref() {
+                                            s.note_steal(
+                                                victim,
+                                                batch,
+                                                t0.elapsed().as_nanos() as u64,
+                                            );
+                                        }
+                                        continue;
+                                    }
+                                    None => break,
+                                }
+                            }
+                        };
+                        if sender.is_none() {
+                            let stream = stream_base.wrapping_add(t as u16);
+                            sender = Some(
+                                GraphSender::new(vm, dir, node, sid, stream, cfg)?
+                                    .with_lane(t as u32 + 1),
+                            );
+                        }
+                        if let Some(s) = sender.as_mut() {
+                            s.write_root(root)?;
+                            order.push(idx);
+                        }
                     }
-                    Ok(sender.finish())
+                    Ok(sender.map(|s| (s.finish(), order)))
                 })
             })
             .collect();
@@ -691,5 +883,14 @@ pub fn send_roots_parallel(
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
-    results.into_iter().collect()
+    let mut streams = Vec::new();
+    let mut root_order = Vec::new();
+    for r in results {
+        if let Some((st, ord)) = r? {
+            streams.push(st);
+            root_order.push(ord);
+        }
+    }
+    obs::global().counter(obs::names::SENDER_STEALS).add(steal_set.steals());
+    Ok(ParallelSend { streams, root_order, steals: steal_set.steals() })
 }

@@ -14,7 +14,9 @@ use simnet::{NodeId, Profile};
 
 use crate::buffer::{frame_chunks, parse_frames};
 use crate::registry::TypeDirectory;
-use crate::sender::{send_roots_parallel, GraphSender, SendConfig, SendStats, Tracking};
+use crate::sender::{
+    send_roots_parallel, GraphSender, ParallelConfig, SendConfig, SendStats, Tracking,
+};
 use crate::stream::{ShuffleController, UpdateRegistry};
 use crate::{Error, Result};
 
@@ -96,12 +98,13 @@ impl SkywaySerializer {
         self
     }
 
-    /// Sends with `n` parallel threads (§4.2 "Support for Threads"):
-    /// roots are partitioned round-robin over per-thread streams; shared
-    /// objects are claimed via CAS on `baddr` and duplicated per stream —
-    /// the same semantics as the existing serializers.
+    /// Sends with `n` work-stealing parallel workers (§4.2 "Support for
+    /// Threads"): roots start as contiguous per-worker blocks, idle
+    /// workers steal from victims, shared objects are claimed via CAS on
+    /// `baddr` and duplicated per stream — the same semantics as the
+    /// existing serializers.
     pub fn with_parallel_streams(mut self, n: usize) -> Self {
-        self.parallel_streams = n.clamp(1, 64);
+        self.parallel_streams = n.max(1);
         self
     }
 
@@ -174,22 +177,32 @@ impl serlab::Serializer for SkywaySerializer {
         };
         if self.parallel_streams > 1 {
             let mut run = || -> Result<Vec<u8>> {
-                let streams = send_roots_parallel(
+                let par = ParallelConfig::with_workers(self.parallel_streams);
+                let stream_base = self.controller.next_stream_block(par.workers as u16);
+                let send = send_roots_parallel(
                     vm,
                     &self.dir,
                     self.node,
                     self.controller.sid(),
+                    stream_base,
                     roots,
-                    self.parallel_streams,
+                    &par,
                     self.send_config(),
                 )?;
                 let mut merged = SendStats::default();
                 let mut out = Vec::new();
                 out.extend_from_slice(b"MSKY");
-                out.extend_from_slice(&(streams.len() as u16).to_le_bytes());
-                for st in &streams {
+                out.extend_from_slice(&(send.streams.len() as u16).to_le_bytes());
+                for (st, order) in send.streams.iter().zip(&send.root_order) {
                     profile.objects_transferred += st.stats.objects;
                     merge_stats(&mut merged, &st.stats);
+                    // Root-index table: which original roots this stream
+                    // carries, in emission order — work stealing makes the
+                    // assignment dynamic, so the wire must say.
+                    out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+                    for &ix in order {
+                        out.extend_from_slice(&ix.to_le_bytes());
+                    }
                     let blob = frame_chunks(&st.chunks, flags);
                     out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
                     out.extend_from_slice(&blob);
@@ -229,7 +242,9 @@ impl serlab::Serializer for SkywaySerializer {
     ) -> serlab::Result<Vec<Addr>> {
         if bytes.starts_with(b"MSKY") {
             // Multi-stream container: each stream is an independent input
-            // buffer set; roots interleave back into round-robin order.
+            // buffer set carrying its own root-index table; roots land
+            // back at their original positions regardless of which worker
+            // stream the work-stealing traversal assigned them to.
             let mut run = || -> Result<Vec<Addr>> {
                 if bytes.len() < 6 {
                     return Err(Error::BadFrame("truncated MSKY container".into()));
@@ -238,31 +253,59 @@ impl serlab::Serializer for SkywaySerializer {
                 hdr.copy_from_slice(&bytes[4..6]);
                 let n = u16::from_le_bytes(hdr) as usize;
                 let mut pos = 6usize;
-                let mut per_stream: Vec<Vec<Addr>> = Vec::with_capacity(n);
+                let read_u32 = |pos: &mut usize| -> Result<usize> {
+                    let b = bytes
+                        .get(*pos..*pos + 4)
+                        .ok_or_else(|| Error::BadFrame("truncated MSKY stream header".into()))?;
+                    let mut w = [0u8; 4];
+                    w.copy_from_slice(b);
+                    *pos += 4;
+                    Ok(u32::from_le_bytes(w) as usize)
+                };
+                // Pass 1: parse every table and blob boundary before any
+                // heap mutation, so corrupt containers error out with
+                // nothing absorbed.
+                let mut sections: Vec<(Vec<usize>, &[u8])> = Vec::with_capacity(n);
                 for _ in 0..n {
-                    if pos + 4 > bytes.len() {
-                        return Err(Error::BadFrame("truncated MSKY stream header".into()));
+                    let count = read_u32(&mut pos)?;
+                    if count > bytes.len() / 4 {
+                        return Err(Error::BadFrame("MSKY root table longer than body".into()));
                     }
-                    let mut lenb = [0u8; 4];
-                    lenb.copy_from_slice(&bytes[pos..pos + 4]);
-                    let len = u32::from_le_bytes(lenb) as usize;
-                    pos += 4;
+                    let mut order = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        order.push(read_u32(&mut pos)?);
+                    }
+                    let len = read_u32(&mut pos)?;
                     let blob = bytes
                         .get(pos..pos + len)
                         .ok_or_else(|| Error::BadFrame("truncated MSKY stream body".into()))?;
                     pos += len;
-                    per_stream.push(self.receive_blob(vm, blob)?);
+                    sections.push((order, blob));
                 }
-                // Round-robin reassembly (sender partitioned roots i → i % n).
-                let total: usize = per_stream.iter().map(Vec::len).sum();
-                let mut out = Vec::with_capacity(total);
-                let mut idx = vec![0usize; n];
-                for i in 0..total {
-                    let s = i % n;
-                    out.push(per_stream[s][idx[s]]);
-                    idx[s] += 1;
+                let total: usize = sections.iter().map(|(o, _)| o.len()).sum();
+                if sections.iter().flat_map(|(o, _)| o).any(|&ix| ix >= total) {
+                    return Err(Error::BadFrame("MSKY root index out of range".into()));
                 }
-                Ok(out)
+                let mut slots: Vec<Option<Addr>> = vec![None; total];
+                for (order, blob) in sections {
+                    let roots = self.receive_blob(vm, blob)?;
+                    if roots.len() != order.len() {
+                        return Err(Error::BadFrame(format!(
+                            "MSKY stream carried {} roots but its table lists {}",
+                            roots.len(),
+                            order.len()
+                        )));
+                    }
+                    for (ix, addr) in order.into_iter().zip(roots) {
+                        if slots[ix].replace(addr).is_some() {
+                            return Err(Error::BadFrame(format!("duplicate MSKY root index {ix}")));
+                        }
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.ok_or_else(|| Error::BadFrame("MSKY root index gap".into())))
+                    .collect()
             };
             return run().map_err(to_serlab);
         }
@@ -319,6 +362,7 @@ fn merge_stats(into: &mut SendStats, s: &SendStats) {
     into.data_bytes += s.data_bytes;
     into.marker_bytes += s.marker_bytes;
     into.fallback_hits += s.fallback_hits;
+    into.cas_conflicts += s.cas_conflicts;
 }
 
 fn to_serlab(e: Error) -> serlab::Error {

@@ -73,6 +73,16 @@ impl ShuffleController {
         (self.stream_counter.fetch_add(1, Ordering::AcqRel) % 0xfffe) as u16 + 1
     }
 
+    /// Allocates `n` *contiguous* stream ids within the current phase and
+    /// returns the first — parallel transfer gives worker `t` stream
+    /// `base + t`, so one reservation covers the whole worker fleet.
+    pub fn next_stream_block(&self, n: u16) -> u16 {
+        let n = n.max(1);
+        obs::global().counter(obs::names::SHUFFLE_STREAMS_ALLOCATED).add(u64::from(n));
+        let base = self.stream_counter.fetch_add(u32::from(n), Ordering::AcqRel);
+        (base % 0xfffe) as u16 + 1
+    }
+
     /// Allocates a per-transfer trace context under `parent` (a stage
     /// root, or [`obs::TraceCtx::NONE`] for a standalone transfer).
     /// Sender, wire, receiver, and GC spans of the transfer all stitch

@@ -86,12 +86,20 @@ fn parallel_streams_duplicate_cross_stream_shared_objects() {
     let rx = serializer(&dir, 1, 4);
     let mut p = Profile::new();
     let bytes = tx.serialize(&mut sender, &roots, &mut p).unwrap();
+    // Work stealing decides how many of the 4 workers actually emit roots;
+    // the container header records how many streams were shipped.
+    let streams = u16::from_le_bytes([bytes[4], bytes[5]]) as usize;
+    assert!((1..=4).contains(&streams));
     let rebuilt = rx.deserialize(&mut receiver, &bytes, &mut p).unwrap();
     let firsts: Vec<Addr> =
         rebuilt.iter().map(|&r| receiver.get_ref(r, "first").unwrap()).collect();
     let distinct: std::collections::HashSet<u64> = firsts.iter().map(|a| a.0).collect();
-    assert!(distinct.len() > 1, "expected per-stream duplicates");
-    assert!(distinct.len() <= 4, "at most one copy per stream");
+    assert_eq!(
+        distinct.len(),
+        streams,
+        "exactly one copy of the shared object per stream: CAS-losing \
+         streams duplicate it, aliasing within a stream is preserved"
+    );
     for f in firsts {
         assert_eq!(receiver.read_string(f).unwrap(), "contended");
     }

@@ -316,4 +316,63 @@ proptest! {
         prop_assert_eq!(report.recv_stats.chunks, rstats.chunks);
         prop_assert_eq!(report.send_stats.total_bytes, sstats.total_bytes);
     }
+
+    // Parallel transfer (N work-stealing senders, N concurrent absorbers
+    // over the shared heap) must rebuild every root's graph exactly as the
+    // sequential path does. Every node doubles as a root so subgraphs are
+    // shared across roots: roots landing in different streams race on the
+    // shared nodes' `baddr` CAS, and the losers duplicate per stream — so
+    // per-root graphs stay identical while the receiver's object
+    // population may only grow, never shrink or corrupt.
+    #[test]
+    fn parallel_equals_sequential(
+        spec in graph_spec(40),
+        chunk in 256usize..1024,
+        workers in 2usize..5,
+    ) {
+        use skyway::{
+            ParallelConfig, PipelineConfig, PipelineEngine, SendConfig, TransferMode,
+            sequential_transfer,
+        };
+
+        let (dir, mut sender, mut receiver) = transfer_env();
+        let handles = build(&mut sender, &spec);
+        let roots: Vec<Addr> = handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
+
+        let (dir2, mut sender2, mut receiver2) = transfer_env();
+        let handles2 = build(&mut sender2, &spec);
+        let roots2: Vec<Addr> = handles2.iter().map(|h| sender2.resolve(*h).unwrap()).collect();
+
+        let engine = PipelineEngine::new(PipelineConfig {
+            chunk_limit: chunk,
+            parallel: Some(ParallelConfig {
+                workers,
+                min_roots_per_worker: 1,
+                ..Default::default()
+            }),
+            ..PipelineConfig::default()
+        });
+        let (pr, report) = engine
+            .transfer(&sender, &mut receiver, &dir, NodeId(0), NodeId(1), 1, 1, &roots, None)
+            .unwrap();
+        let cfg = SendConfig { chunk_limit: chunk, ..SendConfig::for_vm(&sender2) };
+        let (sr, _, rstats) = sequential_transfer(
+            &sender2, &mut receiver2, &dir2, NodeId(0), NodeId(1), 1, 1, &roots2, None, cfg,
+        ).unwrap();
+
+        if roots.len() >= workers {
+            prop_assert_eq!(report.mode, TransferMode::Parallel);
+        }
+        prop_assert_eq!(pr.len(), sr.len());
+        for ((p, s), &orig) in pr.iter().zip(&sr).zip(&roots) {
+            let want = canonicalize(&sender, orig);
+            prop_assert_eq!(&canonicalize(&receiver, *p), &want);
+            prop_assert_eq!(&canonicalize(&receiver2, *s), &want);
+        }
+        // Cross-stream CAS losses duplicate shared objects per stream:
+        // the parallel receive can only ever hold MORE objects than the
+        // sequential one, and everything cloned out was absorbed.
+        prop_assert!(report.recv_stats.objects >= rstats.objects);
+        prop_assert_eq!(report.send_stats.objects, report.recv_stats.objects);
+    }
 }

@@ -9,8 +9,9 @@ use serlab::jsbs::{build_dataset, define_jsbs_classes, verify_media_content};
 use serlab::Serializer;
 use simnet::{NodeId, Profile};
 use skyway::{
-    scrub_baddrs, send_roots_parallel, SendConfig, ShuffleController, SkywayObjectInputStream,
-    SkywayObjectOutputStream, SkywaySerializer, Tracking, TypeDirectory, UpdateRegistry,
+    scrub_baddrs, send_roots_parallel, ParallelConfig, SendConfig, ShuffleController,
+    SkywayObjectInputStream, SkywayObjectOutputStream, SkywaySerializer, Tracking, TypeDirectory,
+    UpdateRegistry,
 };
 
 fn classpath() -> Arc<ClassPath> {
@@ -231,14 +232,27 @@ fn parallel_send_with_shared_objects() {
         pair_handles.push(sender.handle(pr));
     }
     let roots: Vec<Addr> = pair_handles.iter().map(|h| sender.resolve(*h).unwrap()).collect();
-    let streams =
-        send_roots_parallel(&sender, &dir, NodeId(0), 7, &roots, 4, SendConfig::for_vm(&sender))
-            .unwrap();
-    assert_eq!(streams.len(), 4);
+    let par = ParallelConfig::with_workers(4);
+    let sent = send_roots_parallel(
+        &sender,
+        &dir,
+        NodeId(0),
+        7,
+        100,
+        &roots,
+        &par,
+        SendConfig::for_vm(&sender),
+    )
+    .unwrap();
+    // Work stealing means the 64 roots may end up on fewer than 4 workers
+    // (a fast worker can drain its victims), but never more.
+    assert!(!sent.streams.is_empty() && sent.streams.len() <= 4);
+    assert_eq!(sent.streams.len(), sent.root_order.len());
+    assert_eq!(sent.root_order.iter().map(Vec::len).sum::<usize>(), 64);
 
     // Each stream is independent; receive them all.
     let mut total_roots = 0;
-    for st in &streams {
+    for st in &sent.streams {
         let mut input = SkywayObjectInputStream::new(&mut receiver, &dir, NodeId(1));
         for c in &st.chunks {
             input.push_chunk(c).unwrap();

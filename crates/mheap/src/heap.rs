@@ -13,6 +13,7 @@
 use crate::layout::{align8, Addr, LayoutSpec};
 use crate::mem::Arena;
 use crate::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bit pattern marking an unused 8-byte slot in a parseable space. Chosen so
 /// it can never collide with a real mark word (real marks never have all of
@@ -142,6 +143,11 @@ pub struct Heap {
     hash_state: u64,
     peak_used: u64,
     pub(crate) tenure_threshold: u8,
+    /// Atomic old-gen allocation cursor, live only inside a
+    /// [`Heap::begin_shared_old_alloc`] window (see
+    /// [`Heap::shared_alloc_raw_old`]).
+    shared_top: AtomicU64,
+    shared_active: bool,
 }
 
 impl Heap {
@@ -182,6 +188,8 @@ impl Heap {
             hash_state: 0x9e37_79b9_7f4a_7c15,
             peak_used: 0,
             tenure_threshold: config.tenure_threshold,
+            shared_top: AtomicU64::new(0),
+            shared_active: false,
         })
     }
 
@@ -291,6 +299,64 @@ impl Heap {
         self.fill_filler(addr, len)?;
         self.note_usage();
         Ok(addr)
+    }
+
+    /// Opens a *shared* old-generation allocation window: seeds the atomic
+    /// cursor from `old.top` so concurrent absorb workers can carve
+    /// disjoint input-buffer regions via [`Heap::shared_alloc_raw_old`]
+    /// through a shared `&Heap`. No GC can run during the window (the
+    /// parallel receiver holds the only `&mut Vm` access path), so the
+    /// bump cursor is the only mutable space state in play.
+    pub fn begin_shared_old_alloc(&mut self) {
+        debug_assert!(!self.shared_active, "shared old-gen window already open");
+        self.shared_top.store(self.old.top, Ordering::Release);
+        self.shared_active = true;
+    }
+
+    /// Closes the shared window: publishes the atomic cursor back into
+    /// `old.top` and refreshes the peak-usage high-water mark.
+    pub fn end_shared_old_alloc(&mut self) {
+        debug_assert!(self.shared_active, "shared old-gen window not open");
+        self.old.top = self.shared_top.load(Ordering::Acquire);
+        self.shared_active = false;
+        self.note_usage();
+    }
+
+    /// [`Heap::alloc_raw_old`] through a shared reference, for concurrent
+    /// absorb workers inside a [`Heap::begin_shared_old_alloc`] window.
+    /// Regions are claimed with a CAS loop on the shared cursor, then
+    /// zeroed and filler-filled exactly like the exclusive path.
+    ///
+    /// # Errors
+    /// [`Error::OldGenFull`] when the old generation cannot fit `len`
+    /// bytes, plus the arena errors of the exclusive path.
+    pub fn shared_alloc_raw_old(&self, len: u64) -> Result<Addr> {
+        debug_assert!(self.shared_active, "shared old-gen window not open");
+        let len = align8(len);
+        let mut cur = self.shared_top.load(Ordering::Relaxed);
+        loop {
+            let end = cur.checked_add(len).ok_or(Error::OldGenFull { requested: len })?;
+            if end > self.old.end {
+                return Err(Error::OldGenFull { requested: len });
+            }
+            match self.shared_top.compare_exchange_weak(
+                cur,
+                end,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let addr = Addr(cur);
+                    // The CAS win proves `[cur, end)` sits inside the old
+                    // generation and no other worker can claim it.
+                    debug_assert!(addr.0 >= self.old.start && end <= self.old.end);
+                    self.arena.zero(addr.0, len as usize)?;
+                    self.fill_filler(addr, len)?;
+                    return Ok(addr);
+                }
+                Err(actual) => cur = actual,
+            }
+        }
     }
 
     /// Fills `[addr, addr+len)` with filler words so space walkers skip it.
@@ -465,6 +531,52 @@ mod tests {
         let mut h = Heap::new(&HeapConfig::small()).unwrap();
         let huge = h.old.size() + 8;
         assert!(matches!(h.alloc_raw_old(huge), Err(Error::OldGenFull { .. })));
+    }
+
+    #[test]
+    fn shared_old_alloc_carves_disjoint_filler_regions() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        let before = h.old.top;
+        h.begin_shared_old_alloc();
+        let addrs: Vec<Addr> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let h = &h;
+                    s.spawn(move || {
+                        (0..8).map(|_| h.shared_alloc_raw_old(56).unwrap()).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|j| j.join().unwrap()).collect()
+        });
+        h.end_shared_old_alloc();
+        // 32 allocations of align8(56) = 56 bytes, all disjoint, all filler.
+        let mut sorted: Vec<u64> = addrs.iter().map(|a| a.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 32);
+        for w in sorted.windows(2) {
+            assert!(w[1] - w[0] >= 56, "overlapping regions {w:?}");
+        }
+        assert_eq!(h.old.top, before + 32 * 56, "cursor published back to old.top");
+        for a in &addrs {
+            assert_eq!(h.arena().load_word(a.0).unwrap(), FILLER_WORD);
+        }
+        assert!(h.peak_used() >= 32 * 56);
+    }
+
+    #[test]
+    fn shared_old_alloc_full_errors_and_keeps_cursor_sane() {
+        let mut h = Heap::new(&HeapConfig::small()).unwrap();
+        h.begin_shared_old_alloc();
+        let huge = h.old.size() + 8;
+        assert!(matches!(h.shared_alloc_raw_old(huge), Err(Error::OldGenFull { .. })));
+        let ok = h.shared_alloc_raw_old(64).unwrap();
+        h.end_shared_old_alloc();
+        assert!(h.old.contains(ok));
+        // The exclusive path picks up right after the shared window.
+        let next = h.alloc_raw_old(8).unwrap();
+        assert_eq!(next.0, ok.0 + 64);
     }
 
     #[test]

@@ -49,6 +49,17 @@ pub mod names {
     pub const PIPELINE_POOL_MISSES: &str = "skyway.pipeline.pool_misses";
     /// Histogram: per-chunk receiver wait before the chunk arrived.
     pub const PIPELINE_CHUNK_STALL_NS: &str = "skyway.pipeline.chunk_stall_ns";
+    /// Counter: transfers the adaptive policy ran on the inline
+    /// (single-chunk, no-overlap) path.
+    pub const PIPELINE_MODE_INLINE: &str = "skyway.pipeline.mode_inline";
+    /// Counter: transfers the adaptive policy ran on the single-stream
+    /// pipelined path.
+    pub const PIPELINE_MODE_PIPELINED: &str = "skyway.pipeline.mode_pipelined";
+    /// Counter: transfers the adaptive policy ran on the work-stealing
+    /// parallel path.
+    pub const PIPELINE_MODE_PARALLEL: &str = "skyway.pipeline.mode_parallel";
+    /// Gauge: the engine's current adaptive chunk limit in bytes.
+    pub const PIPELINE_CHUNK_LIMIT: &str = "skyway.pipeline.chunk_limit";
 
     /// Counter: objects visited by the sender's closure traversal.
     pub const SENDER_OBJECTS_VISITED: &str = "skyway.sender.objects_visited";
@@ -61,6 +72,9 @@ pub mod names {
     pub const SENDER_FALLBACK_HITS: &str = "skyway.sender.fallback_hits";
     /// Histogram: bytes per sealed sender chunk.
     pub const SENDER_CHUNK_BYTES: &str = "skyway.sender.chunk_bytes";
+    /// Counter: root batches stolen from a sibling worker's deque by an
+    /// idle parallel-traversal worker.
+    pub const SENDER_STEALS: &str = "skyway.sender.steals";
 
     /// Counter: objects absorbed into the receiving heap.
     pub const RECEIVER_OBJECTS_ABSORBED: &str = "skyway.receiver.objects_absorbed";
@@ -119,6 +133,9 @@ pub mod names {
     pub const TRACE_SENDER_TRAVERSE: &str = "trace.sender.traverse";
     /// Span: sealing + handing one chunk to the carrier.
     pub const TRACE_SENDER_CHUNK_SEND: &str = "trace.sender.chunk_send";
+    /// Span: an idle parallel-traversal worker stealing roots from a
+    /// sibling's deque; annotated with the victim and batch size.
+    pub const TRACE_SENDER_STEAL: &str = "trace.sender.steal";
     /// Span (simulated clock): one chunk occupying the network link.
     pub const TRACE_LINK_XMIT: &str = "trace.link.xmit";
     /// Span: absolutizing one absorbed chunk on the receiver.
@@ -298,6 +315,60 @@ pub fn global() -> &'static Arc<Registry> {
     GLOBAL.get_or_init(|| Arc::new(Registry::new()))
 }
 
+/// CPU time consumed by the *calling thread*, in nanoseconds.
+///
+/// Parallel-transfer workers time their traversal/absorption with this
+/// instead of wall clock: on a host with fewer cores than workers, wall
+/// time charges every worker for its siblings' timeslices and inflates
+/// per-lane cost by roughly the oversubscription factor, while thread
+/// CPU time stays honest. Falls back to a thread-local monotonic clock
+/// where the per-thread clock is unavailable.
+pub fn thread_cpu_ns() -> u64 {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        let mut ts = [0i64; 2]; // timespec: tv_sec, tv_nsec
+        const CLOCK_THREAD_CPUTIME_ID: u64 = 3;
+        const SYS_CLOCK_GETTIME: u64 = 228;
+        let ret: i64;
+        // SAFETY: clock_gettime(CLOCK_THREAD_CPUTIME_ID, ts) only writes
+        // 16 bytes into `ts`, a valid exclusively-owned stack buffer;
+        // rcx/r11 (clobbered by `syscall`) are declared as outputs.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_CLOCK_GETTIME as i64 => ret,
+                in("rdi") CLOCK_THREAD_CPUTIME_ID,
+                in("rsi") ts.as_mut_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        if ret == 0 {
+            return (ts[0] as u64).saturating_mul(1_000_000_000).saturating_add(ts[1] as u64);
+        }
+    }
+    #[allow(unreachable_code)]
+    {
+        use std::cell::Cell;
+        use std::time::Instant;
+        thread_local! {
+            static ANCHOR: Cell<Option<Instant>> = const { Cell::new(None) };
+        }
+        ANCHOR.with(|a| {
+            let anchor = match a.get() {
+                Some(t) => t,
+                None => {
+                    let t = Instant::now();
+                    a.set(Some(t));
+                    t
+                }
+            };
+            anchor.elapsed().as_nanos() as u64
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +436,24 @@ mod tests {
         assert!(r.recorder().events().is_empty());
         c.inc();
         assert_eq!(r.snapshot().counter("c"), 1);
+    }
+
+    #[test]
+    fn thread_cpu_clock_advances_and_is_per_thread() {
+        let t0 = thread_cpu_ns();
+        // Burn a little CPU so the thread clock must move.
+        let mut acc = 0u64;
+        for i in 0..200_000_u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let t1 = thread_cpu_ns();
+        assert!(t1 > t0, "thread CPU clock did not advance: {t0} -> {t1}");
+        // A freshly spawned idle-ish thread reports far less CPU than
+        // one that just burned a loop; sanity-check it is at least
+        // readable there too.
+        let child = std::thread::spawn(thread_cpu_ns).join().expect("join");
+        assert!(child < u64::MAX);
     }
 
     #[test]

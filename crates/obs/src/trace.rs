@@ -95,6 +95,11 @@ pub struct Span {
     pub end_ns: u64,
     /// True when the timestamps are simulated-network ns, not wall ns.
     pub sim_clock: bool,
+    /// Worker lane within the node: 0 is the main lane, worker *w* of a
+    /// parallel transfer records on lane `w + 1`. Lanes map to Perfetto
+    /// thread rows so per-worker traversal/steal/absorb spans stack
+    /// side by side instead of overlapping on one row.
+    pub lane: u32,
     /// Key-value annotations (chunk index, bytes, CAS conflicts, ...).
     pub args: Vec<(&'static str, u64)>,
 }
@@ -229,6 +234,18 @@ impl Tracer {
     /// methods no-ops) while disabled or when `ctx` is
     /// [`TraceCtx::NONE`].
     pub fn start(&self, name: &'static str, ctx: TraceCtx, node: &str) -> ActiveSpan<'_> {
+        self.start_on(name, ctx, node, 0)
+    }
+
+    /// [`Tracer::start`] on an explicit worker lane (0 = the main lane;
+    /// parallel-transfer worker *w* uses lane `w + 1`).
+    pub fn start_on(
+        &self,
+        name: &'static str,
+        ctx: TraceCtx,
+        node: &str,
+        lane: u32,
+    ) -> ActiveSpan<'_> {
         if !self.enabled() || ctx.is_none() {
             return ActiveSpan { tracer: self, data: None };
         }
@@ -241,6 +258,7 @@ impl Tracer {
                 name,
                 node: node.to_owned(),
                 start_ns: self.now_ns(),
+                lane,
                 args: Vec::new(),
             }),
         }
@@ -253,6 +271,19 @@ impl Tracer {
         name: &'static str,
         ctx: TraceCtx,
         node: &str,
+        dur_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        self.record_closed_on(name, ctx, node, 0, dur_ns, args);
+    }
+
+    /// [`Tracer::record_closed`] on an explicit worker lane.
+    pub fn record_closed_on(
+        &self,
+        name: &'static str,
+        ctx: TraceCtx,
+        node: &str,
+        lane: u32,
         dur_ns: u64,
         args: &[(&'static str, u64)],
     ) {
@@ -269,6 +300,7 @@ impl Tracer {
             start_ns: end_ns.saturating_sub(dur_ns),
             end_ns,
             sim_clock: false,
+            lane,
             args: args.to_vec(),
         });
     }
@@ -285,6 +317,22 @@ impl Tracer {
         end_ns: u64,
         args: &[(&'static str, u64)],
     ) {
+        self.record_sim_on(name, ctx, node, 0, start_ns, end_ns, args);
+    }
+
+    /// [`Tracer::record_sim`] on an explicit worker lane (per-stream link
+    /// occupancy of a parallel transfer).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_sim_on(
+        &self,
+        name: &'static str,
+        ctx: TraceCtx,
+        node: &str,
+        lane: u32,
+        start_ns: u64,
+        end_ns: u64,
+        args: &[(&'static str, u64)],
+    ) {
         if !self.enabled() || ctx.is_none() {
             return;
         }
@@ -297,6 +345,7 @@ impl Tracer {
             start_ns,
             end_ns,
             sim_clock: true,
+            lane,
             args: args.to_vec(),
         });
     }
@@ -324,6 +373,7 @@ struct SpanData {
     name: &'static str,
     node: String,
     start_ns: u64,
+    lane: u32,
     args: Vec<(&'static str, u64)>,
 }
 
@@ -378,6 +428,7 @@ impl Drop for ActiveSpan<'_> {
                 start_ns: d.start_ns,
                 end_ns,
                 sim_clock: false,
+                lane: d.lane,
                 args: d.args,
             });
         }
@@ -439,7 +490,16 @@ pub fn chrome_trace_json(spans: &[Span]) -> String {
     let mut first = true;
     for s in spans {
         let pid = pid_of(&s.node, s.sim_clock);
-        let tid = if s.name.starts_with("trace.gc.") { 2 } else { 1 };
+        // tid 1 = main lane, tid 2 = GC, worker lane w >= 1 = tid 2 + w
+        // (lanes never collide with the GC row since lane >= 1 maps to
+        // tid >= 3).
+        let tid = if s.name.starts_with("trace.gc.") {
+            2
+        } else if s.lane > 0 {
+            2 + s.lane as usize
+        } else {
+            1
+        };
         if !first {
             out.push(',');
         }
@@ -457,6 +517,9 @@ pub fn chrome_trace_json(spans: &[Span]) -> String {
             ",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"trace_id\":{},\"span_id\":{},\"parent\":{}",
             s.trace_id, s.id, s.parent
         );
+        if s.lane > 0 {
+            let _ = write!(out, ",\"lane\":{}", s.lane);
+        }
         for (k, v) in &s.args {
             let _ = write!(out, ",\"{}\":{v}", json_escape(k));
         }
@@ -627,6 +690,23 @@ mod tests {
     }
 
     #[test]
+    fn worker_lanes_map_to_their_own_tids() {
+        let t = Tracer::new(8);
+        t.set_enabled(true);
+        let ctx = t.new_trace();
+        t.start_on(crate::names::TRACE_SENDER_TRAVERSE, ctx, "n", 3).finish();
+        t.record_closed_on(crate::names::TRACE_SENDER_CHUNK_SEND, ctx, "n", 1, 50, &[]);
+        t.record_sim_on(crate::names::TRACE_LINK_XMIT, ctx, "n", 2, 0, 9, &[]);
+        let spans = t.spans();
+        assert_eq!(spans.iter().map(|s| s.lane).collect::<Vec<_>>(), vec![3, 1, 2]);
+        let json = chrome_trace_json(&spans);
+        // Lane w maps to tid 2 + w, and the lane is surfaced as an arg.
+        for needle in ["\"tid\":5", "\"tid\":3", "\"tid\":4", "\"lane\":3"] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
     fn critical_path_summary_shares_sum_to_about_100() {
         let mk = |name: &'static str, dur: u64| Span {
             id: 1,
@@ -637,6 +717,7 @@ mod tests {
             start_ns: 0,
             end_ns: dur,
             sim_clock: false,
+            lane: 0,
             args: vec![],
         };
         let spans = vec![

@@ -75,6 +75,11 @@ pub struct SparkConfig {
     /// `serializer` is [`SerializerKind::Skyway`]; same-node transfers
     /// keep the spill path (one VM cannot host both ends concurrently).
     pub pipeline: bool,
+    /// Worker threads for the pipelined shuffle's parallel transfer mode
+    /// (work-stealing senders + concurrent absorbers). `< 2` keeps the
+    /// single-stream pipelined path; the engine's adaptive policy still
+    /// falls back per transfer when a partition has too few roots.
+    pub pipeline_workers: usize,
 }
 
 impl Default for SparkConfig {
@@ -88,6 +93,7 @@ impl Default for SparkConfig {
             spec: LayoutSpec::SKYWAY,
             skyway_send_threads: 1,
             pipeline: false,
+            pipeline_workers: 1,
         }
     }
 }
@@ -241,6 +247,8 @@ impl SparkCluster {
                 Some(skyway::PipelineEngine::new(skyway::PipelineConfig {
                     chunk_limit: cfg.chunk_limit.min(skyway::pipeline::DEFAULT_PIPELINE_CHUNK),
                     sim: cfg.sim,
+                    parallel: (cfg.pipeline_workers >= 2)
+                        .then(|| skyway::ParallelConfig::with_workers(cfg.pipeline_workers)),
                     ..skyway::PipelineConfig::default()
                 }))
             } else {

@@ -236,3 +236,34 @@ fn pipelined_shuffle_matches_sequential_results() {
         assert!((x.1 - y.1).abs() < 1e-9);
     }
 }
+
+#[test]
+fn parallel_pipelined_shuffle_matches_sequential_results() {
+    let mk = |workers: usize| {
+        SparkCluster::new(&SparkConfig {
+            n_workers: 3,
+            serializer: SerializerKind::Skyway,
+            heap_bytes: 48 << 20,
+            pipeline: true,
+            pipeline_workers: workers,
+            ..SparkConfig::default()
+        })
+        .unwrap()
+    };
+    let mut single = mk(1);
+    let mut parallel = mk(4);
+    let a = run_wordcount(&mut single, sample_lines()).unwrap();
+    let b = run_wordcount(&mut parallel, sample_lines()).unwrap();
+    assert_eq!(a, b);
+
+    let g = generate(GraphKind::LiveJournal, 20_000, 7);
+    let mut single = mk(1);
+    let mut parallel = mk(4);
+    let a = run_pagerank(&mut single, &g, 3, 5).unwrap();
+    let b = run_pagerank(&mut parallel, &g, 3, 5).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.0, y.0);
+        assert!((x.1 - y.1).abs() < 1e-9);
+    }
+}
