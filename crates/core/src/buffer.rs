@@ -43,6 +43,17 @@ impl ChunkPool {
         Arc::new(ChunkPool::default())
     }
 
+    /// The process-wide per-node pool. Every [`crate::pipeline::PipelineEngine`]
+    /// draws from it by default, so back-to-back transfers — even through
+    /// different engines — recycle the same chunk backings instead of
+    /// re-allocating per transfer. Tests that assert exact hit/miss counts
+    /// should use an explicit pool ([`ChunkPool::new`]) instead: the global
+    /// counters aggregate every transfer in the process.
+    pub fn global() -> &'static Arc<ChunkPool> {
+        static GLOBAL: std::sync::OnceLock<Arc<ChunkPool>> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(ChunkPool::new)
+    }
+
     /// Hands out an empty `Vec` with at least `cap` capacity, preferring a
     /// recycled backing (a *hit*) over a fresh allocation (a *miss*).
     pub fn acquire(&self, cap: usize) -> Vec<u8> {

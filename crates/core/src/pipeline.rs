@@ -56,7 +56,7 @@ pub const MIN_ADAPTIVE_CHUNK: usize = 16 << 10;
 /// Adaptive chunk-sizing ceiling.
 pub const MAX_ADAPTIVE_CHUNK: usize = 1 << 20;
 
-/// Which of the engine's three execution strategies a transfer took.
+/// Which execution strategy a transfer took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferMode {
     /// Flat single-chunk graph: produce, move, absorb inline on the
@@ -67,6 +67,11 @@ pub enum TransferMode {
     /// N work-stealing traversal workers, each streaming to its own
     /// concurrent absorber over the shared receiving heap.
     Parallel,
+    /// Same-node zero-copy: the graph was sealed into (or already lived
+    /// in) a shared immutable segment and the receiver attached it
+    /// metadata-only — no bytes cloned, no wire time. Produced by the
+    /// `segstore` crate's shared path, never by this engine directly.
+    Shared,
 }
 
 impl TransferMode {
@@ -76,6 +81,7 @@ impl TransferMode {
             TransferMode::Inline => "inline",
             TransferMode::Pipelined => "pipelined",
             TransferMode::Parallel => "parallel",
+            TransferMode::Shared => "shared",
         }
     }
 }
@@ -254,14 +260,25 @@ pub struct PipelineEngine {
 }
 
 impl PipelineEngine {
-    /// An engine with a fresh pool.
+    /// An engine drawing chunk backings from the process-wide per-node
+    /// [`ChunkPool::global`], so back-to-back transfers through different
+    /// engines still recycle the same backings.
     pub fn new(cfg: PipelineConfig) -> Self {
         PipelineEngine {
             cfg,
-            pool: ChunkPool::new(),
+            pool: Arc::clone(ChunkPool::global()),
             metrics: PipelineMetrics::new(Arc::clone(obs::global())),
             live_chunk_limit: AtomicUsize::new(0),
         }
+    }
+
+    /// Uses an explicit chunk pool instead of the global per-node one
+    /// (tests asserting exact hit/miss counts need isolation — the global
+    /// pool's counters aggregate every transfer in the process).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ChunkPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The flush threshold the next transfer will use: the configured
@@ -1303,9 +1320,12 @@ mod tests {
             addrs.push(s.new_string(&format!("pooled {i}")).unwrap());
         }
         let reg = Arc::new(obs::Registry::new());
+        // Exact hit/miss assertions need an isolated pool — the global
+        // per-node pool aggregates every concurrently running test.
         let engine =
             PipelineEngine::new(PipelineConfig { chunk_limit: 128, ..PipelineConfig::default() })
-                .with_metrics(Arc::clone(&reg));
+                .with_metrics(Arc::clone(&reg))
+                .with_pool(ChunkPool::new());
         let (_, first) =
             engine.transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 1, &addrs, None).unwrap();
         assert!(first.pool_misses > 0, "cold pool must allocate");
@@ -1335,7 +1355,8 @@ mod tests {
         for i in 0..16 {
             addrs.push(s.new_integer(i).unwrap());
         }
-        let engine = PipelineEngine::new(PipelineConfig::default());
+        // Isolated pool: the test asserts exact steady-state miss counts.
+        let engine = PipelineEngine::new(PipelineConfig::default()).with_pool(ChunkPool::new());
         let (got, report) =
             engine.transfer(&s, &mut r, &dir, NodeId(0), NodeId(1), 1, 1, &addrs, None).unwrap();
         assert_eq!(got.len(), 16);

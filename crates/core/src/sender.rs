@@ -160,6 +160,33 @@ impl SenderMetrics {
     }
 }
 
+/// Multiply-mix hasher for heap-address keys (fxhash-style). The visited
+/// fallback table sits on the traversal's hottest path — one lookup per
+/// reference slot plus one insert per object — where SipHash costs more
+/// than the probe itself. Addresses are word-aligned with entropy in the
+/// middle bits; one odd-constant multiply spreads them adequately.
+#[derive(Debug, Default, Clone)]
+pub struct AddrHasher(u64);
+
+impl std::hash::Hasher for AddrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+/// Heap address → logical buffer address, keyed by the cheap [`AddrHasher`].
+type AddrMap = HashMap<u64, u64, std::hash::BuildHasherDefault<AddrHasher>>;
+
 /// The sender-side traversal state for one (destination, stream) pair.
 pub struct GraphSender<'a> {
     vm: &'a Vm,
@@ -170,7 +197,7 @@ pub struct GraphSender<'a> {
     cfg: SendConfig,
     out: OutputBuffer,
     /// Thread-local fallback: heap address → logical buffer address.
-    fallback: HashMap<u64, u64>,
+    fallback: AddrMap,
     gray: VecDeque<(Addr, u64, u64)>,
     stats: SendStats,
     klass_facts: HashMap<u32, KlassFacts>,
@@ -235,7 +262,7 @@ impl<'a> GraphSender<'a> {
             stream,
             cfg,
             out: OutputBuffer::new(cfg.chunk_limit),
-            fallback: HashMap::new(),
+            fallback: AddrMap::default(),
             gray: VecDeque::new(),
             stats: SendStats::default(),
             klass_facts: HashMap::new(),
@@ -328,6 +355,12 @@ impl<'a> GraphSender<'a> {
         match self.cfg.tracking {
             Tracking::HashTable => Ok(self.fallback.get(&obj.0).copied()),
             Tracking::Baddr => {
+                // Segment residents have no writable baddr word (sealed
+                // memory is read-only, and a stale sealed baddr could
+                // falsely match): track them in the thread-local table.
+                if self.vm.heap().in_segment(obj) {
+                    return Ok(self.fallback.get(&obj.0).copied());
+                }
                 let off = obj.0 + self.vm.spec().baddr_off().map_err(Error::Heap)?;
                 let w = self.vm.heap().arena().load_word_atomic(off).map_err(Error::Heap)?;
                 if baddr::sid_of(w) != self.sid {
@@ -357,6 +390,12 @@ impl<'a> GraphSender<'a> {
                 Ok(())
             }
             Tracking::Baddr => {
+                // Sealed segment memory rejects the baddr CAS; keep the
+                // mapping in the thread-local table instead.
+                if self.vm.heap().in_segment(obj) {
+                    self.fallback.insert(obj.0, logical);
+                    return Ok(());
+                }
                 let off = obj.0 + self.vm.spec().baddr_off().map_err(Error::Heap)?;
                 let arena = self.vm.heap().arena();
                 let old = arena.load_word_atomic(off).map_err(Error::Heap)?;

@@ -152,6 +152,8 @@ impl Vm {
     fn evacuate(&mut self, obj: Addr, copied: &mut Vec<Addr>) -> Result<Addr> {
         match self.heap.gen_of(obj)? {
             Gen::Old => return Ok(obj),
+            // Attached segments are immutable and never move.
+            Gen::Segment => return Ok(obj),
             Gen::Young => {}
         }
         // Only evacuate from eden/from-space; to-space objects already moved
@@ -213,6 +215,13 @@ impl Vm {
         stack.extend(self.temp_roots.iter().copied().filter(|a| !a.is_null()));
         while let Some(obj) = stack.pop() {
             if live.contains_key(&obj.0) {
+                continue;
+            }
+            // Attached segments are marking boundaries: they are immutable,
+            // self-contained (no refs back into owned generations), never
+            // move, and are kept alive by the attach refcount — nothing to
+            // mark, forward, or compact.
+            if self.heap.in_segment(obj) {
                 continue;
             }
             let size = self.obj_size(obj)?;
@@ -335,8 +344,8 @@ impl Vm {
         }
         stack.extend(self.temp_roots.iter().copied().filter(|a| !a.is_null()));
         while let Some(obj) = stack.pop() {
-            if !seen.insert(obj.0) {
-                continue;
+            if !seen.insert(obj.0) || self.heap.in_segment(obj) {
+                continue; // segment residents are store-owned, not heap-live
             }
             for off in self.ref_slots(obj)? {
                 let tgt = self.read_ref_at(obj, off)?;
@@ -345,7 +354,7 @@ impl Vm {
                 }
             }
         }
-        Ok(seen.len())
+        Ok(seen.iter().filter(|&&a| !self.heap.in_segment(Addr(a))).count())
     }
 
     /// Total bytes of live data reachable from the roots (diagnostic).
@@ -363,8 +372,8 @@ impl Vm {
         }
         stack.extend(self.temp_roots.iter().copied().filter(|a| !a.is_null()));
         while let Some(obj) = stack.pop() {
-            if !seen.insert(obj.0) {
-                continue;
+            if !seen.insert(obj.0) || self.heap.in_segment(obj) {
+                continue; // segment residents are store-owned, not heap-live
             }
             total += self.obj_size(obj)?;
             for off in self.ref_slots(obj)? {

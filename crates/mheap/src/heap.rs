@@ -10,10 +10,13 @@
 //! parseable old space; gaps are filled with [`FILLER_WORD`]s, which the
 //! space walkers skip (the moral equivalent of HotSpot's filler arrays).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::layout::{align8, Addr, LayoutSpec};
 use crate::mem::Arena;
+use crate::segment::Segment;
 use crate::{Error, Result};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bit pattern marking an unused 8-byte slot in a parseable space. Chosen so
 /// it can never collide with a real mark word (real marks never have all of
@@ -127,6 +130,9 @@ pub enum Gen {
     Young,
     /// The tenured generation.
     Old,
+    /// An attached immutable segment (never collected, never moved; see
+    /// [`crate::segment`]).
+    Segment,
 }
 
 /// The heap: arena + spaces + card table.
@@ -148,6 +154,10 @@ pub struct Heap {
     /// [`Heap::shared_alloc_raw_old`]).
     shared_top: AtomicU64,
     shared_active: bool,
+    /// Attached immutable segments, in attach order. Their memory is
+    /// mapped read-only into `arena`; the GC treats them as roots and
+    /// never moves or scans into them.
+    attached: Vec<Arc<Segment>>,
 }
 
 impl Heap {
@@ -190,6 +200,7 @@ impl Heap {
             tenure_threshold: config.tenure_threshold,
             shared_top: AtomicU64::new(0),
             shared_active: false,
+            attached: Vec::new(),
         })
     }
 
@@ -233,6 +244,8 @@ impl Heap {
             Ok(Gen::Young)
         } else if self.old.contains(addr) {
             Ok(Gen::Old)
+        } else if self.in_segment(addr) {
+            Ok(Gen::Segment)
         } else {
             Err(Error::BadAddress(addr.0))
         }
@@ -246,6 +259,63 @@ impl Heap {
     /// True if `addr` is in the old generation.
     pub fn in_old(&self, addr: Addr) -> bool {
         self.old.contains(addr)
+    }
+
+    /// True if `addr` falls inside an attached segment.
+    pub fn in_segment(&self, addr: Addr) -> bool {
+        // Segment bases start at `SEGMENT_BASE`, far above the owned
+        // capacity, so the cheap range test short-circuits the scan for
+        // every ordinary heap address.
+        addr.raw() >= crate::segment::SEGMENT_BASE && self.attached.iter().any(|s| s.contains(addr))
+    }
+
+    /// The attached segment containing `addr`, if any.
+    pub fn segment_for(&self, addr: Addr) -> Option<&Arc<Segment>> {
+        if addr.raw() < crate::segment::SEGMENT_BASE {
+            return None;
+        }
+        self.attached.iter().find(|s| s.contains(addr))
+    }
+
+    /// All attached segments, in attach order.
+    pub fn attached_segments(&self) -> &[Arc<Segment>] {
+        &self.attached
+    }
+
+    /// Attaches a sealed segment: maps its memory read-only into this
+    /// heap's address space. Metadata-only — nothing is cloned, no cards
+    /// are dirtied; after this call every address in the segment resolves
+    /// through ordinary heap reads and [`Heap::gen_of`] reports
+    /// [`Gen::Segment`].
+    ///
+    /// # Errors
+    /// [`Error::SegmentAlreadyAttached`] if a segment with the same base
+    /// is already attached.
+    pub fn attach_segment(&mut self, seg: Arc<Segment>) -> Result<()> {
+        if self.attached.iter().any(|s| s.base() == seg.base()) {
+            return Err(Error::SegmentAlreadyAttached(seg.base()));
+        }
+        self.arena.map_range(seg.base(), seg.len(), Arc::clone(seg.mem()));
+        self.attached.push(seg);
+        Ok(())
+    }
+
+    /// Detaches the segment with the given base, unmapping its memory.
+    /// The heap must no longer hold references into the segment (the
+    /// verifier reports any survivor as a dangling ref). Returns the
+    /// detached segment so the caller's store can run refcount/epoch
+    /// reclamation.
+    ///
+    /// # Errors
+    /// [`Error::UnknownSegment`] if no such segment is attached.
+    pub fn detach_segment(&mut self, base: u64) -> Result<Arc<Segment>> {
+        let idx = self
+            .attached
+            .iter()
+            .position(|s| s.base() == base)
+            .ok_or(Error::UnknownSegment(base))?;
+        self.arena.unmap_range(base);
+        Ok(self.attached.remove(idx))
     }
 
     /// Bytes in use across all spaces.

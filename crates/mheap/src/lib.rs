@@ -42,6 +42,7 @@ pub mod klass;
 pub mod layout;
 pub mod mem;
 pub mod object;
+pub mod segment;
 pub mod stdlib;
 pub mod verify;
 pub mod vm;
@@ -52,6 +53,7 @@ pub use klass::{
 };
 pub use layout::{Addr, LayoutSpec};
 pub use object::Value;
+pub use segment::{Segment, SegmentBuilder, SEGMENT_BASE};
 pub use verify::{ClassStat, HeapFault};
 pub use vm::{Handle, Vm, VmStats};
 
@@ -135,6 +137,15 @@ pub enum Error {
         /// Heap capacity.
         capacity: u64,
     },
+    /// A store targeted read-only attached-segment memory.
+    SegmentReadOnly {
+        /// Offending offset (in the attacher's global address space).
+        off: u64,
+    },
+    /// No segment with this base is attached to (or known by) the heap.
+    UnknownSegment(u64),
+    /// A segment with this base is already attached to the heap.
+    SegmentAlreadyAttached(u64),
 }
 
 impl std::fmt::Display for Error {
@@ -175,6 +186,15 @@ impl std::fmt::Display for Error {
             }
             Error::OutOfMemory { requested, capacity } => {
                 write!(f, "out of memory: requested {requested} bytes of {capacity}-byte heap")
+            }
+            Error::SegmentReadOnly { off } => {
+                write!(f, "write into read-only sealed segment memory at {off:#x}")
+            }
+            Error::UnknownSegment(base) => {
+                write!(f, "no attached segment with base {base:#x}")
+            }
+            Error::SegmentAlreadyAttached(base) => {
+                write!(f, "segment {base:#x} is already attached")
             }
         }
     }

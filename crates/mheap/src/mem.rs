@@ -19,17 +19,36 @@
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::{Error, Result};
+
+/// A read-only window of another arena mapped into this arena's offset
+/// space at `base` (attached-segment memory; see [`crate::segment`]).
+/// Mapped ranges sit far above the owned capacity — segment bases start at
+/// [`crate::segment::SEGMENT_BASE`] — so routing only runs on the
+/// bounds-check failure path and costs the owned-memory hot path nothing.
+#[derive(Clone)]
+struct SegMap {
+    base: u64,
+    len: u64,
+    mem: Arc<Arena>,
+}
 
 /// Fixed-capacity, zeroed, 8-byte-aligned raw memory region.
 ///
 /// Offsets are `u64` byte offsets from the start of the region. Offset `0`
 /// is a valid byte but the managed heap never allocates an object there, so
 /// address `0` can represent `null` one layer up.
+///
+/// Beyond its owned capacity an arena may carry *mapped* read-only windows
+/// onto other arenas (attached segments). Reads resolve through the
+/// mapping; any store, CAS, or zero into a mapped range fails with
+/// [`Error::SegmentReadOnly`].
 pub struct Arena {
     ptr: *mut u8,
     len: usize,
+    maps: Vec<SegMap>,
 }
 
 // SAFETY: the arena itself is just memory; synchronization discipline is the
@@ -55,7 +74,42 @@ impl Arena {
         if ptr.is_null() {
             return Err(Error::ArenaAlloc(len));
         }
-        Ok(Arena { ptr, len })
+        Ok(Arena { ptr, len, maps: Vec::new() })
+    }
+
+    /// Maps `len` bytes of `mem` into this arena's offset space at `base`,
+    /// read-only. Reads at `[base, base + len)` resolve into `mem`; writes
+    /// there fail with [`Error::SegmentReadOnly`]. The caller (the heap's
+    /// attach path) guarantees `base` is disjoint from the owned range and
+    /// from every existing mapping.
+    pub(crate) fn map_range(&mut self, base: u64, len: u64, mem: Arc<Arena>) {
+        self.maps.push(SegMap { base, len, mem });
+    }
+
+    /// Removes the mapping at `base`, returning whether one existed.
+    pub(crate) fn unmap_range(&mut self, base: u64) -> bool {
+        let before = self.maps.len();
+        self.maps.retain(|m| m.base != base);
+        self.maps.len() != before
+    }
+
+    /// Resolves an access that missed the owned range into a mapped
+    /// window: the backing arena plus the window-relative offset.
+    #[inline]
+    fn route(&self, off: u64, size: usize) -> Option<(&Arena, u64)> {
+        for m in &self.maps {
+            let end = off.checked_add(size as u64)?;
+            if off >= m.base && end <= m.base.checked_add(m.len)? {
+                return Some((&m.mem, off - m.base));
+            }
+        }
+        None
+    }
+
+    /// True if `off` lands in a mapped (read-only) window.
+    #[inline]
+    fn routed_write(&self, off: u64, size: usize) -> Option<Error> {
+        self.route(off, size).map(|_| Error::SegmentReadOnly { off })
     }
 
     /// Total capacity in bytes.
@@ -95,9 +149,14 @@ impl Arena {
     /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
     #[inline]
     pub fn load_word(&self, off: u64) -> Result<u64> {
-        let o = self.check_aligned(off, 8)?;
-        // SAFETY: bounds and alignment checked.
-        Ok(unsafe { (self.ptr.add(o) as *const u64).read() })
+        match self.check_aligned(off, 8) {
+            // SAFETY: bounds and alignment checked.
+            Ok(o) => Ok(unsafe { (self.ptr.add(o) as *const u64).read() }),
+            Err(e) => match self.route(off, 8) {
+                Some((mem, rel)) => mem.load_word(rel),
+                None => Err(e),
+            },
+        }
     }
 
     /// Writes an 8-byte word at an 8-aligned offset.
@@ -106,10 +165,14 @@ impl Arena {
     /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
     #[inline]
     pub fn store_word(&self, off: u64, val: u64) -> Result<()> {
-        let o = self.check_aligned(off, 8)?;
-        // SAFETY: bounds and alignment checked.
-        unsafe { (self.ptr.add(o) as *mut u64).write(val) };
-        Ok(())
+        match self.check_aligned(off, 8) {
+            Ok(o) => {
+                // SAFETY: bounds and alignment checked.
+                unsafe { (self.ptr.add(o) as *mut u64).write(val) };
+                Ok(())
+            }
+            Err(e) => Err(self.routed_write(off, 8).unwrap_or(e)),
+        }
     }
 
     /// Atomically reads an 8-byte word (Acquire).
@@ -118,11 +181,20 @@ impl Arena {
     /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
     #[inline]
     pub fn load_word_atomic(&self, off: u64) -> Result<u64> {
-        let o = self.check_aligned(off, 8)?;
-        // SAFETY: bounds and alignment checked; AtomicU64 has the same
-        // layout as u64.
-        let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };
-        Ok(a.load(Ordering::Acquire))
+        match self.check_aligned(off, 8) {
+            Ok(o) => {
+                // SAFETY: bounds and alignment checked; AtomicU64 has the
+                // same layout as u64.
+                let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };
+                Ok(a.load(Ordering::Acquire))
+            }
+            // Sealed segment words never change, so a plain read has
+            // acquire semantics trivially.
+            Err(e) => match self.route(off, 8) {
+                Some((mem, rel)) => mem.load_word(rel),
+                None => Err(e),
+            },
+        }
     }
 
     /// Atomically compare-and-swaps an 8-byte word (AcqRel on success).
@@ -139,10 +211,14 @@ impl Arena {
         expected: u64,
         new: u64,
     ) -> Result<std::result::Result<u64, u64>> {
-        let o = self.check_aligned(off, 8)?;
-        // SAFETY: bounds and alignment checked.
-        let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };
-        Ok(a.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire))
+        match self.check_aligned(off, 8) {
+            Ok(o) => {
+                // SAFETY: bounds and alignment checked.
+                let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };
+                Ok(a.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire))
+            }
+            Err(e) => Err(self.routed_write(off, 8).unwrap_or(e)),
+        }
     }
 
     /// Reads a 4-byte value at a 4-aligned offset.
@@ -151,9 +227,14 @@ impl Arena {
     /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
     #[inline]
     pub fn load_u32(&self, off: u64) -> Result<u32> {
-        let o = self.check_aligned(off, 4)?;
-        // SAFETY: bounds and alignment checked.
-        Ok(unsafe { (self.ptr.add(o) as *const u32).read() })
+        match self.check_aligned(off, 4) {
+            // SAFETY: bounds and alignment checked.
+            Ok(o) => Ok(unsafe { (self.ptr.add(o) as *const u32).read() }),
+            Err(e) => match self.route(off, 4) {
+                Some((mem, rel)) => mem.load_u32(rel),
+                None => Err(e),
+            },
+        }
     }
 
     /// Writes a 4-byte value at a 4-aligned offset.
@@ -162,10 +243,14 @@ impl Arena {
     /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
     #[inline]
     pub fn store_u32(&self, off: u64, val: u32) -> Result<()> {
-        let o = self.check_aligned(off, 4)?;
-        // SAFETY: bounds and alignment checked.
-        unsafe { (self.ptr.add(o) as *mut u32).write(val) };
-        Ok(())
+        match self.check_aligned(off, 4) {
+            Ok(o) => {
+                // SAFETY: bounds and alignment checked.
+                unsafe { (self.ptr.add(o) as *mut u32).write(val) };
+                Ok(())
+            }
+            Err(e) => Err(self.routed_write(off, 4).unwrap_or(e)),
+        }
     }
 
     /// Reads a 2-byte value at a 2-aligned offset.
@@ -174,9 +259,14 @@ impl Arena {
     /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
     #[inline]
     pub fn load_u16(&self, off: u64) -> Result<u16> {
-        let o = self.check_aligned(off, 2)?;
-        // SAFETY: bounds and alignment checked.
-        Ok(unsafe { (self.ptr.add(o) as *const u16).read() })
+        match self.check_aligned(off, 2) {
+            // SAFETY: bounds and alignment checked.
+            Ok(o) => Ok(unsafe { (self.ptr.add(o) as *const u16).read() }),
+            Err(e) => match self.route(off, 2) {
+                Some((mem, rel)) => mem.load_u16(rel),
+                None => Err(e),
+            },
+        }
     }
 
     /// Writes a 2-byte value at a 2-aligned offset.
@@ -185,10 +275,14 @@ impl Arena {
     /// [`Error::OutOfBounds`] / [`Error::Misaligned`].
     #[inline]
     pub fn store_u16(&self, off: u64, val: u16) -> Result<()> {
-        let o = self.check_aligned(off, 2)?;
-        // SAFETY: bounds and alignment checked.
-        unsafe { (self.ptr.add(o) as *mut u16).write(val) };
-        Ok(())
+        match self.check_aligned(off, 2) {
+            Ok(o) => {
+                // SAFETY: bounds and alignment checked.
+                unsafe { (self.ptr.add(o) as *mut u16).write(val) };
+                Ok(())
+            }
+            Err(e) => Err(self.routed_write(off, 2).unwrap_or(e)),
+        }
     }
 
     /// Reads one byte.
@@ -197,9 +291,14 @@ impl Arena {
     /// [`Error::OutOfBounds`].
     #[inline]
     pub fn load_u8(&self, off: u64) -> Result<u8> {
-        let o = self.check(off, 1)?;
-        // SAFETY: bounds checked.
-        Ok(unsafe { self.ptr.add(o).read() })
+        match self.check(off, 1) {
+            // SAFETY: bounds checked.
+            Ok(o) => Ok(unsafe { self.ptr.add(o).read() }),
+            Err(e) => match self.route(off, 1) {
+                Some((mem, rel)) => mem.load_u8(rel),
+                None => Err(e),
+            },
+        }
     }
 
     /// Writes one byte.
@@ -208,10 +307,14 @@ impl Arena {
     /// [`Error::OutOfBounds`].
     #[inline]
     pub fn store_u8(&self, off: u64, val: u8) -> Result<()> {
-        let o = self.check(off, 1)?;
-        // SAFETY: bounds checked.
-        unsafe { self.ptr.add(o).write(val) };
-        Ok(())
+        match self.check(off, 1) {
+            Ok(o) => {
+                // SAFETY: bounds checked.
+                unsafe { self.ptr.add(o).write(val) };
+                Ok(())
+            }
+            Err(e) => Err(self.routed_write(off, 1).unwrap_or(e)),
+        }
     }
 
     /// Copies `len` bytes out of the arena into `dst`.
@@ -219,10 +322,19 @@ impl Arena {
     /// # Errors
     /// [`Error::OutOfBounds`].
     pub fn read_bytes(&self, off: u64, dst: &mut [u8]) -> Result<()> {
-        let o = self.check(off, dst.len())?;
-        // SAFETY: bounds checked; dst is a distinct Rust allocation.
-        unsafe { std::ptr::copy_nonoverlapping(self.ptr.add(o), dst.as_mut_ptr(), dst.len()) };
-        Ok(())
+        match self.check(off, dst.len()) {
+            Ok(o) => {
+                // SAFETY: bounds checked; dst is a distinct Rust allocation.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(self.ptr.add(o), dst.as_mut_ptr(), dst.len())
+                };
+                Ok(())
+            }
+            Err(e) => match self.route(off, dst.len()) {
+                Some((mem, rel)) => mem.read_bytes(rel, dst),
+                None => Err(e),
+            },
+        }
     }
 
     /// Copies `src` into the arena at `off`.
@@ -230,33 +342,58 @@ impl Arena {
     /// # Errors
     /// [`Error::OutOfBounds`].
     pub fn write_bytes(&self, off: u64, src: &[u8]) -> Result<()> {
-        let o = self.check(off, src.len())?;
-        // SAFETY: bounds checked; src is a distinct Rust allocation.
-        unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(o), src.len()) };
-        Ok(())
+        match self.check(off, src.len()) {
+            Ok(o) => {
+                // SAFETY: bounds checked; src is a distinct Rust allocation.
+                unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(o), src.len()) };
+                Ok(())
+            }
+            Err(e) => Err(self.routed_write(off, src.len()).unwrap_or(e)),
+        }
     }
 
-    /// Copies `len` bytes within the arena (regions may overlap).
+    /// Copies `len` bytes within the arena (regions may overlap). The
+    /// source may lie in a mapped segment window; the destination must be
+    /// owned, writable memory.
     ///
     /// # Errors
-    /// [`Error::OutOfBounds`].
+    /// [`Error::OutOfBounds`] / [`Error::SegmentReadOnly`].
     pub fn copy_within(&self, src: u64, dst: u64, len: usize) -> Result<()> {
-        let s = self.check(src, len)?;
-        let d = self.check(dst, len)?;
-        // SAFETY: both ranges bounds checked; copy handles overlap.
-        unsafe { std::ptr::copy(self.ptr.add(s), self.ptr.add(d), len) };
-        Ok(())
+        let d = match self.check(dst, len) {
+            Ok(d) => d,
+            Err(e) => return Err(self.routed_write(dst, len).unwrap_or(e)),
+        };
+        match self.check(src, len) {
+            Ok(s) => {
+                // SAFETY: both ranges bounds checked; copy handles overlap.
+                unsafe { std::ptr::copy(self.ptr.add(s), self.ptr.add(d), len) };
+                Ok(())
+            }
+            Err(e) => match self.route(src, len) {
+                Some((mem, rel)) => {
+                    // Mapped source and owned destination never overlap.
+                    let mut tmp = vec![0u8; len];
+                    mem.read_bytes(rel, &mut tmp)?;
+                    self.write_bytes(dst, &tmp)
+                }
+                None => Err(e),
+            },
+        }
     }
 
     /// Zeroes `len` bytes starting at `off`.
     ///
     /// # Errors
-    /// [`Error::OutOfBounds`].
+    /// [`Error::OutOfBounds`] / [`Error::SegmentReadOnly`].
     pub fn zero(&self, off: u64, len: usize) -> Result<()> {
-        let o = self.check(off, len)?;
-        // SAFETY: bounds checked.
-        unsafe { std::ptr::write_bytes(self.ptr.add(o), 0, len) };
-        Ok(())
+        match self.check(off, len) {
+            Ok(o) => {
+                // SAFETY: bounds checked.
+                unsafe { std::ptr::write_bytes(self.ptr.add(o), 0, len) };
+                Ok(())
+            }
+            Err(e) => Err(self.routed_write(off, len).unwrap_or(e)),
+        }
     }
 }
 

@@ -1,0 +1,294 @@
+//! Sealed, immutable, shareable heap segments.
+//!
+//! A *segment* is a self-contained object graph laid out in store-owned
+//! memory, in exactly the managed-heap object format (Skyway's central
+//! invariant). It is built once — written through a [`SegmentBuilder`] —
+//! then *sealed*, after which its bytes never change. Any number of
+//! co-located heaps can then **attach** it: a metadata-only operation that
+//! maps the segment's memory into the heap's address space (see
+//! [`crate::mem::Arena`]'s mapped windows) without cloning a byte or
+//! dirtying a card.
+//!
+//! Segments occupy a global address region disjoint from every heap's
+//! owned range: bases are bump-allocated from [`SEGMENT_BASE`] (1 TiB),
+//! far above any arena capacity, so the *same* absolute addresses are
+//! valid in every attacher and reference slots inside the segment need no
+//! per-attacher fixup.
+//!
+//! Two invariants make sharing sound, and [`crate::verify`] checks both:
+//!
+//! 1. **Immutability** — nobody writes a sealed segment. The attacher-side
+//!    arena mapping already rejects writes; a seal-time checksum catches
+//!    out-of-band tampering through a retained raw handle.
+//! 2. **Self-containment** — every reference inside a segment points into
+//!    the same segment. A ref out into some heap's generations would go
+//!    stale the moment that heap's GC moved the referent (segments are
+//!    never scanned or patched by any GC).
+//!
+//! Klass words inside a segment hold Skyway *global type ids* (`tID`), not
+//! VM-local klass ids — a VM-local id would only be meaningful to the
+//! sealing VM. Each attacher resolves `tID → class name → local klass` on
+//! first touch via the name map recorded at seal time
+//! ([`Segment::name_for_tid`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::layout::{align8, Addr};
+use crate::mem::Arena;
+use crate::Result;
+
+/// Base of the global segment address region: 1 TiB, far above any arena
+/// capacity, so segment addresses never collide with owned-heap offsets.
+pub const SEGMENT_BASE: u64 = 1 << 40;
+
+/// Spacing granularity between consecutive segment bases (1 MiB). A
+/// coarse granule keeps bases readable in dumps and leaves a guard gap so
+/// an out-of-range access off one segment's end cannot silently land in
+/// the next.
+const BASE_GRANULE: u64 = 1 << 20;
+
+/// Process-wide bump allocator for segment bases.
+static NEXT_BASE: AtomicU64 = AtomicU64::new(SEGMENT_BASE);
+
+fn claim_base(len: u64) -> u64 {
+    let span = (len / BASE_GRANULE + 2) * BASE_GRANULE;
+    NEXT_BASE.fetch_add(span, Ordering::Relaxed)
+}
+
+/// A sealed, immutable object-graph segment. Only a [`SegmentBuilder`] can
+/// produce one, so every `Segment` in existence is sealed — immutability
+/// is enforced by construction, not by a runtime flag.
+#[derive(Debug)]
+pub struct Segment {
+    mem: Arc<Arena>,
+    base: u64,
+    len: u64,
+    roots: Vec<Addr>,
+    tid_names: HashMap<u32, String>,
+    checksum: u64,
+}
+
+impl Segment {
+    /// Base of this segment in the global segment address space.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Used bytes (8-aligned).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the segment holds no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if `addr` falls inside this segment.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.raw() >= self.base && addr.raw() < self.base + self.len
+    }
+
+    /// The graph roots, as global (attacher-valid) addresses, in the order
+    /// the sealing traversal emitted them.
+    pub fn roots(&self) -> &[Addr] {
+        &self.roots
+    }
+
+    /// Resolves a Skyway global type id recorded at seal time to its class
+    /// name, for attacher-local klass loading.
+    pub fn name_for_tid(&self, tid: u32) -> Option<&str> {
+        self.tid_names.get(&tid).map(String::as_str)
+    }
+
+    /// The seal-time content checksum.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recomputes the content checksum and compares it with the seal-time
+    /// value — `false` means the sealed bytes were tampered with.
+    pub fn verify_checksum(&self) -> bool {
+        checksum_arena(&self.mem, self.len).map(|c| c == self.checksum).unwrap_or(false)
+    }
+
+    /// The backing memory (for mapping into an attacher's arena).
+    pub(crate) fn mem(&self) -> &Arc<Arena> {
+        &self.mem
+    }
+
+    /// The backing memory as a raw arena handle. Tests use this to forge
+    /// post-seal corruption; production code has no reason to touch it.
+    pub fn raw_mem(&self) -> &Arc<Arena> {
+        &self.mem
+    }
+}
+
+/// FNV-1a over the first `len` bytes of `mem`, word at a time (`len` is
+/// 8-aligned by construction).
+fn checksum_arena(mem: &Arena, len: u64) -> Result<u64> {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut off = 0u64;
+    while off < len {
+        let w = mem.load_word(off)?;
+        h ^= w;
+        h = h.wrapping_mul(0x1_0000_01b3);
+        off += 8;
+    }
+    Ok(h)
+}
+
+/// Write-side of a segment: store-owned memory being filled with a parsed
+/// object graph. Consumed by [`SegmentBuilder::seal`], which computes the
+/// content checksum and yields the immutable [`Segment`].
+#[derive(Debug)]
+pub struct SegmentBuilder {
+    mem: Arc<Arena>,
+    base: u64,
+    cap: u64,
+    len: u64,
+    roots: Vec<Addr>,
+    tid_names: HashMap<u32, String>,
+}
+
+impl SegmentBuilder {
+    /// Claims a base in the global segment address space and allocates
+    /// `cap` bytes (rounded up to 8) of store-owned memory.
+    ///
+    /// # Errors
+    /// [`crate::Error::ArenaAlloc`] if the backing allocation fails.
+    pub fn new(cap: u64) -> Result<Self> {
+        let cap = align8(cap.max(8));
+        let mem = Arena::new(cap as usize)?;
+        Ok(SegmentBuilder {
+            mem: Arc::new(mem),
+            base: claim_base(cap),
+            cap,
+            len: 0,
+            roots: Vec::new(),
+            tid_names: HashMap::new(),
+        })
+    }
+
+    /// Base of the segment under construction (needed while absolutizing
+    /// references during the fill).
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.cap
+    }
+
+    /// Writes a word at a segment-relative offset, growing the used length.
+    ///
+    /// # Errors
+    /// [`crate::Error::OutOfBounds`] / [`crate::Error::Misaligned`] past `cap`.
+    pub fn store_word(&mut self, rel: u64, val: u64) -> Result<()> {
+        self.mem.store_word(rel, val)?;
+        self.len = self.len.max(align8(rel + 8));
+        Ok(())
+    }
+
+    /// Reads back a word at a segment-relative offset.
+    ///
+    /// # Errors
+    /// [`crate::Error::OutOfBounds`] / [`crate::Error::Misaligned`].
+    pub fn load_word(&self, rel: u64) -> Result<u64> {
+        self.mem.load_word(rel)
+    }
+
+    /// Copies raw bytes to a segment-relative offset, growing the used
+    /// length.
+    ///
+    /// # Errors
+    /// [`crate::Error::OutOfBounds`] past `cap`.
+    pub fn write_bytes(&mut self, rel: u64, src: &[u8]) -> Result<()> {
+        self.mem.write_bytes(rel, src)?;
+        self.len = self.len.max(align8(rel + src.len() as u64));
+        Ok(())
+    }
+
+    /// Records a graph root (as a global, attacher-valid address).
+    pub fn push_root(&mut self, root: Addr) {
+        self.roots.push(root);
+    }
+
+    /// Records the class name behind a Skyway global type id so attachers
+    /// can resolve klass words without the sealing VM.
+    pub fn record_tid(&mut self, tid: u32, name: impl Into<String>) {
+        self.tid_names.entry(tid).or_insert_with(|| name.into());
+    }
+
+    /// Seals the segment: computes the content checksum over the used
+    /// bytes and yields the immutable, shareable [`Segment`].
+    ///
+    /// # Errors
+    /// Propagates arena read errors from the checksum pass.
+    pub fn seal(self) -> Result<Arc<Segment>> {
+        let len = align8(self.len);
+        let checksum = checksum_arena(&self.mem, len)?;
+        Ok(Arc::new(Segment {
+            mem: self.mem,
+            base: self.base,
+            len,
+            roots: self.roots,
+            tid_names: self.tid_names,
+            checksum,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bases_are_disjoint_and_above_segment_base() {
+        let a = SegmentBuilder::new(64).unwrap();
+        let b = SegmentBuilder::new(64).unwrap();
+        assert!(a.base() >= SEGMENT_BASE);
+        assert!(b.base() >= SEGMENT_BASE);
+        assert_ne!(a.base(), b.base());
+        // Guard gap: capacity never reaches the next base.
+        assert!(a.base() + a.capacity() < b.base() || b.base() + b.capacity() < a.base());
+    }
+
+    #[test]
+    fn seal_checksum_detects_tampering() {
+        let mut b = SegmentBuilder::new(64).unwrap();
+        b.store_word(0, 0xfeed).unwrap();
+        b.store_word(8, 0xbeef).unwrap();
+        let seg = b.seal().unwrap();
+        assert!(seg.verify_checksum());
+        // Forge a write through the raw handle (the attacher-side mapping
+        // would reject this; the checksum is the second line of defense).
+        seg.raw_mem().store_word(8, 0xdead).unwrap();
+        assert!(!seg.verify_checksum());
+    }
+
+    #[test]
+    fn roots_and_tid_names_survive_seal() {
+        let mut b = SegmentBuilder::new(32).unwrap();
+        let base = b.base();
+        b.store_word(0, 1).unwrap();
+        b.push_root(Addr::from_raw(base));
+        b.record_tid(7, "java.lang.String");
+        b.record_tid(7, "shadowed");
+        let seg = b.seal().unwrap();
+        assert_eq!(seg.roots(), &[Addr::from_raw(base)]);
+        assert_eq!(seg.name_for_tid(7), Some("java.lang.String"));
+        assert_eq!(seg.name_for_tid(8), None);
+        assert!(seg.contains(Addr::from_raw(base)));
+        assert!(!seg.contains(Addr::from_raw(base + seg.len())));
+    }
+}

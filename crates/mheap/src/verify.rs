@@ -62,6 +62,26 @@ pub enum HeapFault {
         /// The young-generation target the remembered set is missing.
         target: u64,
     },
+    /// An attached sealed segment's bytes no longer match its seal-time
+    /// checksum — something wrote into memory that every attacher relies
+    /// on being immutable (the arena mapping rejects in-heap stores, so
+    /// this means out-of-band tampering through a raw handle).
+    TamperedSegment {
+        /// Base of the tampered segment.
+        base: u64,
+    },
+    /// A reference inside a sealed segment escapes the segment. Segments
+    /// must be self-contained: an outbound reference would go stale the
+    /// moment the owning heap's GC moved the referent, because no GC ever
+    /// scans or patches sealed segment memory.
+    SegmentEscapingRef {
+        /// The segment-resident object.
+        obj: u64,
+        /// Slot offset within the object.
+        offset: u64,
+        /// The out-of-segment target.
+        target: u64,
+    },
 }
 
 impl std::fmt::Display for HeapFault {
@@ -84,6 +104,16 @@ impl std::fmt::Display for HeapFault {
                     f,
                     "old-gen object {obj:#x} references young-gen {target:#x} but lies on no \
                      dirty card"
+                )
+            }
+            HeapFault::TamperedSegment { base } => {
+                write!(f, "sealed segment {base:#x} fails its seal-time checksum")
+            }
+            HeapFault::SegmentEscapingRef { obj, offset, target } => {
+                write!(
+                    f,
+                    "segment object {obj:#x}+{offset} references {target:#x} outside its sealed \
+                     segment"
                 )
             }
         }
@@ -155,6 +185,37 @@ impl Vm {
                 }
             }
         }
+        // Attached segments: walk each linearly so references into them
+        // resolve to valid headers, and check the first sharing invariant
+        // (immutability) against the seal-time checksum. The second
+        // invariant (self-containment) is checked per reference below.
+        for seg in self.heap().attached_segments() {
+            if !seg.verify_checksum() {
+                faults.push(HeapFault::TamperedSegment { base: seg.base() });
+            }
+            let end = seg.base() + seg.len();
+            let mut at = seg.base();
+            while at < end {
+                let w = self.heap().arena().load_word(at)?;
+                if w == crate::heap::FILLER_WORD {
+                    at += 8;
+                    continue;
+                }
+                match self.klass_of(Addr(at)).and_then(|_| self.obj_size(Addr(at))) {
+                    Ok(size) => {
+                        starts.insert(at);
+                        objs.push(Addr(at));
+                        at += size;
+                    }
+                    Err(_) => {
+                        let kw = self.heap().arena().load_word(at + self.spec().klass_off())?;
+                        faults.push(HeapFault::BadKlassWord { obj: at, word: kw });
+                        // Cannot size an unknown object; stop this segment.
+                        break;
+                    }
+                }
+            }
+        }
         // Second pass: check marks and references.
         for &obj in &objs {
             let m = self.heap().arena().load_word(obj.0)?;
@@ -162,6 +223,7 @@ impl Vm {
                 faults.push(HeapFault::StrayForwarding { obj: obj.0 });
                 continue;
             }
+            let home_seg = self.heap().segment_for(obj);
             let mut young_target: Option<Addr> = None;
             for off in self.ref_slots(obj)? {
                 let tgt = self.read_ref_at(obj, off)?;
@@ -170,6 +232,22 @@ impl Vm {
                 }
                 if self.heap().gen_of(tgt).is_err() {
                     faults.push(HeapFault::DanglingRef { obj: obj.0, offset: off, target: tgt.0 });
+                } else if let Some(seg) = home_seg {
+                    // Self-containment: a segment-resident reference must
+                    // stay inside its own sealed segment.
+                    if !seg.contains(tgt) {
+                        faults.push(HeapFault::SegmentEscapingRef {
+                            obj: obj.0,
+                            offset: off,
+                            target: tgt.0,
+                        });
+                    } else if !starts.contains(&tgt.0) {
+                        faults.push(HeapFault::MisalignedRef {
+                            obj: obj.0,
+                            offset: off,
+                            target: tgt.0,
+                        });
+                    }
                 } else if !starts.contains(&tgt.0) {
                     faults.push(HeapFault::MisalignedRef {
                         obj: obj.0,
@@ -241,6 +319,8 @@ impl Vm {
             match vm.heap().gen_of(a)? {
                 Gen::Young => young += size,
                 Gen::Old => old += size,
+                // walk_heap never enters attached segments.
+                Gen::Segment => {}
             }
             Ok(())
         })?;
@@ -268,7 +348,10 @@ fn _error_is_used(e: Error) -> Error {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
     use crate::klass::{ClassPath, FieldType, KlassDef, PrimType};
+    use crate::segment::{Segment, SegmentBuilder};
     use crate::stdlib::define_core_classes;
     use crate::HeapConfig;
 
@@ -390,6 +473,93 @@ mod tests {
         // And the next minor GC must now see (and keep) the young target.
         v.minor_gc().unwrap();
         assert_heap_ok(&v);
+    }
+
+    /// Seals a one-`VNode` segment by copying a freshly allocated VNode's
+    /// bytes into store-owned memory, rewriting its klass word to a Skyway
+    /// global tid (77) and its `next` slot to `next` (a global address).
+    fn seal_one_vnode(v: &mut Vm, next: Addr) -> Arc<Segment> {
+        let k = v.load_class("VNode").unwrap();
+        let n = v.alloc_instance(k).unwrap();
+        let size = v.obj_size(n).unwrap();
+        let mut bytes = vec![0u8; size as usize];
+        v.heap().arena().read_bytes(n.0, &mut bytes).unwrap();
+        let mut b = SegmentBuilder::new(size).unwrap();
+        b.write_bytes(0, &bytes).unwrap();
+        b.store_word(v.spec().klass_off(), 77).unwrap();
+        b.record_tid(77, "VNode");
+        let f = v.klasses().get(k).unwrap().field_by_name("next").unwrap().clone();
+        b.store_word(f.offset, next.0).unwrap();
+        let root = Addr(b.base());
+        b.push_root(root);
+        b.seal().unwrap()
+    }
+
+    #[test]
+    fn attached_segment_verifies_reads_and_rejects_writes() {
+        let mut v = vm();
+        let seg = seal_one_vnode(&mut v, Addr(0));
+        let base = seg.base();
+        v.heap_mut().attach_segment(seg).unwrap();
+        assert_heap_ok(&v);
+        let root = Addr(base);
+        assert!(matches!(v.gen_of(root), Ok(Gen::Segment)));
+        // Reads resolve through the mapping; the klass word resolves via
+        // the seal-time tid map.
+        assert_eq!(v.klass_of(root).unwrap().name, "VNode");
+        assert!(v.read_ref_at(root, 8).is_ok());
+        // Writes into sealed memory are rejected by the arena routing.
+        let k = v.load_class("VNode").unwrap();
+        let f = v.klasses().get(k).unwrap().field_by_name("next").unwrap().clone();
+        assert!(matches!(
+            v.write_ref_at(root, f.offset, Addr(0)),
+            Err(Error::SegmentReadOnly { .. })
+        ));
+        assert_heap_ok(&v);
+        // After detach the addresses are gone.
+        v.heap_mut().detach_segment(base).unwrap();
+        assert!(v.gen_of(root).is_err());
+        assert_heap_ok(&v);
+    }
+
+    #[test]
+    fn tampered_segment_detected() {
+        let mut v = vm();
+        let seg = seal_one_vnode(&mut v, Addr(0));
+        let base = seg.base();
+        let raw = Arc::clone(&seg);
+        v.heap_mut().attach_segment(seg).unwrap();
+        assert_heap_ok(&v);
+        // Forge a write through the store's raw handle — the attacher-side
+        // mapping would have rejected it, so only the checksum catches it.
+        let k = v.load_class("VNode").unwrap();
+        let f = v.klasses().get(k).unwrap().field_by_name("id").unwrap().clone();
+        raw.raw_mem().store_u32(f.offset, 999).unwrap();
+        let faults = v.verify_heap().unwrap();
+        assert!(
+            matches!(faults.as_slice(), [HeapFault::TamperedSegment { base: b }] if *b == base),
+            "expected TamperedSegment, got {faults:?}"
+        );
+    }
+
+    #[test]
+    fn segment_escaping_ref_detected() {
+        let mut v = vm();
+        let k = v.load_class("VNode").unwrap();
+        let owned = v.alloc_instance(k).unwrap();
+        let _h = v.handle(owned);
+        // Seal a segment whose `next` escapes into the owned heap — the
+        // self-containment invariant every GC relies on is broken.
+        let seg = seal_one_vnode(&mut v, owned);
+        v.heap_mut().attach_segment(seg).unwrap();
+        let faults = v.verify_heap().unwrap();
+        assert!(
+            matches!(
+                faults.as_slice(),
+                [HeapFault::SegmentEscapingRef { target, .. }] if *target == owned.0
+            ),
+            "expected SegmentEscapingRef, got {faults:?}"
+        );
     }
 
     #[test]

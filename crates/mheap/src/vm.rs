@@ -196,6 +196,11 @@ impl Vm {
 
     /// Resolves the klass of an object.
     ///
+    /// For objects inside an attached segment the klass word holds a Skyway
+    /// *global type id* (the sealing VM's local klass id would be
+    /// meaningless here); it is resolved through the segment's seal-time
+    /// name map and loaded into this VM's klass table on first touch.
+    ///
     /// # Errors
     /// [`Error::BadAddress`] for null/invalid addresses.
     pub fn klass_of(&self, obj: Addr) -> Result<Arc<Klass>> {
@@ -203,6 +208,15 @@ impl Vm {
             return Err(Error::BadAddress(0));
         }
         let kw = self.heap.arena().load_word(obj.0 + self.spec().klass_off())?;
+        if let Some(seg) = self.heap.segment_for(obj) {
+            let tid = kw as u32;
+            let name = seg.name_for_tid(tid).ok_or(Error::UnknownKlass(tid))?;
+            if let Some(k) = self.klasses.by_name(name) {
+                return Ok(k);
+            }
+            let id = self.klasses.load(name, &self.classpath, self.heap.spec())?;
+            return self.klasses.get(id);
+        }
         self.klasses.get(KlassId(kw as u32))
     }
 

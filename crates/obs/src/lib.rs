@@ -58,6 +58,9 @@ pub mod names {
     /// Counter: transfers the adaptive policy ran on the work-stealing
     /// parallel path.
     pub const PIPELINE_MODE_PARALLEL: &str = "skyway.pipeline.mode_parallel";
+    /// Counter: transfers that took the same-node zero-copy shared-segment
+    /// path instead of any cloning mode.
+    pub const PIPELINE_MODE_SHARED: &str = "skyway.pipeline.mode_shared";
     /// Gauge: the engine's current adaptive chunk limit in bytes.
     pub const PIPELINE_CHUNK_LIMIT: &str = "skyway.pipeline.chunk_limit";
 
@@ -104,6 +107,24 @@ pub mod names {
     /// Counter: header words cleared by baddr scrub passes.
     pub const SHUFFLE_BADDR_WORDS_SCRUBBED: &str = "skyway.shuffle.baddr_words_scrubbed";
 
+    /// Counter: object graphs sealed into the node-local segment store.
+    pub const SEGSTORE_SEALS: &str = "skyway.segstore.seals";
+    /// Counter: metadata-only segment attaches served by the store.
+    pub const SEGSTORE_ATTACHES: &str = "skyway.segstore.attaches";
+    /// Counter: segment detaches (refcount drops) processed by the store.
+    pub const SEGSTORE_DETACHES: &str = "skyway.segstore.detaches";
+    /// Counter: segments whose memory was reclaimed after the last
+    /// attacher dropped and the reclamation epoch advanced.
+    pub const SEGSTORE_RECLAIMED: &str = "skyway.segstore.reclaimed";
+    /// Counter: bytes written into store-owned memory by seals.
+    pub const SEGSTORE_BYTES_SEALED: &str = "skyway.segstore.bytes_sealed";
+    /// Counter: bytes a same-node transfer would have cloned but shared
+    /// instead (the zero-copy win; gated by the segstore-smoke CI job).
+    pub const SEGSTORE_BYTES_NOT_COPIED: &str = "skyway.segstore.bytes_not_copied";
+    /// Gauge: sealed segments currently live in the store (attached,
+    /// attachable, or awaiting epoch reclamation).
+    pub const SEGSTORE_SEGMENTS_LIVE: &str = "skyway.segstore.segments_live";
+
     /// Counter: full (mark-compact) collections.
     pub const GC_FULL_GCS: &str = "mheap.gc.full_gcs";
     /// Counter: minor (young-generation) collections.
@@ -149,6 +170,13 @@ pub mod names {
     /// Span: one GC pause, attributed to the transfer that last touched
     /// the collecting VM's heap.
     pub const TRACE_GC_PAUSE: &str = "trace.gc.pause";
+    /// Span: traversing and sealing one graph into a store segment.
+    pub const TRACE_SEGSTORE_SEAL: &str = "trace.segstore.seal";
+    /// Span: one metadata-only segment attach into a co-located heap.
+    pub const TRACE_SEGSTORE_ATTACH: &str = "trace.segstore.attach";
+    /// Span: one segment detach (refcount drop, possibly queueing the
+    /// segment for epoch reclamation).
+    pub const TRACE_SEGSTORE_DETACH: &str = "trace.segstore.detach";
 }
 
 use std::collections::BTreeMap;

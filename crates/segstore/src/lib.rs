@@ -1,0 +1,601 @@
+//! `segstore` — a node-local store of sealed, immutable, refcounted heap
+//! segments for zero-copy same-node transfer.
+//!
+//! Skyway removes serialization from distributed transfer, but a same-node
+//! "transfer" through the pipeline still clones the object graph byte by
+//! byte between two co-located heaps — pure waste when sender and receiver
+//! share physical memory. This crate adds the missing tier (the
+//! vineyard-style immutable object store):
+//!
+//! * [`SegStore::seal`] runs the normal [`skyway::GraphSender`] traversal
+//!   over a root set, but lands the stream in *store-owned* memory and
+//!   absolutizes every reference against the segment's global base
+//!   ([`mheap::SEGMENT_BASE`]-region addresses are valid in every
+//!   attacher). The result is a sealed [`mheap::Segment`]: heap-format
+//!   objects, checksummed, never written again.
+//! * [`SegStore::attach`] hands a co-located VM the whole graph as a
+//!   *metadata-only* operation: the segment's memory is mapped into the
+//!   heap's address space, no byte is cloned, no card is dirtied, no
+//!   reference is fixed up. N attachers share one copy; the store
+//!   refcounts them.
+//! * [`SegStore::detach`] drops one attacher. When the last one drops,
+//!   the segment retires into a limbo list stamped with the store's
+//!   current epoch; [`SegStore::advance_epoch`] reclaims retired segments
+//!   from earlier epochs. A segment is therefore freed only after every
+//!   attacher has detached *and* a full epoch has passed — the
+//!   epoch/refcount scheme that keeps a GC-ing attacher from racing
+//!   reclamation.
+//!
+//! [`shared_transfer`] packages seal + attach as a drop-in fourth
+//! transfer mode (reported as [`TransferMode::Shared`]) next to the
+//! pipeline engine's inline/pipelined/parallel policy, for callers like
+//! `sparklite` that pick it automatically when source and destination are
+//! the same node.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mheap::{Addr, KlassKind, Segment, SegmentBuilder, Vm, FILLER_WORD};
+use parking_lot::Mutex;
+use simnet::NodeId;
+use skyway::buffer::{TOP_MARK, TOP_REF};
+use skyway::{
+    GraphSender, PipelineReport, ReceiveStats, SendConfig, SendStats, Tracking, TransferMode,
+    TypeDirectory,
+};
+
+/// Errors produced by the segment store.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying Skyway (sender/registry) error during sealing.
+    Core(skyway::Error),
+    /// Underlying heap error during attach/detach.
+    Heap(mheap::Error),
+    /// No live segment with this base is in the store.
+    UnknownSegment(u64),
+    /// The sealed stream was malformed (truncated or unparseable).
+    BadStream(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "seal error: {e}"),
+            Error::Heap(e) => write!(f, "heap error: {e}"),
+            Error::UnknownSegment(base) => {
+                write!(f, "no live segment with base {base:#x} in the store")
+            }
+            Error::BadStream(s) => write!(f, "bad sealed stream: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<skyway::Error> for Error {
+    fn from(e: skyway::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<mheap::Error> for Error {
+    fn from(e: mheap::Error) -> Self {
+        Error::Heap(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// What one seal produced.
+#[derive(Debug, Clone)]
+pub struct SealReport {
+    /// Base of the sealed segment (the attach key).
+    pub base: u64,
+    /// Bytes of store-owned memory the graph occupies.
+    pub bytes: u64,
+    /// Sender-side composition statistics of the traversal.
+    pub stats: SendStats,
+    /// Number of graph roots recorded in the segment.
+    pub roots: usize,
+    /// Wall-clock nanoseconds the seal took (traversal + translation).
+    pub seal_ns: u64,
+}
+
+/// One live segment: the sealed memory plus its attach refcount.
+#[derive(Debug)]
+struct Entry {
+    seg: Arc<Segment>,
+    attachers: u32,
+    ever_attached: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Live (attachable) segments by base.
+    segments: HashMap<u64, Entry>,
+    /// Reclamation epoch; bumped by [`SegStore::advance_epoch`].
+    epoch: u64,
+    /// Retired segments awaiting reclamation: `(retire_epoch, segment)`.
+    limbo: Vec<(u64, Arc<Segment>)>,
+}
+
+/// Cached observability handles (`skyway.segstore.*`).
+#[derive(Debug)]
+struct StoreMetrics {
+    registry: Arc<obs::Registry>,
+    seals: Arc<obs::Counter>,
+    attaches: Arc<obs::Counter>,
+    detaches: Arc<obs::Counter>,
+    reclaimed: Arc<obs::Counter>,
+    bytes_sealed: Arc<obs::Counter>,
+    bytes_not_copied: Arc<obs::Counter>,
+    segments_live: Arc<obs::Gauge>,
+    mode_shared: Arc<obs::Counter>,
+}
+
+impl StoreMetrics {
+    fn new(registry: Arc<obs::Registry>) -> Self {
+        StoreMetrics {
+            seals: registry.counter(obs::names::SEGSTORE_SEALS),
+            attaches: registry.counter(obs::names::SEGSTORE_ATTACHES),
+            detaches: registry.counter(obs::names::SEGSTORE_DETACHES),
+            reclaimed: registry.counter(obs::names::SEGSTORE_RECLAIMED),
+            bytes_sealed: registry.counter(obs::names::SEGSTORE_BYTES_SEALED),
+            bytes_not_copied: registry.counter(obs::names::SEGSTORE_BYTES_NOT_COPIED),
+            segments_live: registry.gauge(obs::names::SEGSTORE_SEGMENTS_LIVE),
+            mode_shared: registry.counter(obs::names::PIPELINE_MODE_SHARED),
+            registry,
+        }
+    }
+}
+
+/// The node-local segment store. One per simulated node; every VM on the
+/// node seals into and attaches from the same store.
+#[derive(Debug)]
+pub struct SegStore {
+    inner: Mutex<Inner>,
+    metrics: StoreMetrics,
+}
+
+impl Default for SegStore {
+    fn default() -> Self {
+        SegStore::new()
+    }
+}
+
+impl SegStore {
+    /// An empty store reporting to the process-wide metrics registry.
+    pub fn new() -> Self {
+        SegStore {
+            inner: Mutex::new(Inner::default()),
+            metrics: StoreMetrics::new(Arc::clone(obs::global())),
+        }
+    }
+
+    /// Reports into `registry` instead of the process-wide default
+    /// (scoped registries keep test assertions exact).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<obs::Registry>) -> Self {
+        self.metrics = StoreMetrics::new(registry);
+        self
+    }
+
+    /// Seals the object graphs of `roots` from `vm` (running on `node`)
+    /// into a new store-owned segment and returns its report. The
+    /// traversal is the ordinary Skyway sender with hash-table visited
+    /// tracking (sealing must not scribble `baddr` words the concurrent
+    /// shuffle machinery owns); the stream is then translated in one
+    /// linear pass — markers become filler, klass words keep their global
+    /// tIDs, references become absolute segment addresses.
+    ///
+    /// # Errors
+    /// Sender/registry errors; [`Error::BadStream`] on a malformed stream.
+    pub fn seal(
+        &self,
+        vm: &Vm,
+        dir: &TypeDirectory,
+        node: NodeId,
+        roots: &[Addr],
+    ) -> Result<SealReport> {
+        self.seal_traced(vm, dir, node, roots, obs::TraceCtx::NONE)
+    }
+
+    /// [`SegStore::seal`] attributed to trace context `ctx` (emits a
+    /// `trace.segstore.seal` span when tracing is on).
+    pub fn seal_traced(
+        &self,
+        vm: &Vm,
+        dir: &TypeDirectory,
+        node: NodeId,
+        roots: &[Addr],
+        ctx: obs::TraceCtx,
+    ) -> Result<SealReport> {
+        let t0 = Instant::now();
+        // 1. Traverse: one giant chunk limit keeps the stream in a single
+        //    contiguous buffer (the logical address space is gapless, so
+        //    multiple chunks would concatenate to the same bytes anyway).
+        let cfg = SendConfig {
+            chunk_limit: usize::MAX / 2,
+            receiver_spec: vm.spec(),
+            tracking: Tracking::HashTable,
+        };
+        let mut gs = GraphSender::new(vm, dir, node, 1, 0, cfg)?;
+        for &root in roots {
+            gs.write_root(root)?;
+        }
+        let out = gs.finish();
+        let mut bytes: Vec<u8> = Vec::with_capacity(out.stats.total_bytes as usize);
+        for c in &out.chunks {
+            bytes.extend_from_slice(c);
+        }
+
+        // 2. Translate into store-owned memory.
+        let mut b = SegmentBuilder::new(bytes.len() as u64)?;
+        translate_stream(vm, dir, node, &bytes, &mut b)?;
+        let seg = b.seal()?;
+        let base = seg.base();
+        let len = seg.len();
+        let n_roots = seg.roots().len();
+
+        // 3. Publish.
+        {
+            let mut inner = self.inner.lock();
+            inner.segments.insert(base, Entry { seg, attachers: 0, ever_attached: false });
+            self.update_live_gauge(&inner);
+        }
+        self.metrics.seals.inc();
+        self.metrics.bytes_sealed.add(len);
+        let seal_ns = t0.elapsed().as_nanos() as u64;
+        self.metrics.registry.tracer().record_closed(
+            obs::names::TRACE_SEGSTORE_SEAL,
+            ctx,
+            &vm.name,
+            seal_ns,
+            &[("bytes", len), ("objects", out.stats.objects), ("roots", n_roots as u64)],
+        );
+        Ok(SealReport { base, bytes: len, stats: out.stats, roots: n_roots, seal_ns })
+    }
+
+    /// Attaches the segment at `base` to `vm`: maps the sealed memory into
+    /// the heap's address space and returns the graph roots (now ordinary
+    /// readable addresses in `vm`). Metadata-only — nothing is cloned, no
+    /// card is dirtied, no reference is rewritten.
+    ///
+    /// # Errors
+    /// [`Error::UnknownSegment`]; heap errors (e.g. double attach).
+    pub fn attach(&self, vm: &mut Vm, base: u64) -> Result<Vec<Addr>> {
+        self.attach_traced(vm, base, obs::TraceCtx::NONE)
+    }
+
+    /// [`SegStore::attach`] attributed to trace context `ctx` (emits a
+    /// `trace.segstore.attach` span when tracing is on).
+    pub fn attach_traced(&self, vm: &mut Vm, base: u64, ctx: obs::TraceCtx) -> Result<Vec<Addr>> {
+        let t0 = Instant::now();
+        let seg = {
+            let mut inner = self.inner.lock();
+            let entry = inner.segments.get_mut(&base).ok_or(Error::UnknownSegment(base))?;
+            entry.attachers += 1;
+            entry.ever_attached = true;
+            Arc::clone(&entry.seg)
+        };
+        if let Err(e) = vm.heap_mut().attach_segment(Arc::clone(&seg)) {
+            // Roll the refcount back — the heap rejected the mapping.
+            let mut inner = self.inner.lock();
+            if let Some(entry) = inner.segments.get_mut(&base) {
+                entry.attachers = entry.attachers.saturating_sub(1);
+            }
+            return Err(Error::Heap(e));
+        }
+        self.metrics.attaches.inc();
+        self.metrics.bytes_not_copied.add(seg.len());
+        self.metrics.registry.tracer().record_closed(
+            obs::names::TRACE_SEGSTORE_ATTACH,
+            ctx,
+            &vm.name,
+            t0.elapsed().as_nanos() as u64,
+            &[("base", base), ("bytes_not_copied", seg.len())],
+        );
+        Ok(seg.roots().to_vec())
+    }
+
+    /// Detaches the segment at `base` from `vm` and drops one attacher.
+    /// When the last attacher drops, the segment retires into limbo at the
+    /// current epoch; its memory survives until a later
+    /// [`SegStore::advance_epoch`] reclaims it.
+    ///
+    /// # Errors
+    /// [`Error::UnknownSegment`]; heap errors (not attached to `vm`).
+    pub fn detach(&self, vm: &mut Vm, base: u64) -> Result<()> {
+        self.detach_traced(vm, base, obs::TraceCtx::NONE)
+    }
+
+    /// [`SegStore::detach`] attributed to trace context `ctx` (emits a
+    /// `trace.segstore.detach` span when tracing is on).
+    pub fn detach_traced(&self, vm: &mut Vm, base: u64, ctx: obs::TraceCtx) -> Result<()> {
+        let t0 = Instant::now();
+        vm.heap_mut().detach_segment(base)?;
+        let retired = {
+            let mut inner = self.inner.lock();
+            let entry = inner.segments.get_mut(&base).ok_or(Error::UnknownSegment(base))?;
+            entry.attachers = entry.attachers.saturating_sub(1);
+            let retire = entry.attachers == 0 && entry.ever_attached;
+            if retire {
+                // Refcount reached zero: out of the attachable set, into
+                // limbo until the epoch advances past the retirement.
+                if let Some(entry) = inner.segments.remove(&base) {
+                    let epoch = inner.epoch;
+                    inner.limbo.push((epoch, entry.seg));
+                }
+                self.update_live_gauge(&inner);
+            }
+            retire
+        };
+        self.metrics.detaches.inc();
+        self.metrics.registry.tracer().record_closed(
+            obs::names::TRACE_SEGSTORE_DETACH,
+            ctx,
+            &vm.name,
+            t0.elapsed().as_nanos() as u64,
+            &[("base", base), ("retired", u64::from(retired))],
+        );
+        Ok(())
+    }
+
+    /// Advances the reclamation epoch and frees every segment that retired
+    /// in an earlier epoch (its last attacher detached before this call
+    /// began — no attacher can still hold addresses into it). Returns the
+    /// number of segments reclaimed.
+    pub fn advance_epoch(&self) -> usize {
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        let before = inner.limbo.len();
+        // Dropping the Arc here is the reclamation: the store holds the
+        // last strong reference once every attacher has detached.
+        inner.limbo.retain(|(retired, _)| *retired >= epoch);
+        let freed = before - inner.limbo.len();
+        self.metrics.reclaimed.add(freed as u64);
+        self.update_live_gauge(&inner);
+        freed
+    }
+
+    /// Current attach refcount of a live segment (`None` once retired or
+    /// never sealed).
+    pub fn refcount(&self, base: u64) -> Option<u32> {
+        self.inner.lock().segments.get(&base).map(|e| e.attachers)
+    }
+
+    /// Segments currently owned by the store (attachable + limbo).
+    pub fn live_segments(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.segments.len() + inner.limbo.len()
+    }
+
+    /// The sealed segment at `base`, if still attachable.
+    pub fn segment(&self, base: u64) -> Option<Arc<Segment>> {
+        self.inner.lock().segments.get(&base).map(|e| Arc::clone(&e.seg))
+    }
+
+    /// Bases of every attachable (non-retired) segment.
+    pub fn bases(&self) -> Vec<u64> {
+        self.inner.lock().segments.keys().copied().collect()
+    }
+
+    /// Counts one shared-mode transfer on the engine's mode-policy metric
+    /// (`skyway.pipeline.mode_shared`). [`shared_transfer`] calls this
+    /// itself; callers that split seal and attach across a stage boundary
+    /// (e.g. a map-side seal with a reduce-side attach) call it once per
+    /// logical transfer so the mode census stays comparable to the
+    /// pipeline engine's inline/pipelined/parallel counters.
+    pub fn note_shared_mode(&self) {
+        self.metrics.mode_shared.inc();
+    }
+
+    fn update_live_gauge(&self, inner: &Inner) {
+        self.metrics.segments_live.set((inner.segments.len() + inner.limbo.len()) as i64);
+    }
+}
+
+/// Rewrites the reference slot at stream offset `off` from the wire's
+/// relative-plus-one encoding (0 = null) to an absolute segment address.
+fn absolutize_ref(bytes: &[u8], b: &mut SegmentBuilder, base: u64, off: u64) -> Result<()> {
+    let v = word_at(bytes, off)?;
+    if v != 0 {
+        b.store_word(off, base + (v - 1))?;
+    }
+    Ok(())
+}
+
+/// Reads the little-endian word at byte offset `at` of the sealed stream.
+fn word_at(bytes: &[u8], at: u64) -> Result<u64> {
+    let i = at as usize;
+    let s =
+        bytes.get(i..i + 8).ok_or_else(|| Error::BadStream(format!("truncated at offset {at}")))?;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(s);
+    Ok(u64::from_le_bytes(a))
+}
+
+/// One linear pass over a sealed sender stream, writing the segment image:
+///
+/// * the raw bytes land at the same offsets (logical address == segment-
+///   relative offset — the sender's logical space is gapless),
+/// * `TOP_MARK` / `TOP_REF` markers become filler words the heap walkers
+///   skip, with the root addresses recorded on the builder,
+/// * klass words keep their Skyway global tIDs (recorded in the builder's
+///   tid→name map so any attacher can resolve them locally), and
+/// * reference slots go from relative-plus-one to absolute global
+///   addresses (`base + rel`), valid unchanged in every attacher.
+fn translate_stream(
+    vm: &Vm,
+    dir: &TypeDirectory,
+    node: NodeId,
+    bytes: &[u8],
+    b: &mut SegmentBuilder,
+) -> Result<()> {
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    b.write_bytes(0, bytes)?;
+    let base = b.base();
+    let spec = vm.spec();
+    let len = bytes.len() as u64;
+    let mut at = 0u64;
+    // tid → klass, resolved (and recorded on the builder) once per class
+    // instead of once per object — name lookups dominate otherwise.
+    let mut klass_cache: HashMap<u32, Arc<mheap::Klass>> = HashMap::new();
+    while at < len {
+        let w = word_at(bytes, at)?;
+        if w == TOP_MARK {
+            b.store_word(at, FILLER_WORD)?;
+            b.push_root(Addr(base + at + 8));
+            at += 8;
+            continue;
+        }
+        if w == TOP_REF {
+            let rel = word_at(bytes, at + 8)?
+                .checked_sub(1)
+                .ok_or_else(|| Error::BadStream(format!("null backward ref at {at}")))?;
+            b.store_word(at, FILLER_WORD)?;
+            b.store_word(at + 8, FILLER_WORD)?;
+            b.push_root(Addr(base + rel));
+            at += 16;
+            continue;
+        }
+        // An object: `w` is its (sanitized) mark word; the next word is
+        // the global tID the sender wrote in place of a local klass id.
+        let tid = word_at(bytes, at + spec.klass_off())? as u32;
+        let klass = match klass_cache.get(&tid) {
+            Some(k) => Arc::clone(k),
+            None => {
+                let name = dir.name_for_tid(node, tid)?;
+                let k = match vm.klasses().by_name(&name) {
+                    Some(k) => k,
+                    None => {
+                        let id = vm.klasses().load(&name, vm.classpath(), spec)?;
+                        vm.klasses().get(id)?
+                    }
+                };
+                b.record_tid(tid, &name);
+                klass_cache.insert(tid, Arc::clone(&k));
+                k
+            }
+        };
+        let size = match klass.kind {
+            KlassKind::Instance => {
+                for f in &klass.fields {
+                    if matches!(f.ty, mheap::FieldType::Ref) {
+                        absolutize_ref(bytes, b, base, at + f.offset)?;
+                    }
+                }
+                klass.instance_size
+            }
+            KlassKind::PrimArray(_) | KlassKind::RefArray => {
+                let alen = match spec.array_len_size {
+                    8 => word_at(bytes, at + spec.array_len_off())?,
+                    4 => {
+                        let w =
+                            word_at(bytes, at + spec.array_len_off() - (spec.array_len_off() % 8))?;
+                        // 4-byte length shares a word; isolate it.
+                        let shift = (spec.array_len_off() % 8) * 8;
+                        (w >> shift) & 0xffff_ffff
+                    }
+                    n => return Err(Error::BadStream(format!("array_len_size {n}"))),
+                };
+                let es = u64::from(klass.elem_size()?);
+                if matches!(klass.kind, KlassKind::RefArray) {
+                    for i in 0..alen {
+                        absolutize_ref(bytes, b, base, at + spec.array_header() + i * 8)?;
+                    }
+                }
+                mheap::layout::align8(spec.array_header() + alen * es)
+            }
+        };
+        if size == 0 {
+            return Err(Error::BadStream(format!("zero-sized object at {at}")));
+        }
+        at += size;
+    }
+    Ok(())
+}
+
+/// Same-node zero-copy transfer: seals `roots` from `sender_vm` into the
+/// store and attaches the segment to `receiver_vm`, returning the received
+/// roots and a [`PipelineReport`] with [`TransferMode::Shared`] — the
+/// fourth mode next to the engine's inline/pipelined/parallel policy.
+/// `receive`-side statistics show zero chunks, fixups, and dirtied cards:
+/// that absence *is* the mode's win, and `bytes_not_copied` (the segment
+/// length) lands on the `skyway.segstore.bytes_not_copied` counter.
+///
+/// # Errors
+/// Seal or attach errors.
+pub fn shared_transfer(
+    store: &SegStore,
+    sender_vm: &Vm,
+    receiver_vm: &mut Vm,
+    dir: &TypeDirectory,
+    node: NodeId,
+    roots: &[Addr],
+) -> Result<(Vec<Addr>, PipelineReport)> {
+    shared_transfer_with_trace(store, sender_vm, receiver_vm, dir, node, roots, obs::TraceCtx::NONE)
+}
+
+/// [`shared_transfer`] attributed to a parent trace context.
+///
+/// # Errors
+/// Seal or attach errors.
+pub fn shared_transfer_with_trace(
+    store: &SegStore,
+    sender_vm: &Vm,
+    receiver_vm: &mut Vm,
+    dir: &TypeDirectory,
+    node: NodeId,
+    roots: &[Addr],
+    parent: obs::TraceCtx,
+) -> Result<(Vec<Addr>, PipelineReport)> {
+    let t0 = Instant::now();
+    let seal = store.seal_traced(sender_vm, dir, node, roots, parent)?;
+    let roots_out = store.attach_traced(receiver_vm, seal.base, parent)?;
+    store.note_shared_mode();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let recv_stats = ReceiveStats {
+        objects: seal.stats.objects,
+        bytes: seal.bytes,
+        chunks: 0,
+        classes_loaded: 0,
+        ref_fixups: 0,
+        cards_dirtied: 0,
+    };
+    let report = PipelineReport {
+        send_stats: seal.stats,
+        recv_stats,
+        chunk_bytes: Vec::new(),
+        pipelined_ns: wall_ns,
+        sequential_ns: wall_ns,
+        produce_ns: seal.seal_ns,
+        wire_ns: 0,
+        absorb_ns: 0,
+        sender_stall_ns: 0,
+        receiver_stall_ns: 0,
+        pool_hits: 0,
+        pool_misses: 0,
+        max_in_flight: 0,
+        mode: TransferMode::Shared,
+        workers: 1,
+        steals: 0,
+        link_utilization_pct: 0.0,
+    };
+    Ok((roots_out, report))
+}

@@ -238,6 +238,72 @@ fn pipelined_shuffle_matches_sequential_results() {
 }
 
 #[test]
+fn shared_segment_shuffle_matches_spill_results() {
+    let mk = |shared: bool| {
+        SparkCluster::new(&SparkConfig {
+            n_workers: 3,
+            serializer: SerializerKind::Skyway,
+            heap_bytes: 48 << 20,
+            shared_segments: shared,
+            ..SparkConfig::default()
+        })
+        .unwrap()
+    };
+    let mut spill = mk(false);
+    let mut shared = mk(true);
+    let a = run_wordcount(&mut spill, sample_lines()).unwrap();
+    let b = run_wordcount(&mut shared, sample_lines()).unwrap();
+    assert_eq!(a, b);
+
+    // The same-node buckets really took the seal/attach path…
+    assert!(shared.shared_spill_count() > 0, "no same-node bucket was sealed");
+    assert_eq!(
+        shared.segment_store().live_segments(),
+        shared.shared_spill_count(),
+        "every sealed spill segment must still be live while attached"
+    );
+    // …and every attached heap still verifies clean.
+    for n in shared.worker_nodes() {
+        assert_eq!(shared.vm(n).verify_heap().unwrap(), vec![]);
+    }
+    // After the workload released its datasets, the spill segments can be
+    // detached and reclaimed in one epoch.
+    let attached = shared.shared_spill_count();
+    assert_eq!(shared.reclaim_shared_spills().unwrap(), attached);
+    assert_eq!(shared.segment_store().live_segments(), 0);
+
+    // Larger, multi-shuffle workload for the same equivalence.
+    let g = generate(GraphKind::LiveJournal, 20_000, 7);
+    let mut spill = mk(false);
+    let mut shared = mk(true);
+    let a = run_pagerank(&mut spill, &g, 3, 5).unwrap();
+    let b = run_pagerank(&mut shared, &g, 3, 5).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.0, y.0);
+        assert!((x.1 - y.1).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn broadcast_is_one_segment_with_refcount_n() {
+    let mut sc = cluster(SerializerKind::Skyway);
+    let n = sc.n_workers();
+    let b = sc.broadcast(|vm| sparklite::classes::new_edge(vm, 40, 2)).unwrap();
+    // One sealed copy, one attach per worker: refcount == N.
+    assert_eq!(sc.segment_store().refcount(b.base), Some(n as u32));
+    // Every worker reads the same physical object at the same address.
+    for w in sc.worker_nodes() {
+        let (src, dst) = sparklite::classes::read_edge(sc.vm(w), b.root).unwrap();
+        assert_eq!((src, dst), (40, 2));
+        assert_eq!(sc.vm(w).verify_heap().unwrap(), vec![]);
+    }
+    sc.drop_broadcast(b).unwrap();
+    assert_eq!(sc.segment_store().refcount(b.base), None);
+    assert_eq!(sc.segment_store().live_segments(), 0);
+}
+
+#[test]
 fn parallel_pipelined_shuffle_matches_sequential_results() {
     let mk = |workers: usize| {
         SparkCluster::new(&SparkConfig {

@@ -3,9 +3,12 @@
 //! See the individual crates for the real content:
 //! [`mheap`] (managed-heap substrate), [`simnet`] (cluster/cost model),
 //! [`serlab`] (baseline serializers), [`skyway`] (the paper's contribution),
-//! [`sparklite`] and [`flinklite`] (the big-data engines under test).
+//! [`segstore`] (node-local sealed segments for zero-copy same-node
+//! transfer), [`sparklite`] and [`flinklite`] (the big-data engines under
+//! test).
 pub use flinklite;
 pub use mheap;
+pub use segstore;
 pub use serlab;
 pub use simnet;
 pub use skyway;
