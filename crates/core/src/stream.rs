@@ -41,11 +41,15 @@ impl ShuffleController {
     /// The current shuffle phase's one-byte `sID` (never 0 — 0 means
     /// "never visited", the state of a freshly allocated object).
     pub fn sid(&self) -> u8 {
+        // ORDER: Acquire — pairs with the AcqRel phase bump in
+        // `start_phase`: a sender that reads the new phase also sees the
+        // stream-counter reset ordered before it became visible.
         ((self.phase.load(Ordering::Acquire) - 1) % 255 + 1) as u8
     }
 
     /// Monotonic phase number (diagnostics).
     pub fn phase(&self) -> u64 {
+        // ORDER: Acquire — same pairing as `sid`.
         self.phase.load(Ordering::Acquire)
     }
 
@@ -53,7 +57,13 @@ impl ShuffleController {
     /// Returns `true` when the one-byte `sID` wrapped around, in which case
     /// the caller must run [`scrub_baddrs`] before sending.
     pub fn start_phase(&self) -> bool {
+        // ORDER: AcqRel — the Release half publishes the phase transition
+        // to `sid`/`phase` Acquire readers; the Acquire half orders this
+        // bump after any previous phase's bump it follows.
         let p = self.phase.fetch_add(1, Ordering::AcqRel) + 1;
+        // ORDER: Release — the counter reset must not be reordered after
+        // the phase becomes visible, or a racing `next_stream` could hand
+        // out a stale high id inside the new phase.
         self.stream_counter.store(0, Ordering::Release);
         let wrapped = (p - 1).is_multiple_of(255);
         let reg = obs::global();
@@ -70,6 +80,10 @@ impl ShuffleController {
     /// destination buffer / sender thread gets its own).
     pub fn next_stream(&self) -> u16 {
         obs::global().counter(obs::names::SHUFFLE_STREAMS_ALLOCATED).inc();
+        // ORDER: AcqRel — the Acquire half orders the allocation after the
+        // phase-start counter reset (Release in `start_phase`); the
+        // Release half keeps the RMW chain a release sequence so later
+        // allocators inherit that edge.
         (self.stream_counter.fetch_add(1, Ordering::AcqRel) % 0xfffe) as u16 + 1
     }
 
@@ -79,6 +93,7 @@ impl ShuffleController {
     pub fn next_stream_block(&self, n: u16) -> u16 {
         let n = n.max(1);
         obs::global().counter(obs::names::SHUFFLE_STREAMS_ALLOCATED).add(u64::from(n));
+        // ORDER: AcqRel — same pairing as `next_stream`.
         let base = self.stream_counter.fetch_add(u32::from(n), Ordering::AcqRel);
         (base % 0xfffe) as u16 + 1
     }

@@ -379,6 +379,10 @@ impl Heap {
     /// bump cursor is the only mutable space state in play.
     pub fn begin_shared_old_alloc(&mut self) {
         debug_assert!(!self.shared_active, "shared old-gen window already open");
+        // ORDER: Release — publishes the seeded cursor (and every heap
+        // write program-ordered before opening the window) to workers
+        // whose first sight of it is the Acquire side of the CAS in
+        // `shared_alloc_raw_old`.
         self.shared_top.store(self.old.top, Ordering::Release);
         self.shared_active = true;
     }
@@ -387,6 +391,10 @@ impl Heap {
     /// `old.top` and refreshes the peak-usage high-water mark.
     pub fn end_shared_old_alloc(&mut self) {
         debug_assert!(self.shared_active, "shared old-gen window not open");
+        // ORDER: Acquire — pairs with the Release half of each worker's
+        // claiming CAS: every region claim (and the zero/filler writes the
+        // claimer made before returning) is ordered before the window
+        // close folds the cursor back into exclusive state.
         self.old.top = self.shared_top.load(Ordering::Acquire);
         self.shared_active = false;
         self.note_usage();
@@ -403,12 +411,20 @@ impl Heap {
     pub fn shared_alloc_raw_old(&self, len: u64) -> Result<Addr> {
         debug_assert!(self.shared_active, "shared old-gen window not open");
         let len = align8(len);
+        // The seed load may be stale — the CAS below revalidates it, so
+        // Relaxed is enough here.
         let mut cur = self.shared_top.load(Ordering::Relaxed);
         loop {
             let end = cur.checked_add(len).ok_or(Error::OldGenFull { requested: len })?;
             if end > self.old.end {
                 return Err(Error::OldGenFull { requested: len });
             }
+            // ORDER: AcqRel on success — Acquire pairs with the window
+            // opener's Release store (the claimed region's bounds are only
+            // meaningful after the seed publish) and with prior claimers'
+            // Release halves; Release orders this claim before the window
+            // close's Acquire load in `end_shared_old_alloc`. Failure is
+            // Relaxed: a lost race only reseeds the loop.
             match self.shared_top.compare_exchange_weak(
                 cur,
                 end,

@@ -218,6 +218,9 @@ impl Klass {
 
     /// The Skyway global type id, if assigned.
     pub fn tid(&self) -> Option<u32> {
+        // ORDER: Acquire — pairs with the Release store in `set_tid`, so a
+        // reader that sees the tid also sees the directory registration
+        // writes ordered before publication.
         match self.tid.load(Ordering::Acquire) {
             TID_UNSET => None,
             t => Some(t),
@@ -227,6 +230,8 @@ impl Klass {
     /// Writes the Skyway global type id into the klass meta-object
     /// (Algorithm 1, `WRITETID`).
     pub fn set_tid(&self, tid: u32) {
+        // ORDER: Release — publishes the tid after the directory has
+        // recorded the name mapping; pairs with the Acquire load in `tid`.
         self.tid.store(tid, Ordering::Release);
     }
 

@@ -130,6 +130,12 @@ pub enum Error {
         /// Size of the object being promoted.
         requested: u64,
     },
+    /// The global segment base region is exhausted (bases are never
+    /// recycled); claiming another would wrap into live address space.
+    SegmentSpaceExhausted {
+        /// Span of base-region bytes the claim needed.
+        requested: u64,
+    },
     /// Allocation failed even after a full collection.
     OutOfMemory {
         /// Requested bytes.
@@ -183,6 +189,9 @@ impl std::fmt::Display for Error {
             }
             Error::PromotionFailed { requested } => {
                 write!(f, "promotion of {requested} bytes failed; full GC required")
+            }
+            Error::SegmentSpaceExhausted { requested } => {
+                write!(f, "segment base region exhausted: cannot claim {requested} more bytes")
             }
             Error::OutOfMemory { requested, capacity } => {
                 write!(f, "out of memory: requested {requested} bytes of {capacity}-byte heap")

@@ -186,6 +186,9 @@ impl Arena {
                 // SAFETY: bounds and alignment checked; AtomicU64 has the
                 // same layout as u64.
                 let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };
+                // ORDER: Acquire — pairs with the AcqRel CAS in `cas_word`
+                // (the `baddr` claim protocol): a reader that observes a
+                // claimed word also observes the claimer's earlier writes.
                 Ok(a.load(Ordering::Acquire))
             }
             // Sealed segment words never change, so a plain read has
@@ -215,6 +218,11 @@ impl Arena {
             Ok(o) => {
                 // SAFETY: bounds and alignment checked.
                 let a = unsafe { &*(self.ptr.add(o) as *const AtomicU64) };
+                // ORDER: AcqRel on success — the winning claim publishes
+                // the claimer's prior writes to `load_word_atomic` readers
+                // and orders it after the claims it contends with. Acquire
+                // on failure: the loser reads the winner's value and must
+                // see the writes it covers before reacting.
                 Ok(a.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire))
             }
             Err(e) => Err(self.routed_write(off, 8).unwrap_or(e)),

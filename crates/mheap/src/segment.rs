@@ -37,7 +37,7 @@ use std::sync::Arc;
 
 use crate::layout::{align8, Addr};
 use crate::mem::Arena;
-use crate::Result;
+use crate::{Error, Result};
 
 /// Base of the global segment address region: 1 TiB, far above any arena
 /// capacity, so segment addresses never collide with owned-heap offsets.
@@ -49,12 +49,45 @@ pub const SEGMENT_BASE: u64 = 1 << 40;
 /// the next.
 const BASE_GRANULE: u64 = 1 << 20;
 
+/// Exclusive upper bound of the segment base region (256 TiB). Bases are
+/// never recycled, so a long-lived process *can* exhaust the region; the
+/// claim must then fail with a typed error rather than wrap into live
+/// address space (heap offsets live below [`SEGMENT_BASE`], and a u64
+/// wrap would eventually land there).
+pub const SEGMENT_LIMIT: u64 = 1 << 48;
+
 /// Process-wide bump allocator for segment bases.
 static NEXT_BASE: AtomicU64 = AtomicU64::new(SEGMENT_BASE);
 
-fn claim_base(len: u64) -> u64 {
+fn claim_base(len: u64) -> Result<u64> {
+    claim_base_from(&NEXT_BASE, len)
+}
+
+/// Claims a `len`-byte (plus guard granule) base from `cursor`. A CAS loop
+/// instead of `fetch_add`: an unconditional add would push the cursor past
+/// [`SEGMENT_LIMIT`] — or wrap u64 entirely — even on the *failing* call,
+/// poisoning every later claim. Factored over the cursor so tests can
+/// drive a private one to the edge.
+///
+/// # Errors
+/// [`Error::SegmentSpaceExhausted`] once the region cannot fit the span.
+fn claim_base_from(cursor: &AtomicU64, len: u64) -> Result<u64> {
     let span = (len / BASE_GRANULE + 2) * BASE_GRANULE;
-    NEXT_BASE.fetch_add(span, Ordering::Relaxed)
+    // The seed may be stale — the CAS revalidates it, so Relaxed is fine.
+    let mut cur = cursor.load(Ordering::Relaxed);
+    loop {
+        let end = cur
+            .checked_add(span)
+            .filter(|&end| end <= SEGMENT_LIMIT)
+            .ok_or(Error::SegmentSpaceExhausted { requested: span })?;
+        // A base claim is a pure address-space reservation: no memory is
+        // published through it (segment bytes travel via seal/attach), so
+        // Relaxed on both sides is sufficient — only atomicity matters.
+        match cursor.compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Ok(cur),
+            Err(now) => cur = now,
+        }
+    }
 }
 
 /// A sealed, immutable object-graph segment. Only a [`SegmentBuilder`] can
@@ -162,13 +195,16 @@ impl SegmentBuilder {
     /// `cap` bytes (rounded up to 8) of store-owned memory.
     ///
     /// # Errors
-    /// [`crate::Error::ArenaAlloc`] if the backing allocation fails.
+    /// [`crate::Error::ArenaAlloc`] if the backing allocation fails;
+    /// [`crate::Error::SegmentSpaceExhausted`] if the global base region
+    /// is used up.
     pub fn new(cap: u64) -> Result<Self> {
         let cap = align8(cap.max(8));
+        let base = claim_base(cap)?;
         let mem = Arena::new(cap as usize)?;
         Ok(SegmentBuilder {
             mem: Arc::new(mem),
-            base: claim_base(cap),
+            base,
             cap,
             len: 0,
             roots: Vec::new(),
@@ -261,6 +297,31 @@ mod tests {
         assert_ne!(a.base(), b.base());
         // Guard gap: capacity never reaches the next base.
         assert!(a.base() + a.capacity() < b.base() || b.base() + b.capacity() < a.base());
+    }
+
+    #[test]
+    fn base_claim_fails_typed_at_region_limit() {
+        // A private cursor near the limit: the claim that would cross it
+        // must fail with the typed error and leave the cursor unmoved so
+        // later (smaller) claims still work.
+        let cursor = AtomicU64::new(SEGMENT_LIMIT - 3 * BASE_GRANULE);
+        let first = claim_base_from(&cursor, BASE_GRANULE).unwrap();
+        assert_eq!(first, SEGMENT_LIMIT - 3 * BASE_GRANULE);
+        let err = claim_base_from(&cursor, 4 * BASE_GRANULE).unwrap_err();
+        assert!(
+            matches!(err, Error::SegmentSpaceExhausted { requested } if requested == 6 * BASE_GRANULE),
+            "unexpected error: {err}"
+        );
+        // The failed claim did not advance the cursor past the limit.
+        assert_eq!(cursor.load(Ordering::Relaxed), SEGMENT_LIMIT);
+    }
+
+    #[test]
+    fn base_claim_never_wraps_u64() {
+        let cursor = AtomicU64::new(u64::MAX - BASE_GRANULE);
+        let err = claim_base_from(&cursor, BASE_GRANULE).unwrap_err();
+        assert!(matches!(err, Error::SegmentSpaceExhausted { .. }), "unexpected error: {err}");
+        assert_eq!(cursor.load(Ordering::Relaxed), u64::MAX - BASE_GRANULE);
     }
 
     #[test]

@@ -137,13 +137,24 @@ impl SpanBuffer {
     /// Publishes one finished span (counted in [`SpanBuffer::dropped`]
     /// when the budget is exhausted).
     pub fn push(&self, span: Span) {
-        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        // ORDER: AcqRel — the Release half pairs with the Acquire loads of
+        // `next` in `spans`/`clear`: a reader that observes this claim also
+        // observes every store program-ordered before it (earlier claims'
+        // publishes included, via the RMW release sequence). The Acquire
+        // half orders this claim after the claims it follows. With Relaxed
+        // here those reader loads synchronize with nothing and the slot
+        // scan races the publishes it is told about.
+        let idx = self.next.fetch_add(1, Ordering::AcqRel);
         if idx >= self.slots.len() {
+            // ORDER: Relaxed — pure statistic; read by `dropped()` with no
+            // memory guarded by it.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         // Each slot index is claimed by exactly one pusher, so set()
         // cannot race; a failure would mean a logic bug, not contention.
+        // The cross-thread publish edge for the span payload itself is
+        // OnceLock's internal Release/Acquire pair.
         let _ = self.slots[idx].set(span);
     }
 
@@ -151,7 +162,12 @@ impl SpanBuffer {
     /// start time then id. Spans claimed but not yet published by a
     /// racing thread are skipped.
     pub fn spans(&self) -> Vec<Span> {
+        // ORDER: Acquire — pairs with the Release store in `clear`, so the
+        // watermark advance is ordered before any slots it hides.
         let floor = self.floor.load(Ordering::Acquire);
+        // ORDER: Acquire — pairs with the AcqRel claim in `push`: every
+        // claim at an index below `end` (and the publish work ordered
+        // before it) is visible to the slot scan below.
         let end = self.next.load(Ordering::Acquire).min(self.slots.len());
         let mut out: Vec<Span> =
             self.slots[floor..end].iter().filter_map(|s| s.get().cloned()).collect();
@@ -167,8 +183,13 @@ impl SpanBuffer {
     /// Hides all currently published spans (watermark advance — slots
     /// are not reused, the lifetime budget keeps shrinking).
     pub fn clear(&self) {
+        // ORDER: Acquire — pairs with the AcqRel claim in `push`; the
+        // watermark may only rise past slots whose claims we observed.
         let end = self.next.load(Ordering::Acquire).min(self.slots.len());
+        // ORDER: Release — pairs with the Acquire load in `spans`, ordering
+        // this advance before any reader that observes it.
         self.floor.store(end, Ordering::Release);
+        // ORDER: Relaxed — pure statistic reset.
         self.dropped.store(0, Ordering::Relaxed);
     }
 }

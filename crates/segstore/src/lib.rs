@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -114,17 +115,29 @@ pub struct SealReport {
 }
 
 /// One live segment: the sealed memory plus its attach refcount.
+///
+/// The refcount is lock-free on the detach fast path: increments happen
+/// under the store's map lock (which doubles as the resurrection guard —
+/// an entry reachable through the map cannot be concurrently retired),
+/// but decrements touch no lock unless they are the one that drops the
+/// count to zero. The decrement/retire edge uses the `Arc`-drop
+/// discipline: `fetch_sub(Release)` paired with a `fence(Acquire)` on the
+/// zero path, so every attacher's segment reads happen-before the retire
+/// that eventually frees the memory.
 #[derive(Debug)]
 struct Entry {
     seg: Arc<Segment>,
-    attachers: u32,
-    ever_attached: bool,
+    /// Current number of attachers.
+    refs: AtomicU32,
+    /// Set once the first attach succeeds; a segment that was never
+    /// attached stays attachable at refcount zero instead of retiring.
+    ever_attached: AtomicBool,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     /// Live (attachable) segments by base.
-    segments: HashMap<u64, Entry>,
+    segments: HashMap<u64, Arc<Entry>>,
     /// Reclamation epoch; bumped by [`SegStore::advance_epoch`].
     epoch: u64,
     /// Retired segments awaiting reclamation: `(retire_epoch, segment)`.
@@ -252,7 +265,14 @@ impl SegStore {
         // 3. Publish.
         {
             let mut inner = self.inner.lock();
-            inner.segments.insert(base, Entry { seg, attachers: 0, ever_attached: false });
+            inner.segments.insert(
+                base,
+                Arc::new(Entry {
+                    seg,
+                    refs: AtomicU32::new(0),
+                    ever_attached: AtomicBool::new(false),
+                }),
+            );
             self.update_live_gauge(&inner);
         }
         self.metrics.seals.inc();
@@ -283,21 +303,30 @@ impl SegStore {
     /// `trace.segstore.attach` span when tracing is on).
     pub fn attach_traced(&self, vm: &mut Vm, base: u64, ctx: obs::TraceCtx) -> Result<Vec<Addr>> {
         let t0 = Instant::now();
-        let seg = {
-            let mut inner = self.inner.lock();
-            let entry = inner.segments.get_mut(&base).ok_or(Error::UnknownSegment(base))?;
-            entry.attachers += 1;
-            entry.ever_attached = true;
-            Arc::clone(&entry.seg)
+        let entry = {
+            let inner = self.inner.lock();
+            let entry = inner.segments.get(&base).ok_or(Error::UnknownSegment(base))?;
+            // ORDER: Relaxed — incremented under the map lock, which both
+            // proves the entry live and serializes against the zero-path
+            // retire recheck in `release_ref`; the new attacher gets its
+            // view of the (immutable, sealed) segment from the lock, not
+            // from this RMW. Same rule as `Arc::clone`'s Relaxed increment.
+            entry.refs.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(entry)
         };
+        let seg = Arc::clone(&entry.seg);
         if let Err(e) = vm.heap_mut().attach_segment(Arc::clone(&seg)) {
-            // Roll the refcount back — the heap rejected the mapping.
-            let mut inner = self.inner.lock();
-            if let Some(entry) = inner.segments.get_mut(&base) {
-                entry.attachers = entry.attachers.saturating_sub(1);
-            }
+            // Roll the refcount back — the heap rejected the mapping. Going
+            // through the common release path means a concurrent successful
+            // attach/detach pair cannot strand a zero-count entry.
+            self.release_ref(&entry, base);
             return Err(Error::Heap(e));
         }
+        // ORDER: Relaxed — only consulted on the zero path of
+        // `release_ref`, after its Acquire fence has synchronized with
+        // this attacher's Release decrement (which is program-ordered
+        // after this store).
+        entry.ever_attached.store(true, Ordering::Relaxed);
         self.metrics.attaches.inc();
         self.metrics.bytes_not_copied.add(seg.len());
         self.metrics.registry.tracer().record_closed(
@@ -326,22 +355,12 @@ impl SegStore {
     pub fn detach_traced(&self, vm: &mut Vm, base: u64, ctx: obs::TraceCtx) -> Result<()> {
         let t0 = Instant::now();
         vm.heap_mut().detach_segment(base)?;
-        let retired = {
-            let mut inner = self.inner.lock();
-            let entry = inner.segments.get_mut(&base).ok_or(Error::UnknownSegment(base))?;
-            entry.attachers = entry.attachers.saturating_sub(1);
-            let retire = entry.attachers == 0 && entry.ever_attached;
-            if retire {
-                // Refcount reached zero: out of the attachable set, into
-                // limbo until the epoch advances past the retirement.
-                if let Some(entry) = inner.segments.remove(&base) {
-                    let epoch = inner.epoch;
-                    inner.limbo.push((epoch, entry.seg));
-                }
-                self.update_live_gauge(&inner);
-            }
-            retire
+        let entry = {
+            let inner = self.inner.lock();
+            let entry = inner.segments.get(&base).ok_or(Error::UnknownSegment(base))?;
+            Arc::clone(entry)
         };
+        let retired = self.release_ref(&entry, base);
         self.metrics.detaches.inc();
         self.metrics.registry.tracer().record_closed(
             obs::names::TRACE_SEGSTORE_DETACH,
@@ -371,10 +390,63 @@ impl SegStore {
         freed
     }
 
+    /// Drops one attacher reference, retiring the segment into limbo when
+    /// the last one goes. Lock-free unless this is the decrement that hits
+    /// zero; returns whether the segment retired.
+    fn release_ref(&self, entry: &Arc<Entry>, base: u64) -> bool {
+        // ORDER: Release — pairs with the Acquire fence on the zero path
+        // below: every read this attacher made of the segment's memory
+        // happens-before the retire (and the eventual free in
+        // `advance_epoch`). A Relaxed decrement would let the free race
+        // another attacher's in-flight reads.
+        if entry.refs.fetch_sub(1, Ordering::Release) != 1 {
+            return false;
+        }
+        // ORDER: Acquire — synchronizes with every other attacher's
+        // Release decrement above, so their segment accesses are visible
+        // (and over) before we tear the entry out of the attachable set.
+        fence(Ordering::Acquire);
+        // ORDER: Relaxed — any attacher that set this flag also ran a
+        // Release decrement that the fence above synchronized with, so the
+        // store is already ordered before this load.
+        if !entry.ever_attached.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        // Recheck under the map lock: attaches increment under it, so a
+        // resurrecting attacher either beat us here (we observe its
+        // reference and keep the entry) or finds the entry gone and gets
+        // `UnknownSegment` — never a handle to retired memory.
+        //
+        // ORDER: Acquire — a resurrecting attacher may have incremented,
+        // read the segment, and run its own Release decrement entirely
+        // *after* our fence above; reading its zero through this load is
+        // what orders those reads before the retire (the interleave model
+        // `refcount_retire_orders_reads_before_free` catches Relaxed
+        // here).
+        let still_zero = match inner.segments.get(&base) {
+            Some(e) => Arc::ptr_eq(e, entry) && e.refs.load(Ordering::Acquire) == 0,
+            None => false,
+        };
+        if !still_zero {
+            return false;
+        }
+        if let Some(e) = inner.segments.remove(&base) {
+            // Refcount reached zero: out of the attachable set, into limbo
+            // until the epoch advances past the retirement.
+            let epoch = inner.epoch;
+            inner.limbo.push((epoch, Arc::clone(&e.seg)));
+        }
+        self.update_live_gauge(&inner);
+        true
+    }
+
     /// Current attach refcount of a live segment (`None` once retired or
     /// never sealed).
     pub fn refcount(&self, base: u64) -> Option<u32> {
-        self.inner.lock().segments.get(&base).map(|e| e.attachers)
+        // ORDER: Relaxed — an observability snapshot; the value is stale
+        // the moment the lock drops anyway.
+        self.inner.lock().segments.get(&base).map(|e| e.refs.load(Ordering::Relaxed))
     }
 
     /// Segments currently owned by the store (attachable + limbo).

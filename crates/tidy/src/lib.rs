@@ -3,8 +3,8 @@
 //! syn; a small lexer, brace-matched scopes, a per-function dataflow pass,
 //! and line-oriented rules).
 //!
-//! Nine rules guard the invariants the dynamic checkers (`mheap::verify`,
-//! the test suite) can only catch after the fact:
+//! Twelve rules guard the invariants the dynamic checkers
+//! (`mheap::verify`, the test suite) can only catch after the fact:
 //!
 //! * `addr-cast` — **address discipline.** Mixing absolute heap addresses
 //!   and relative buffer addresses is the §3.3 bug class the whole paper
@@ -32,6 +32,13 @@
 //! * `fault-coverage` — every `HeapFault` variant appears in at least one
 //!   test, so no corruption class the verifier can report goes
 //!   unexercised.
+//! * `atomics-order` + `atomics-order-cas` + `atomics-order-comment` —
+//!   **memory-ordering discipline.** A `Relaxed` write to an atomic some
+//!   other site reads with `Acquire` is a broken release-publish edge; a
+//!   `Relaxed` refcount decrement gating a free can race in-flight
+//!   accesses; a CAS failure ordering must be a load ordering no stronger
+//!   than its success ordering; and every non-`Relaxed` ordering carries
+//!   a `// ORDER:` justification (the atomic twin of `// SAFETY:`).
 //!
 //! Any rule can be waived for one line with an inline `tidy:allow` comment
 //! tag — on the offending line, or alone on the comment line directly
@@ -66,6 +73,12 @@ pub const RULES: &[(&str, &str)] = &[
     ("metric-literal", "metric/span name literals outside crates/obs must be obs::names consts"),
     ("dead-metric", "every obs::names const has at least one use site"),
     ("fault-coverage", "every HeapFault variant appears in at least one test"),
+    (
+        "atomics-order",
+        "no Relaxed writes to atomics with acquire-side readers; refcount decrements use Release",
+    ),
+    ("atomics-order-cas", "compare_exchange failure ordering is a load ordering, <= success"),
+    ("atomics-order-comment", "every non-Relaxed atomic ordering carries a // ORDER: comment"),
 ];
 
 /// One rule violation at a source location.
@@ -107,6 +120,9 @@ pub struct Config {
     /// Path prefixes exempt from `metric-literal` (the registry crate
     /// itself, and this checker which must name the prefixes).
     pub metric_exempt: Vec<String>,
+    /// Path prefixes exempt from the `atomics-order` family (the vendored
+    /// interleaving shim, which wraps every ordering generically).
+    pub atomics_exempt: Vec<String>,
     /// Dotted-name prefixes that identify a metric name literal.
     pub metric_prefixes: Vec<String>,
     /// File (relative) defining the `obs::names` consts, for `dead-metric`.
@@ -135,6 +151,7 @@ impl Config {
             ],
             lock_exempt: vec!["shims".into()],
             metric_exempt: vec!["crates/obs".into(), "crates/tidy".into()],
+            atomics_exempt: vec!["shims".into()],
             metric_prefixes: vec!["skyway.".into(), "mheap.".into(), "trace.".into()],
             names_file: Some("crates/obs/src/lib.rs".into()),
             fault_file: Some("crates/mheap/src/verify.rs".into()),
@@ -158,6 +175,7 @@ impl Config {
             arith_paths: vec!["checked_arith.rs".into()],
             lock_exempt: vec![],
             metric_exempt: vec!["names.rs".into()],
+            atomics_exempt: vec![],
             metric_prefixes: vec!["skyway.".into(), "mheap.".into(), "trace.".into()],
             names_file: Some("names.rs".into()),
             fault_file: Some("faults.rs".into()),
@@ -363,6 +381,7 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         rules::metrics::check_literal(cfg, f, &mut out);
     }
     rules::lock_order::check(cfg, &files, &mut out);
+    rules::atomics_order::check(cfg, &files, &mut out);
     rules::metrics::check_dead(cfg, &files, &mut out);
     rules::fault_coverage::check(cfg, &files, &mut out);
     out.sort_by(|a, b| (&a.file, a.line, a.rule, a.col).cmp(&(&b.file, b.line, b.rule, b.col)));

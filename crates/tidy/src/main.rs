@@ -109,6 +109,9 @@ const FIXTURE_RULES: &[(&str, Option<&str>)] = &[
     ("addr_cast.rs", Some("addr-cast")),
     ("addr_provenance.rs", Some("addr-provenance")),
     ("allow_positions.rs", None),
+    ("atomics_order.rs", Some("atomics-order")),
+    ("atomics_order_cas.rs", Some("atomics-order-cas")),
+    ("atomics_order_comment.rs", Some("atomics-order-comment")),
     ("checked_arith.rs", Some("checked-arith")),
     ("faults.rs", Some("fault-coverage")),
     ("lock_order.rs", Some("lock-order")),

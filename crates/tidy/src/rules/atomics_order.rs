@@ -1,0 +1,525 @@
+//! The `atomics-order` rule family: memory-ordering discipline for the
+//! lock-free core.
+//!
+//! An *atomic class* is a struct field or `static` of `std::sync::atomic`
+//! type (`AtomicU64`, `AtomicBool`, ...); like lock classes, they are
+//! keyed by name, so two structs sharing a field name merge — an
+//! over-approximation that has not mattered in this tree.
+//!
+//! Three sub-rules:
+//!
+//! * `atomics-order` — a `Relaxed` store/RMW-write to a class some other
+//!   site reads with `Acquire`/`SeqCst` is a broken release-publish edge
+//!   (the reader synchronizes with nothing) — unless the class has a
+//!   release-side write elsewhere, the `Arc::clone` idiom where only the
+//!   decrement publishes. A `Relaxed` `fetch_sub` whose result gates a
+//!   zero/one check is a refcount decrement whose free can race in-flight
+//!   accesses. Both are flagged, the former cross-referencing the
+//!   acquire-side site.
+//! * `atomics-order-cas` — `compare_exchange`/`compare_exchange_weak`
+//!   failure orderings must be loads (`Release`/`AcqRel` there panic at
+//!   runtime) and must not be stronger than the success ordering.
+//! * `atomics-order-comment` — every non-`Relaxed` ordering (and every
+//!   fence) carries a `// ORDER:` justification comment, same line or the
+//!   comment block above the statement — the atomic twin of `// SAFETY:`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::is_ident_char;
+use crate::{allows, is_test_path, path_under, rule_allows, scope, Config, SourceFile, Violation};
+
+/// `std::sync::atomic` type names that define an atomic class.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+];
+
+/// Method patterns that write an atomic (single-ordering forms).
+const WRITE_OPS: &[&str] = &[
+    ".store(",
+    ".swap(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+];
+
+/// CAS patterns (success + failure orderings). `_weak` first so the
+/// non-weak pattern does not also match inside it.
+const CAS_OPS: &[&str] = &[".compare_exchange_weak(", ".compare_exchange("];
+
+/// A memory ordering, ranked by strength (`Acquire` and `Release` are
+/// incomparable in the model; for the failure-vs-success check they share
+/// a rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ord {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl Ord {
+    fn rank(self) -> u8 {
+        match self {
+            Ord::Relaxed => 0,
+            Ord::Acquire | Ord::Release => 1,
+            Ord::AcqRel => 2,
+            Ord::SeqCst => 3,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Ord::Relaxed => "Relaxed",
+            Ord::Acquire => "Acquire",
+            Ord::Release => "Release",
+            Ord::AcqRel => "AcqRel",
+            Ord::SeqCst => "SeqCst",
+        }
+    }
+}
+
+/// `Ordering::X` tokens a line must justify with `// ORDER:`.
+const NON_RELAXED: &[&str] =
+    &["Ordering::Acquire", "Ordering::Release", "Ordering::AcqRel", "Ordering::SeqCst"];
+
+pub(crate) fn check(cfg: &Config, files: &[SourceFile], out: &mut Vec<Violation>) {
+    let classes = atomic_classes(cfg, files);
+    let readers = acquire_readers(cfg, files, &classes);
+    let releasers = release_writers(cfg, files, &classes);
+    for f in files {
+        if path_under(&f.rel, &cfg.atomics_exempt) || is_test_path(&f.rel) {
+            continue;
+        }
+        for (i, l) in f.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            check_order_comment(cfg, f, i, out);
+            check_relaxed_writes(cfg, f, i, &classes, &readers, &releasers, out);
+            check_cas(cfg, f, i, out);
+        }
+    }
+}
+
+/// Collects atomic-class names: struct fields and `static` items of
+/// `std::sync::atomic` type.
+fn atomic_classes(cfg: &Config, files: &[SourceFile]) -> BTreeSet<String> {
+    let mut classes = BTreeSet::new();
+    for f in files {
+        if path_under(&f.rel, &cfg.atomics_exempt) || is_test_path(&f.rel) {
+            continue;
+        }
+        for region in scope::structs(&f.lines) {
+            for l in &f.lines[region.start..=region.end.min(f.lines.len() - 1)] {
+                if l.in_test || !is_atomic_type(&l.code) {
+                    continue;
+                }
+                if let Some(name) = field_name(&l.code) {
+                    classes.insert(name);
+                }
+            }
+        }
+        for l in &f.lines {
+            if l.in_test || !is_atomic_type(&l.code) {
+                continue;
+            }
+            if let Some(p) = crate::lexer::find_token(&l.code, "static") {
+                let rest = l.code[p + 6..].trim_start();
+                let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                if !name.is_empty() && l.code.contains(':') {
+                    classes.insert(name);
+                }
+            }
+        }
+    }
+    classes
+}
+
+fn is_atomic_type(code: &str) -> bool {
+    ATOMIC_TYPES.iter().any(|t| crate::lexer::has_token(code, t))
+}
+
+/// `name` from a struct-field line like `pub refs: AtomicU32,`.
+fn field_name(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let t = t.strip_prefix("pub").map_or(t, |r| {
+        let r = r.trim_start();
+        r.strip_prefix('(').and_then(|r| r.split_once(')')).map_or(r, |(_, rest)| rest.trim_start())
+    });
+    let (name, _) = t.split_once(':')?;
+    let name = name.trim();
+    if !name.is_empty() && name.chars().all(is_ident_char) {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+/// First `Acquire`/`SeqCst` `.load(` site per class, as `file:line`.
+fn acquire_readers(
+    cfg: &Config,
+    files: &[SourceFile],
+    classes: &BTreeSet<String>,
+) -> BTreeMap<String, String> {
+    let mut readers: BTreeMap<String, String> = BTreeMap::new();
+    for f in files {
+        if path_under(&f.rel, &cfg.atomics_exempt) || is_test_path(&f.rel) {
+            continue;
+        }
+        for (i, l) in f.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            let mut from = 0;
+            while let Some(p) = l.code[from..].find(".load(") {
+                let p = from + p;
+                from = p + ".load(".len();
+                let Some(class) = receiver_ident(&l.code, p) else { continue };
+                if !classes.contains(&class) {
+                    continue;
+                }
+                let args = call_args(f, i, p + ".load(".len() - 1);
+                let first = orderings(&args).first().copied();
+                if first.is_some_and(|o| matches!(o, Ord::Acquire | Ord::SeqCst)) {
+                    readers.entry(class).or_insert_with(|| format!("{}:{}", f.rel, i + 1));
+                }
+            }
+        }
+    }
+    readers
+}
+
+/// Classes with at least one release-side write (`Release`/`AcqRel`/
+/// `SeqCst` store, RMW, or CAS success ordering). A Relaxed write to such
+/// a class is the `Arc::clone` idiom — the publish edge lives elsewhere —
+/// and is not flagged.
+fn release_writers(
+    cfg: &Config,
+    files: &[SourceFile],
+    classes: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    let mut releasers = BTreeSet::new();
+    for f in files {
+        if path_under(&f.rel, &cfg.atomics_exempt) || is_test_path(&f.rel) {
+            continue;
+        }
+        for (i, l) in f.lines.iter().enumerate() {
+            if l.in_test {
+                continue;
+            }
+            for pat in WRITE_OPS.iter().chain(CAS_OPS) {
+                let mut from = 0;
+                while let Some(p) = l.code[from..].find(pat) {
+                    let p = from + p;
+                    from = p + pat.len();
+                    let Some(class) = receiver_ident(&l.code, p) else { continue };
+                    if !classes.contains(&class) {
+                        continue;
+                    }
+                    let args = call_args(f, i, p + pat.len() - 1);
+                    let first = orderings(&args).first().copied();
+                    if first.is_some_and(|o| matches!(o, Ord::Release | Ord::AcqRel | Ord::SeqCst))
+                    {
+                        releasers.insert(class);
+                    }
+                }
+            }
+        }
+    }
+    releasers
+}
+
+/// `atomics-order`: Relaxed writes on acquire-read classes that have no
+/// release-side writer anywhere, and Relaxed refcount decrements whose
+/// result gates a zero/one check.
+fn check_relaxed_writes(
+    cfg: &Config,
+    f: &SourceFile,
+    i: usize,
+    classes: &BTreeSet<String>,
+    readers: &BTreeMap<String, String>,
+    releasers: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    if rule_allows(cfg, "atomics-order", &f.rel) || allows(f, i, "atomics-order") {
+        return;
+    }
+    let code = f.lines[i].code.as_str();
+    for pat in WRITE_OPS.iter().chain(CAS_OPS) {
+        let mut from = 0;
+        while let Some(p) = code[from..].find(pat) {
+            let p = from + p;
+            from = p + pat.len();
+            let args = call_args(f, i, p + pat.len() - 1);
+            let ords = orderings(&args);
+            // The write-side ordering: the single argument for stores and
+            // RMWs, the success (first) ordering for CAS.
+            let Some(&write_ord) = ords.first() else { continue };
+            let op = pat.trim_start_matches('.').trim_end_matches('(');
+            let next = f.lines.get(i + 1).map_or("", |l| l.code.as_str());
+            // Refcount discipline: a Relaxed decrement whose result is
+            // compared against the last-reference values frees memory
+            // other threads may still be touching.
+            if *pat == ".fetch_sub(" && write_ord == Ord::Relaxed && gates_refcount(code, next) {
+                out.push(Violation {
+                    rule: "atomics-order",
+                    file: f.rel.clone(),
+                    line: i + 1,
+                    col: p + 2,
+                    message: "Relaxed `fetch_sub` gates a last-reference check; the decrement \
+                              must be `Release` (paired with an `Acquire` fence or load on the \
+                              zero path) so the free cannot race in-flight accesses"
+                        .into(),
+                });
+                continue;
+            }
+            if write_ord != Ord::Relaxed {
+                continue;
+            }
+            let Some(class) = receiver_ident(code, p) else { continue };
+            if !classes.contains(&class) || releasers.contains(&class) {
+                continue;
+            }
+            if let Some(site) = readers.get(&class) {
+                out.push(Violation {
+                    rule: "atomics-order",
+                    file: f.rel.clone(),
+                    line: i + 1,
+                    col: p + 2,
+                    message: format!(
+                        "Relaxed `{op}` on `{class}`, but `{class}` is read with an acquire \
+                         ordering at {site} — the release-publish edge is missing, so the \
+                         reader synchronizes with nothing"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True when a `fetch_sub` result feeds a last-reference comparison on
+/// the same or next line (`== 1`, `!= 1`, `== 0`, `> 1`, ...).
+fn gates_refcount(code: &str, next: &str) -> bool {
+    ["== 1", "!= 1", "== 0", "!= 0", "<= 1", "> 1"]
+        .iter()
+        .any(|cmp| code.contains(cmp) || next.contains(cmp))
+}
+
+/// `atomics-order-cas`: failure ordering must be a load ordering and no
+/// stronger than the success ordering.
+fn check_cas(cfg: &Config, f: &SourceFile, i: usize, out: &mut Vec<Violation>) {
+    if rule_allows(cfg, "atomics-order-cas", &f.rel) || allows(f, i, "atomics-order-cas") {
+        return;
+    }
+    let code = f.lines[i].code.as_str();
+    for pat in CAS_OPS {
+        let mut from = 0;
+        while let Some(p) = code[from..].find(pat) {
+            let p = from + p;
+            from = p + pat.len();
+            let args = call_args(f, i, p + pat.len() - 1);
+            let ords = orderings(&args);
+            let [success, failure] = ords[..] else { continue };
+            if matches!(failure, Ord::Release | Ord::AcqRel) {
+                out.push(Violation {
+                    rule: "atomics-order-cas",
+                    file: f.rel.clone(),
+                    line: i + 1,
+                    col: p + 2,
+                    message: format!(
+                        "`{}` failure ordering `{}` is not a load ordering (the failure path \
+                         performs no store); use `Relaxed`, `Acquire`, or `SeqCst`",
+                        pat.trim_start_matches('.').trim_end_matches('('),
+                        failure.name()
+                    ),
+                });
+            } else if failure.rank() > success.rank() {
+                out.push(Violation {
+                    rule: "atomics-order-cas",
+                    file: f.rel.clone(),
+                    line: i + 1,
+                    col: p + 2,
+                    message: format!(
+                        "`{}` failure ordering `{}` is stronger than its success ordering \
+                         `{}` — the success path needs at least the failure path's guarantees",
+                        pat.trim_start_matches('.').trim_end_matches('('),
+                        failure.name(),
+                        success.name()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `atomics-order-comment`: a non-Relaxed ordering token needs `ORDER:`
+/// on its line or in the comment block above its statement.
+fn check_order_comment(cfg: &Config, f: &SourceFile, i: usize, out: &mut Vec<Violation>) {
+    if rule_allows(cfg, "atomics-order-comment", &f.rel) || allows(f, i, "atomics-order-comment") {
+        return;
+    }
+    let code = f.lines[i].code.as_str();
+    let Some(p) = NON_RELAXED.iter().filter_map(|t| code.find(t)).min() else { return };
+    if !has_order_comment(f, i) {
+        out.push(Violation {
+            rule: "atomics-order-comment",
+            file: f.rel.clone(),
+            line: i + 1,
+            col: p + 1,
+            message: "non-Relaxed atomic ordering without a `// ORDER:` comment naming the \
+                      release/acquire pairing it establishes"
+                .into(),
+        });
+    }
+}
+
+/// True if `// ORDER:` covers line `i`: on the line itself, or in the
+/// contiguous run of comment-only and statement-continuation lines above
+/// it (a multi-line call's comment sits above the statement head).
+fn has_order_comment(f: &SourceFile, i: usize) -> bool {
+    if f.lines[i].comment.contains("ORDER:") {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let prev = &f.lines[j];
+        if prev.comment.contains("ORDER:") {
+            return true;
+        }
+        if prev.code.trim().is_empty() || continues(prev.code.trim_end()) {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// True when the *next* line continues this line's statement or sits in
+/// the block this line opens (unclosed call parens, a trailing binary
+/// operator/comma/open-paren, or a block/match-arm opener — an `ORDER:`
+/// comment above a `match`/`if` head covers the orderings inside it).
+fn continues(code: &str) -> bool {
+    let opens = code.chars().filter(|&c| c == '(').count();
+    let closes = code.chars().filter(|&c| c == ')').count();
+    opens > closes
+        || code.ends_with(',')
+        || code.ends_with('(')
+        || code.ends_with('=')
+        || code.ends_with("&&")
+        || code.ends_with("||")
+        || code.ends_with('.')
+        || code.ends_with('{')
+        || code.ends_with("=>")
+}
+
+/// The argument text of a call whose open paren sits at byte `open` of
+/// line `i`, joined across up to 8 continuation lines and truncated at
+/// the balancing close paren.
+fn call_args(f: &SourceFile, i: usize, open: usize) -> String {
+    let mut depth = 0i32;
+    let mut args = String::new();
+    for (n, l) in f.lines.iter().enumerate().skip(i).take(8) {
+        let code = if n == i { &l.code[open..] } else { l.code.as_str() };
+        for c in code.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    if depth == 1 {
+                        continue;
+                    }
+                }
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return args;
+                    }
+                }
+                _ => {}
+            }
+            args.push(c);
+        }
+        args.push(' ');
+    }
+    args
+}
+
+/// Every `Ordering::X` token in `text`, in order.
+fn orderings(text: &str) -> Vec<Ord> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = text[from..].find("Ordering::") {
+        let p = from + p + "Ordering::".len();
+        from = p;
+        let name: String = text[p..].chars().take_while(|&c| is_ident_char(c)).collect();
+        match name.as_str() {
+            "Relaxed" => out.push(Ord::Relaxed),
+            "Acquire" => out.push(Ord::Acquire),
+            "Release" => out.push(Ord::Release),
+            "AcqRel" => out.push(Ord::AcqRel),
+            "SeqCst" => out.push(Ord::SeqCst),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Resolves the receiver identifier of a method call whose `.` sits at
+/// byte `dot`, walking back through `?`, `(..)` argument lists, and
+/// `[..]` index expressions: `self.buckets[i].fetch_add` → `buckets`.
+fn receiver_ident(code: &str, dot: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut k = dot;
+    loop {
+        if k > 0 && bytes[k - 1] == b'?' {
+            k -= 1;
+            continue;
+        }
+        if k > 0 && (bytes[k - 1] == b')' || bytes[k - 1] == b']') {
+            let (open, close) = if bytes[k - 1] == b')' { (b'(', b')') } else { (b'[', b']') };
+            let mut depth = 0i32;
+            let mut m = k;
+            while m > 0 {
+                m -= 1;
+                if bytes[m] == close {
+                    depth += 1;
+                } else if bytes[m] == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            if depth != 0 {
+                return None;
+            }
+            k = m;
+            continue;
+        }
+        break;
+    }
+    let end = k;
+    while k > 0 && is_ident_char(bytes[k - 1] as char) {
+        k -= 1;
+    }
+    if k == end {
+        None
+    } else {
+        Some(code[k..end].to_string())
+    }
+}

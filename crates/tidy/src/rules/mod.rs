@@ -5,6 +5,7 @@
 
 pub mod addr_cast;
 pub mod addr_provenance;
+pub mod atomics_order;
 pub mod checked_arith;
 pub mod fault_coverage;
 pub mod lock_order;

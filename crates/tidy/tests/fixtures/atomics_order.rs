@@ -1,0 +1,26 @@
+// Fixture for the atomics-order rule: `publish` writes the flag that
+// `consume` reads with Acquire using only Relaxed (the release-publish
+// edge is missing, line 14), and `release` drops a refcount with a
+// Relaxed decrement that gates the last-reference check (line 24). The
+// Acquire read and the commented lines stay quiet.
+
+pub struct Shared {
+    ready: AtomicBool,
+    refs: AtomicU32,
+}
+
+impl Shared {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn consume(&self) -> bool {
+        // ORDER: fixture — pairs with the Release publish `publish`
+        // should be doing.
+        self.ready.load(Ordering::Acquire)
+    }
+
+    pub fn release(&self) -> bool {
+        self.refs.fetch_sub(1, Ordering::Relaxed) == 1
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture for the atomics-order-cas rule: the first CAS uses a failure
+// ordering that is not a load ordering (line 13), the second a failure
+// ordering stronger than its success ordering (line 18). The well-formed
+// CAS in `fine` stays quiet.
+
+pub struct Slot {
+    word: AtomicU64,
+}
+
+impl Slot {
+    pub fn bad_failure_kind(&self, old: u64, new: u64) -> bool {
+        // ORDER: fixture — the success half publishes the claim.
+        self.word.compare_exchange(old, new, Ordering::AcqRel, Ordering::AcqRel).is_ok()
+    }
+
+    pub fn failure_stronger_than_success(&self, old: u64, new: u64) -> bool {
+        // ORDER: fixture — a Relaxed claim needs no failure-side edge.
+        self.word.compare_exchange(old, new, Ordering::Relaxed, Ordering::Acquire).is_ok()
+    }
+
+    pub fn fine(&self, old: u64, new: u64) -> bool {
+        // ORDER: fixture — AcqRel claim publishes; Relaxed failure only
+        // reseeds the retry loop.
+        self.word.compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Relaxed).is_ok()
+    }
+}

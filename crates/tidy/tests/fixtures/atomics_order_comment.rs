@@ -1,0 +1,27 @@
+// Fixture for the atomics-order-comment rule: the bare Release store
+// (line 13) and the bare fence (line 17) fire; the same-line-commented
+// Acquire load and the Relaxed store (which needs no justification) stay
+// quiet.
+
+pub struct Flag {
+    set: AtomicBool,
+    hits: AtomicU64,
+}
+
+impl Flag {
+    pub fn bare(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+
+    pub fn bare_fence(&self) {
+        fence(Ordering::Acquire);
+    }
+
+    pub fn covered(&self) -> bool {
+        self.set.load(Ordering::Acquire) // ORDER: fixture — pairs with `bare`'s Release store.
+    }
+
+    pub fn relaxed_needs_no_comment(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+    }
+}

@@ -111,6 +111,50 @@ fn lock_order_fires_on_cycle_and_guard_across_send() {
 }
 
 #[test]
+fn atomics_order_fires_on_relaxed_publish_and_refcount() {
+    let vs = fixture_violations();
+    // The Relaxed store on the acquire-read flag fires, cross-referencing
+    // the acquire site; the Relaxed refcount decrement fires on its own.
+    assert_fired(&vs, "atomics-order", "atomics_order.rs", 14);
+    assert_fired(&vs, "atomics-order", "atomics_order.rs", 24);
+    assert_eq!(vs.iter().filter(|v| v.rule == "atomics-order").count(), 2, "{vs:#?}");
+    let publish = vs
+        .iter()
+        .find(|v| v.rule == "atomics-order" && v.line == 14)
+        .expect("publish violation present");
+    assert!(
+        publish.message.contains("atomics_order.rs:20"),
+        "publish message cross-references the acquire-side load: {}",
+        publish.message
+    );
+    let refcount = vs
+        .iter()
+        .find(|v| v.rule == "atomics-order" && v.line == 24)
+        .expect("refcount violation present");
+    assert!(refcount.message.contains("last-reference"), "{}", refcount.message);
+}
+
+#[test]
+fn atomics_order_cas_fires_on_bad_failure_orderings_only() {
+    let vs = fixture_violations();
+    // Failure AcqRel is not a load ordering; failure Acquire with success
+    // Relaxed is stronger than the success side. `fine` stays quiet.
+    assert_fired(&vs, "atomics-order-cas", "atomics_order_cas.rs", 13);
+    assert_fired(&vs, "atomics-order-cas", "atomics_order_cas.rs", 18);
+    assert_eq!(vs.iter().filter(|v| v.rule == "atomics-order-cas").count(), 2, "{vs:#?}");
+}
+
+#[test]
+fn atomics_order_comment_fires_on_bare_non_relaxed_sites_only() {
+    let vs = fixture_violations();
+    // The bare Release store and bare fence fire; the same-line-commented
+    // Acquire load and the Relaxed store stay quiet.
+    assert_fired(&vs, "atomics-order-comment", "atomics_order_comment.rs", 13);
+    assert_fired(&vs, "atomics-order-comment", "atomics_order_comment.rs", 17);
+    assert_eq!(vs.iter().filter(|v| v.rule == "atomics-order-comment").count(), 2, "{vs:#?}");
+}
+
+#[test]
 fn checked_arith_fires_on_bare_ops_only() {
     let vs = fixture_violations();
     assert_fired(&vs, "checked-arith", "checked_arith.rs", 5);
@@ -189,7 +233,7 @@ fn per_rule_allowlists_suppress_by_path_prefix() {
     assert_fired(&vs, "addr-cast", "addr_cast.rs", 6);
 }
 
-/// The gate itself: the real workspace must scan clean under all nine
+/// The gate itself: the real workspace must scan clean under all twelve
 /// rules. This is the same check CI runs via `cargo run -p tidy -- --json`.
 #[test]
 fn workspace_tree_is_clean() {

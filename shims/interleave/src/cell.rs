@@ -1,0 +1,118 @@
+//! [`Data<T>`]: a cell for *non-atomic* shared state under the model.
+//!
+//! Every access is checked with FastTrack-style vector clocks: a write must
+//! happen-after every prior access, a read must happen-after every prior
+//! write. A violation is a data race — the model fails with a message
+//! naming the cell — which is exactly how missing Release/Acquire edges on
+//! the guarding atomics surface as concrete bugs.
+
+use crate::rt::{self, VClock};
+
+struct Meta {
+    epoch: u64,
+    /// Per-thread clock component at that thread's last read.
+    reads: VClock,
+    /// Per-thread clock component at that thread's last write.
+    writes: VClock,
+}
+
+/// Race-detected cell for plain (non-atomic) data shared between model
+/// threads. Outside a model it degrades to a plain mutex-protected value.
+pub struct Data<T> {
+    label: &'static str,
+    inner: std::sync::Mutex<(T, Meta)>,
+}
+
+impl<T> Data<T> {
+    /// New cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Self::named("data", value)
+    }
+
+    /// New cell with a label used in race reports.
+    pub fn named(label: &'static str, value: T) -> Self {
+        Data {
+            label,
+            inner: std::sync::Mutex::new((
+                value,
+                Meta { epoch: 0, reads: VClock::default(), writes: VClock::default() },
+            )),
+        }
+    }
+
+    /// Read the value through `f`, reporting a race against any concurrent
+    /// write. `f` must not perform model operations (atomics, locks,
+    /// spawns) — it runs inside this cell's internal lock.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        // Schedule before taking the real lock: parking while holding it
+        // would stall other model threads on a lock the scheduler cannot
+        // see.
+        if let Some(rtm) = rt::current() {
+            rtm.schedule();
+        }
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.access(&mut g.1, false);
+        f(&g.0)
+    }
+
+    /// Mutate the value through `f`, reporting a race against any
+    /// concurrent read or write. `f` must not perform model operations —
+    /// it runs inside this cell's internal lock.
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        if let Some(rtm) = rt::current() {
+            rtm.schedule();
+        }
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.access(&mut g.1, true);
+        f(&mut g.0)
+    }
+
+    /// Clone the value out (a read access).
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.with(|v| v.clone())
+    }
+
+    /// Replace the value (a write access).
+    pub fn set(&self, value: T) {
+        self.update(|v| *v = value);
+    }
+
+    fn access(&self, meta: &mut Meta, write: bool) {
+        let Some(rtm) = rt::current() else { return };
+        if meta.epoch != rtm.epoch {
+            meta.epoch = rtm.epoch;
+            meta.reads = VClock::default();
+            meta.writes = VClock::default();
+        }
+        let me = rt::my_tid();
+        let clock = rtm.clock_of(me);
+        // Prior writes must happen-before any access; prior reads must
+        // happen-before a write.
+        if !meta.writes.le(&clock) {
+            rtm.fail(format!(
+                "data race on `{}`: {} by thread {} not ordered after a prior write",
+                self.label,
+                if write { "write" } else { "read" },
+                me
+            ));
+        }
+        if write && !meta.reads.le(&clock) {
+            rtm.fail(format!(
+                "data race on `{}`: write by thread {} not ordered after a prior read",
+                self.label, me
+            ));
+        }
+        if write {
+            let mut w = std::mem::take(&mut meta.writes);
+            w.join(&clock);
+            meta.writes = w;
+        } else {
+            let mut r = std::mem::take(&mut meta.reads);
+            r.join(&clock);
+            meta.reads = r;
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Vendored offline stand-in for the parts of `loom` the workspace needs:
+//! a deterministic interleaving harness for the lock-free core.
+//!
+//! A model is a closure run many times, once per seed. Inside it, threads
+//! spawned with [`thread::spawn`] run under a cooperative scheduler —
+//! exactly one thread at a time, with the next thread picked by a seeded
+//! splitmix64 stream at every instrumented operation — so a given seed
+//! replays the same interleaving exactly. The wrapped atomics model weak
+//! memory with per-store vector clocks: a `Relaxed` load may observe any
+//! coherence-allowed stale store, while `Acquire`/`Release` pairs (and
+//! fences) establish the happens-before edges real hardware would.
+//! Non-atomic shared state goes in [`Data`], which reports a data race the
+//! moment an access is not ordered by those edges. That combination turns
+//! "missing `Release` on the publish store" from an x86-invisible latent
+//! bug into a deterministic test failure naming the racy cell.
+//!
+//! # Example
+//!
+//! ```
+//! use interleave::{Data, AtomicBool, Ordering};
+//! use std::sync::Arc;
+//!
+//! interleave::check(|| {
+//!     let ready = Arc::new(AtomicBool::new(false));
+//!     let payload = Arc::new(Data::new(0u32));
+//!     let (r2, p2) = (Arc::clone(&ready), Arc::clone(&payload));
+//!     let t = interleave::spawn(move || {
+//!         p2.set(42);
+//!         r2.store(true, Ordering::Release);
+//!     });
+//!     if ready.load(Ordering::Acquire) {
+//!         assert_eq!(payload.get(), 42);
+//!     }
+//!     t.join();
+//! });
+//! ```
+//!
+//! In tests, the [`model!`] macro wraps the same body in a `#[test]` that
+//! runs under [`check`].
+//!
+//! Swap the `Release`/`Acquire` pair for `Relaxed` and the model fails
+//! with a data race on `payload` under some seed — see [`fails`] for
+//! asserting exactly that in a regression test.
+//!
+//! # Approximations
+//!
+//! `SeqCst` is modeled as `AcqRel` plus read-latest — the global SC order
+//! is not checked. RMWs always read the newest store (they are totally
+//! ordered per object in the real model too). Schedules are sampled
+//! randomly, not exhaustively enumerated: the harness is a bug-finder
+//! with deterministic replay, not a proof.
+
+#![warn(missing_docs)]
+
+mod cell;
+mod rt;
+pub mod sync;
+
+/// Model-aware threads: [`thread::spawn`], [`thread::yield_now`].
+pub mod thread;
+
+pub use cell::Data;
+pub use sync::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering};
+pub use thread::{spawn, yield_now, JoinHandle};
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// How many schedules to explore and how, overridable via environment:
+/// `INTERLEAVE_SEEDS` (count), `INTERLEAVE_BASE_SEED` (first seed, for
+/// replaying a reported failure), `INTERLEAVE_MAX_STEPS`.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of seeds (schedules) to run, starting at `base_seed`.
+    pub seeds: u64,
+    /// First seed in the sweep.
+    pub base_seed: u64,
+    /// Per-iteration bound on scheduling points before the run is failed
+    /// as a livelock.
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { seeds: 64, base_seed: 0, max_steps: 50_000 }
+    }
+}
+
+impl Config {
+    /// Default config with environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(v) = env_u64("INTERLEAVE_SEEDS") {
+            cfg.seeds = v.max(1);
+        }
+        if let Some(v) = env_u64("INTERLEAVE_BASE_SEED") {
+            cfg.base_seed = v;
+        }
+        if let Some(v) = env_u64("INTERLEAVE_MAX_STEPS") {
+            cfg.max_steps = v.max(100);
+        }
+        cfg
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Run `f` once under the model with `seed`; `None` means the iteration
+/// completed cleanly, `Some(msg)` is the failure.
+fn run_once(seed: u64, max_steps: u64, f: &(dyn Fn() + Sync)) -> Option<String> {
+    install_quiet_hook();
+    let rtm = rt::Rt::new(seed, max_steps);
+    rt::set_current(Some(std::sync::Arc::clone(&rtm)), 0);
+    let out = catch_unwind(AssertUnwindSafe(f));
+    if let Err(payload) = &out {
+        if !rt::is_abort(payload.as_ref()) && rtm.failure().is_none() {
+            rtm.record_failure(rt::panic_message(payload.as_ref()));
+        }
+    }
+    rtm.teardown(out.is_ok());
+    rt::set_current(None, usize::MAX);
+    rtm.failure()
+}
+
+/// Suppress the default panic-hook backtrace spam for panics raised
+/// *inside* a model iteration — they are caught and re-reported once,
+/// with the seed, by [`check`]/[`fails`]. Panics outside a model still
+/// print normally.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if rt::current().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Explore schedules of `f` under the env-derived [`Config`], panicking
+/// with the seed and failure message on the first schedule that fails.
+pub fn check(f: impl Fn() + Sync) {
+    check_with(Config::from_env(), f);
+}
+
+/// [`check`] with an explicit config.
+pub fn check_with(cfg: Config, f: impl Fn() + Sync) {
+    for seed in cfg.base_seed..cfg.base_seed.saturating_add(cfg.seeds) {
+        if let Some(msg) = run_once(seed, cfg.max_steps, &f) {
+            panic!(
+                "model failed under seed {seed}: {msg}\n\
+                 replay with INTERLEAVE_BASE_SEED={seed} INTERLEAVE_SEEDS=1"
+            );
+        }
+    }
+}
+
+/// Assert that `f` fails under at least one schedule and return the first
+/// failure message. This is how regression tests pin a *buggy* ordering:
+/// the pre-fix code must still be caught by the model.
+pub fn fails(cfg: Config, f: impl Fn() + Sync) -> String {
+    for seed in cfg.base_seed..cfg.base_seed.saturating_add(cfg.seeds) {
+        if let Some(msg) = run_once(seed, cfg.max_steps, &f) {
+            return msg;
+        }
+    }
+    panic!("expected the model to fail under some schedule, but {} seed(s) all passed", cfg.seeds);
+}
+
+/// Declare interleaving model tests: each `fn` becomes a `#[test]` whose
+/// body runs under [`check`].
+///
+/// ```ignore
+/// interleave::model! {
+///     fn my_model() { /* spawn threads, assert invariants */ }
+/// }
+/// ```
+#[macro_export]
+macro_rules! model {
+    ($($(#[$meta:meta])* fn $name:ident() $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                $crate::check(|| $body);
+            }
+        )*
+    };
+}

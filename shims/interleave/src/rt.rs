@@ -1,0 +1,608 @@
+//! Runtime core: seeded cooperative scheduler plus the shared model state
+//! (vector clocks, atomic store histories, mutex ownership) that the
+//! wrapper types in [`crate::sync`] and [`crate::cell`] consult.
+//!
+//! Exactly one model thread runs at a time. Every instrumented operation
+//! calls [`Rt::schedule`], which hands the "baton" to a pseudo-randomly
+//! chosen runnable thread; the seed fully determines the interleaving, so
+//! a failing schedule replays exactly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Monotonic id distinguishing model iterations, so wrapper objects that
+/// accidentally outlive one iteration reset their model state instead of
+/// leaking stale store histories into the next schedule.
+static EPOCH: StdAtomicU64 = StdAtomicU64::new(1);
+
+pub(crate) fn next_epoch() -> u64 {
+    EPOCH.fetch_add(1, StdOrdering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Rt>>> = const { RefCell::new(None) };
+    static TID: RefCell<usize> = const { RefCell::new(usize::MAX) };
+}
+
+/// The runtime driving the current thread's model iteration, if any.
+/// `None` means the wrapper types fall back to their real std behavior.
+pub(crate) fn current() -> Option<Arc<Rt>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(rt: Option<Arc<Rt>>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = rt);
+    TID.with(|t| *t.borrow_mut() = tid);
+}
+
+pub(crate) fn my_tid() -> usize {
+    TID.with(|t| *t.borrow())
+}
+
+/// splitmix64 step: the only randomness source in the model, so the seed
+/// determines every scheduling and visibility choice.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Vector clock over model-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, v) in other.0.iter().enumerate() {
+            if *v > self.0[i] {
+                self.0[i] = *v;
+            }
+        }
+    }
+
+    /// True when every component of `self` is <= the matching component of
+    /// `other`: the event stamped `self` happens-before (or equals) one
+    /// stamped `other`.
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, v)| *v <= other.get(i))
+    }
+}
+
+/// One store in an atomic cell's history. Loads pick among the stores that
+/// coherence still allows them to observe, which is how the model exhibits
+/// stale reads under `Relaxed`.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreRec {
+    pub(crate) val: u64,
+    /// Clock of the storing thread at the store (for visibility pruning).
+    pub(crate) clock: VClock,
+    /// Release clock carried by the store: what an acquire load of this
+    /// store synchronizes with. `None` for a plain relaxed store with no
+    /// preceding release fence; RMWs propagate the previous store's
+    /// release clock (release-sequence continuation).
+    pub(crate) release: Option<VClock>,
+}
+
+pub(crate) struct AtomicState {
+    pub(crate) stores: Vec<StoreRec>,
+    /// Per-thread index of the newest store each thread has observed,
+    /// enforcing per-object coherence (no going back in time).
+    pub(crate) last_seen: HashMap<usize, usize>,
+}
+
+struct MutexState {
+    owner: Option<usize>,
+    /// Release clock of the last unlock: joining it at lock gives the
+    /// acquire edge.
+    clock: VClock,
+}
+
+struct ThreadState {
+    runnable: bool,
+    finished: bool,
+    clock: VClock,
+    /// Release clocks of relaxed-loaded stores, pending until a
+    /// `fence(Acquire)` upgrades them into real acquire edges.
+    pending_acquire: VClock,
+    /// Thread clock snapshot at the last `fence(Release)`; a subsequent
+    /// relaxed store carries it as its release clock.
+    release_fence: Option<VClock>,
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    active: usize,
+    rng: u64,
+    steps: u64,
+    max_steps: u64,
+    failure: Option<String>,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+}
+
+/// One model iteration: a fixed seed exploring one (randomized) schedule.
+pub(crate) struct Rt {
+    state: Mutex<State>,
+    cv: Condvar,
+    pub(crate) epoch: u64,
+    real_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Payload for panics that only exist to unwind a model thread after the
+/// iteration has already recorded its failure; `check` recognizes it and
+/// reports the stored failure message instead.
+pub(crate) struct ModelAbort;
+
+fn abort() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+impl Rt {
+    pub(crate) fn new(seed: u64, max_steps: u64) -> Arc<Rt> {
+        let main = ThreadState {
+            runnable: true,
+            finished: false,
+            clock: {
+                let mut c = VClock::default();
+                c.tick(0);
+                c
+            },
+            pending_acquire: VClock::default(),
+            release_fence: None,
+        };
+        let mut rng = seed ^ 0xD6E8_FEB8_6659_FD93;
+        // Warm the stream so nearby seeds diverge immediately.
+        splitmix64(&mut rng);
+        Arc::new(Rt {
+            state: Mutex::new(State {
+                threads: vec![main],
+                active: 0,
+                rng,
+                steps: 0,
+                max_steps,
+                failure: None,
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            epoch: next_epoch(),
+            real_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Lock the model state, treating poisoning as recoverable: a panicking
+    /// model thread is normal (that is how failures propagate) and the
+    /// state it leaves behind is still consistent.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a model failure (race, deadlock, assertion) and unwind the
+    /// calling thread. The first failure wins; every other thread unwinds
+    /// via `ModelAbort` at its next scheduling point.
+    pub(crate) fn fail(&self, msg: String) -> ! {
+        let first = {
+            let mut st = self.lock();
+            let first = st.failure.is_none();
+            if first {
+                st.failure = Some(msg.clone());
+            }
+            first
+        };
+        self.cv.notify_all();
+        if first {
+            panic!("interleave model failed: {msg}");
+        }
+        abort()
+    }
+
+    pub(crate) fn failure(&self) -> Option<String> {
+        self.lock().failure.clone()
+    }
+
+    /// Record a failure without unwinding (used by thread wrappers that
+    /// must still run their own teardown). First failure wins.
+    pub(crate) fn record_failure(&self, msg: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn rand_below(&self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let mut st = self.lock();
+        (splitmix64(&mut st.rng) % n as u64) as usize
+    }
+
+    /// A scheduling point: tick the caller's clock, pick the next runnable
+    /// thread by seeded rng, and hand over the baton if it is not us.
+    /// Panics (propagating the failure) if the iteration has already failed.
+    pub(crate) fn schedule(&self) {
+        let me = my_tid();
+        let mut st = self.lock();
+        if st.failure.is_some() {
+            drop(st);
+            abort();
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let max = st.max_steps;
+            drop(st);
+            self.fail(format!(
+                "exceeded max_steps ({max}): livelock or unbounded loop under this schedule"
+            ));
+        }
+        st.threads[me].clock.tick(me);
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.runnable && !t.finished)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            drop(st);
+            self.fail("deadlock: no runnable threads".to_string());
+        }
+        let pick = runnable[(splitmix64(&mut st.rng) % runnable.len() as u64) as usize];
+        st.active = pick;
+        if pick != me {
+            self.cv.notify_all();
+            st = self.wait_for_baton(st, me);
+        }
+        drop(st);
+    }
+
+    fn wait_for_baton<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        while st.active != me && st.failure.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.failure.is_some() {
+            drop(st);
+            abort();
+        }
+        st
+    }
+
+    /// Register a newly spawned model thread; the child inherits the
+    /// parent's clock (the spawn edge) and starts parked until scheduled.
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock();
+        let mut clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        clock.tick(tid);
+        st.threads.push(ThreadState {
+            runnable: true,
+            finished: false,
+            clock,
+            pending_acquire: VClock::default(),
+            release_fence: None,
+        });
+        st.threads[parent].clock.tick(parent);
+        tid
+    }
+
+    /// Entry point of a spawned model thread: park until first scheduled.
+    pub(crate) fn wait_first(&self, tid: usize) {
+        let st = self.lock();
+        let st = self.wait_for_baton(st, tid);
+        drop(st);
+    }
+
+    /// Mark `tid` finished, wake every parked thread (joiners re-check and
+    /// others re-park), and hand the baton to a runnable thread so the
+    /// rest of the model keeps going.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].finished = true;
+        st.threads[tid].runnable = false;
+        for t in st.threads.iter_mut() {
+            if !t.finished {
+                t.runnable = true;
+            }
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.runnable && !t.finished)
+            .map(|(i, _)| i)
+            .collect();
+        if !runnable.is_empty() {
+            let pick = runnable[(splitmix64(&mut st.rng) % runnable.len() as u64) as usize];
+            st.active = pick;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Cooperatively block until `child` finishes, then fold its clock
+    /// into the joiner's (the join edge). Parking instead of spinning lets
+    /// an all-blocked state surface as a deadlock, not a livelock.
+    pub(crate) fn join_thread(&self, child: usize) {
+        let me = my_tid();
+        loop {
+            self.schedule();
+            let mut st = self.lock();
+            if st.threads[child].finished {
+                let child_clock = st.threads[child].clock.clone();
+                st.threads[me].clock.join(&child_clock);
+                return;
+            }
+            st.threads[me].runnable = false;
+            drop(st);
+        }
+    }
+
+    pub(crate) fn clock_of(&self, tid: usize) -> VClock {
+        self.lock().threads[tid].clock.clone()
+    }
+
+    pub(crate) fn track_real_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.real_handles.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+    }
+
+    /// Abort every still-running model thread (e.g. after the main closure
+    /// panicked or returned with children unjoined) and wait for the real
+    /// OS threads to exit.
+    pub(crate) fn teardown(&self, leak_is_failure: bool) {
+        {
+            let mut st = self.lock();
+            let leaked = st.threads.iter().skip(1).any(|t| !t.finished);
+            if leaked && st.failure.is_none() {
+                st.failure = Some(if leak_is_failure {
+                    "model returned with unjoined threads".to_string()
+                } else {
+                    "model aborted".to_string()
+                });
+            }
+        }
+        self.cv.notify_all();
+        let handles: Vec<_> =
+            self.real_handles.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    // ----- atomics -----
+
+    pub(crate) fn register_atomic(&self, initial: u64) -> usize {
+        let mut st = self.lock();
+        let id = st.atomics.len();
+        st.atomics.push(AtomicState {
+            stores: vec![StoreRec { val: initial, clock: VClock::default(), release: None }],
+            last_seen: HashMap::new(),
+        });
+        id
+    }
+
+    /// Model an atomic load. Visibility: a store is observable if no
+    /// *newer* store already happens-before the loading thread and the
+    /// store is at least as new as the newest one this thread has already
+    /// seen (per-object coherence). `acquire` joins the chosen store's
+    /// release clock into the loader; a relaxed load stashes it in
+    /// `pending_acquire` for a later acquire fence. `read_latest` (SeqCst
+    /// approximation) always observes the newest store.
+    pub(crate) fn atomic_load(&self, id: usize, acquire: bool, read_latest: bool) -> u64 {
+        let me = my_tid();
+        let mut st = self.lock();
+        let clock = st.threads[me].clock.clone();
+        let a = &st.atomics[id];
+        let floor_seen = a.last_seen.get(&me).copied().unwrap_or(0);
+        // Newest store already visible-in-order to this thread: every store
+        // before it in modification order is dead to us.
+        let floor_hb = a
+            .stores
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, s)| s.clock.le(&clock))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let floor = floor_seen.max(floor_hb);
+        let choice = if read_latest {
+            a.stores.len() - 1
+        } else {
+            let candidates = a.stores.len() - floor;
+            floor + (splitmix64(&mut st.rng) % candidates as u64) as usize
+        };
+        let a = &mut st.atomics[id];
+        a.last_seen.insert(me, choice);
+        let rec = a.stores[choice].clone();
+        let t = &mut st.threads[me];
+        if let Some(rel) = &rec.release {
+            if acquire {
+                t.clock.join(rel);
+            } else {
+                t.pending_acquire.join(rel);
+            }
+        }
+        rec.val
+    }
+
+    /// Model an atomic store. `release` publishes the thread's clock; a
+    /// relaxed store still carries the clock of a preceding
+    /// `fence(Release)`, if any.
+    pub(crate) fn atomic_store(&self, id: usize, val: u64, release: bool) {
+        let me = my_tid();
+        let mut st = self.lock();
+        let clock = st.threads[me].clock.clone();
+        let rel = if release { Some(clock.clone()) } else { st.threads[me].release_fence.clone() };
+        let a = &mut st.atomics[id];
+        a.stores.push(StoreRec { val, clock, release: rel });
+        let newest = a.stores.len() - 1;
+        a.last_seen.insert(me, newest);
+    }
+
+    /// Model an atomic read-modify-write: reads the *latest* store (RMWs
+    /// are totally ordered per object), applies `f`, appends the result.
+    /// The new store continues the release sequence: it carries the prior
+    /// store's release clock joined with our own clock if `release`.
+    pub(crate) fn atomic_rmw(
+        &self,
+        id: usize,
+        acquire: bool,
+        release: bool,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let me = my_tid();
+        let mut st = self.lock();
+        let clock = st.threads[me].clock.clone();
+        let fence_rel = st.threads[me].release_fence.clone();
+        let a = &mut st.atomics[id];
+        let prev = a.stores.last().expect("atomic history empty").clone();
+        let mut rel = prev.release.clone();
+        if release {
+            match &mut rel {
+                Some(r) => r.join(&clock),
+                None => rel = Some(clock.clone()),
+            }
+        } else if let Some(fr) = fence_rel {
+            match &mut rel {
+                Some(r) => r.join(&fr),
+                None => rel = Some(fr),
+            }
+        }
+        let new_val = f(prev.val);
+        a.stores.push(StoreRec { val: new_val, clock, release: rel });
+        let newest = a.stores.len() - 1;
+        a.last_seen.insert(me, newest);
+        let t = &mut st.threads[me];
+        if let Some(r) = &prev.release {
+            if acquire {
+                t.clock.join(r);
+            } else {
+                t.pending_acquire.join(r);
+            }
+        }
+        prev.val
+    }
+
+    /// Failed CAS: a pure load of the latest value under the failure
+    /// ordering (RMW reads are totally ordered, so no stale choice here).
+    pub(crate) fn atomic_rmw_failed(&self, id: usize, acquire: bool) -> u64 {
+        let me = my_tid();
+        let mut st = self.lock();
+        let a = &mut st.atomics[id];
+        let newest = a.stores.len() - 1;
+        let rec = a.stores[newest].clone();
+        a.last_seen.insert(me, newest);
+        let t = &mut st.threads[me];
+        if let Some(rel) = &rec.release {
+            if acquire {
+                t.clock.join(rel);
+            } else {
+                t.pending_acquire.join(rel);
+            }
+        }
+        rec.val
+    }
+
+    // ----- fences -----
+
+    /// `fence(Acquire)`: upgrade every release clock stashed by earlier
+    /// relaxed loads into real happens-before edges.
+    pub(crate) fn fence_acquire(&self) {
+        let me = my_tid();
+        let mut st = self.lock();
+        let pending = std::mem::take(&mut st.threads[me].pending_acquire);
+        st.threads[me].clock.join(&pending);
+    }
+
+    /// `fence(Release)`: subsequent relaxed stores carry this clock.
+    pub(crate) fn fence_release(&self) {
+        let me = my_tid();
+        let mut st = self.lock();
+        let clock = st.threads[me].clock.clone();
+        st.threads[me].release_fence = Some(clock);
+    }
+
+    // ----- mutexes -----
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        let id = st.mutexes.len();
+        st.mutexes.push(MutexState { owner: None, clock: VClock::default() });
+        id
+    }
+
+    /// Block (cooperatively) until the mutex is free, then take it. The
+    /// acquire edge joins the last unlocker's release clock.
+    pub(crate) fn mutex_lock(&self, id: usize) {
+        let me = my_tid();
+        loop {
+            self.schedule();
+            let mut st = self.lock();
+            if st.mutexes[id].owner.is_none() {
+                st.mutexes[id].owner = Some(me);
+                let rel = st.mutexes[id].clock.clone();
+                st.threads[me].clock.join(&rel);
+                return;
+            }
+            // Owner still holds it: park until an unlock wakes us.
+            st.threads[me].runnable = false;
+            drop(st);
+        }
+    }
+
+    /// Release the mutex, publishing our clock, and wake parked waiters.
+    pub(crate) fn mutex_unlock(&self, id: usize) {
+        let me = my_tid();
+        let mut st = self.lock();
+        debug_assert_eq!(st.mutexes[id].owner, Some(me));
+        st.mutexes[id].owner = None;
+        let clock = st.threads[me].clock.clone();
+        st.mutexes[id].clock.join(&clock);
+        // Wake everything parked on a mutex; they re-check and re-park if
+        // some other mutex is still held. Coarse but simple and correct.
+        for t in st.threads.iter_mut() {
+            if !t.finished {
+                t.runnable = true;
+            }
+        }
+    }
+}
+
+/// Turn a caught panic payload into a displayable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if payload.is::<ModelAbort>() {
+        return "model aborted".to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "model thread panicked".to_string()
+}
+
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<ModelAbort>()
+}

@@ -1,0 +1,385 @@
+//! Model-aware drop-ins for `std::sync::atomic` types, `fence`, and
+//! `std::sync::Mutex`. Inside a model iteration they route through the
+//! runtime's store-history / vector-clock machinery; outside one they
+//! behave exactly like the std originals, so code under test can run both
+//! ways.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt::{self, Rt};
+use std::sync::Arc;
+
+/// Per-object handle into the runtime's model state, lazily (re)registered
+/// so a wrapper that leaks across iterations starts fresh instead of
+/// carrying a stale history.
+struct ModelSlot {
+    epoch: u64,
+    id: usize,
+}
+
+fn slot_for(slot: &std::sync::Mutex<Option<ModelSlot>>, rt: &Arc<Rt>, initial: u64) -> usize {
+    let mut s = slot.lock().unwrap_or_else(|e| e.into_inner());
+    match &*s {
+        Some(m) if m.epoch == rt.epoch => m.id,
+        _ => {
+            let id = rt.register_atomic(initial);
+            *s = Some(ModelSlot { epoch: rt.epoch, id });
+            id
+        }
+    }
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $ty:ty) => {
+        /// Model-aware atomic integer. See the module docs for semantics.
+        pub struct $name {
+            real: $std,
+            initial: u64,
+            model: std::sync::Mutex<Option<ModelSlot>>,
+        }
+
+        #[allow(clippy::unnecessary_cast)] // u64-as-u64 shows up for the widest instantiation
+        impl $name {
+            /// New atomic with the given initial value.
+            pub fn new(v: $ty) -> Self {
+                $name {
+                    real: <$std>::new(v),
+                    initial: v as u64,
+                    model: std::sync::Mutex::new(None),
+                }
+            }
+
+            fn id(&self, rt: &Arc<Rt>) -> usize {
+                slot_for(&self.model, rt, self.initial)
+            }
+
+            /// Atomic load under `order`.
+            pub fn load(&self, order: Ordering) -> $ty {
+                match rt::current() {
+                    None => self.real.load(order),
+                    Some(rt) => {
+                        rt.schedule();
+                        rt.atomic_load(self.id(&rt), is_acquire(order), order == Ordering::SeqCst)
+                            as $ty
+                    }
+                }
+            }
+
+            /// Atomic store under `order`.
+            pub fn store(&self, val: $ty, order: Ordering) {
+                match rt::current() {
+                    None => self.real.store(val, order),
+                    Some(rt) => {
+                        rt.schedule();
+                        rt.atomic_store(self.id(&rt), val as u64, is_release(order));
+                    }
+                }
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(order, move |_| val)
+            }
+
+            /// Atomic wrapping add, returning the previous value.
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                match rt::current() {
+                    None => self.real.fetch_add(val, order),
+                    Some(_) => self.rmw(order, move |p| p.wrapping_add(val)),
+                }
+            }
+
+            /// Atomic wrapping subtract, returning the previous value.
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                match rt::current() {
+                    None => self.real.fetch_sub(val, order),
+                    Some(_) => self.rmw(order, move |p| p.wrapping_sub(val)),
+                }
+            }
+
+            /// Atomic max, returning the previous value.
+            pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                match rt::current() {
+                    None => self.real.fetch_max(val, order),
+                    Some(_) => self.rmw(order, move |p| p.max(val)),
+                }
+            }
+
+            /// Atomic min, returning the previous value.
+            pub fn fetch_min(&self, val: $ty, order: Ordering) -> $ty {
+                match rt::current() {
+                    None => self.real.fetch_min(val, order),
+                    Some(_) => self.rmw(order, move |p| p.min(val)),
+                }
+            }
+
+            fn rmw(&self, order: Ordering, f: impl Fn($ty) -> $ty) -> $ty {
+                match rt::current() {
+                    None => {
+                        // Fallback: emulate via a CAS loop on the real atomic.
+                        let mut cur = self.real.load(Ordering::Relaxed);
+                        loop {
+                            match self.real.compare_exchange_weak(
+                                cur,
+                                f(cur),
+                                order,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(prev) => return prev,
+                                Err(now) => cur = now,
+                            }
+                        }
+                    }
+                    Some(rt) => {
+                        rt.schedule();
+                        rt.atomic_rmw(self.id(&rt), is_acquire(order), is_release(order), |p| {
+                            f(p as $ty) as u64
+                        }) as $ty
+                    }
+                }
+            }
+
+            /// Atomic compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.cas(current, new, success, failure, false)
+            }
+
+            /// Atomic compare-and-exchange that may fail spuriously. Under
+            /// the model, spurious failures are injected by the seeded rng
+            /// so CAS loops get exercised.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.cas(current, new, success, failure, true)
+            }
+
+            fn cas(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+                weak: bool,
+            ) -> Result<$ty, $ty> {
+                match rt::current() {
+                    None => {
+                        if weak {
+                            self.real.compare_exchange_weak(current, new, success, failure)
+                        } else {
+                            self.real.compare_exchange(current, new, success, failure)
+                        }
+                    }
+                    Some(rt) => {
+                        rt.schedule();
+                        let id = self.id(&rt);
+                        let spurious = weak && rt.rand_below(8) == 0;
+                        if spurious {
+                            return Err(rt.atomic_rmw_failed(id, is_acquire(failure)) as $ty);
+                        }
+                        let latest = rt.atomic_rmw_failed(id, is_acquire(failure)) as $ty;
+                        if latest != current {
+                            return Err(latest);
+                        }
+                        let prev =
+                            rt.atomic_rmw(id, is_acquire(success), is_release(success), move |_| {
+                                new as u64
+                            }) as $ty;
+                        Ok(prev)
+                    }
+                }
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Model-aware atomic boolean, stored as 0/1 in the runtime history.
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+    initial: u64,
+    model: std::sync::Mutex<Option<ModelSlot>>,
+}
+
+impl AtomicBool {
+    /// New atomic with the given initial value.
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            real: std::sync::atomic::AtomicBool::new(v),
+            initial: v as u64,
+            model: std::sync::Mutex::new(None),
+        }
+    }
+
+    fn id(&self, rt: &Arc<Rt>) -> usize {
+        slot_for(&self.model, rt, self.initial)
+    }
+
+    /// Atomic load under `order`.
+    pub fn load(&self, order: Ordering) -> bool {
+        match rt::current() {
+            None => self.real.load(order),
+            Some(rt) => {
+                rt.schedule();
+                rt.atomic_load(self.id(&rt), is_acquire(order), order == Ordering::SeqCst) != 0
+            }
+        }
+    }
+
+    /// Atomic store under `order`.
+    pub fn store(&self, val: bool, order: Ordering) {
+        match rt::current() {
+            None => self.real.store(val, order),
+            Some(rt) => {
+                rt.schedule();
+                rt.atomic_store(self.id(&rt), val as u64, is_release(order));
+            }
+        }
+    }
+
+    /// Atomic swap, returning the previous value.
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        match rt::current() {
+            None => self.real.swap(val, order),
+            Some(rt) => {
+                rt.schedule();
+                rt.atomic_rmw(self.id(&rt), is_acquire(order), is_release(order), move |_| {
+                    val as u64
+                }) != 0
+            }
+        }
+    }
+
+    /// Atomic compare-and-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match rt::current() {
+            None => self.real.compare_exchange(current, new, success, failure),
+            Some(rt) => {
+                rt.schedule();
+                let id = self.id(&rt);
+                let latest = rt.atomic_rmw_failed(id, is_acquire(failure)) != 0;
+                if latest != current {
+                    return Err(latest);
+                }
+                let prev = rt
+                    .atomic_rmw(id, is_acquire(success), is_release(success), move |_| new as u64)
+                    != 0;
+                Ok(prev)
+            }
+        }
+    }
+}
+
+/// Model-aware memory fence. `fence(Acquire)` upgrades the release clocks
+/// observed by earlier relaxed loads into happens-before edges — the
+/// idiom behind the refcount-free pattern. `fence(Release)` makes later
+/// relaxed stores carry the current clock.
+pub fn fence(order: Ordering) {
+    match rt::current() {
+        None => std::sync::atomic::fence(order),
+        Some(rt) => {
+            rt.schedule();
+            if is_acquire(order) {
+                rt.fence_acquire();
+            }
+            if is_release(order) {
+                rt.fence_release();
+            }
+        }
+    }
+}
+
+/// Model-aware mutex: cooperative blocking under the scheduler (so
+/// lock-contention interleavings and deadlocks are explored), plain
+/// `std::sync::Mutex` otherwise.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    model: std::sync::Mutex<Option<ModelSlot>>,
+}
+
+impl<T> Mutex<T> {
+    /// New mutex owning `value`.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value), model: std::sync::Mutex::new(None) }
+    }
+
+    fn id(&self, rt: &Arc<Rt>) -> usize {
+        let mut s = self.model.lock().unwrap_or_else(|e| e.into_inner());
+        match &*s {
+            Some(m) if m.epoch == rt.epoch => m.id,
+            _ => {
+                let id = rt.register_mutex();
+                *s = Some(ModelSlot { epoch: rt.epoch, id });
+                id
+            }
+        }
+    }
+
+    /// Lock the mutex, blocking (cooperatively, under the model) until free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let model_id = rt::current().map(|rt| {
+            let id = self.id(&rt);
+            rt.mutex_lock(id);
+            (rt, id)
+        });
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { guard: Some(guard), model: model_id }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the model lock on drop.
+pub struct MutexGuard<'a, T> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Rt>, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data before the model lock so no other model thread
+        // can observe the critical section still "open".
+        self.guard.take();
+        if let Some((rt, id)) = self.model.take() {
+            rt.mutex_unlock(id);
+        }
+    }
+}

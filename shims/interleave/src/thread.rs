@@ -1,0 +1,104 @@
+//! Model-aware `spawn`/`join`/`yield_now`. Inside a model, spawned
+//! closures run on real OS threads but only ever one at a time, driven by
+//! the runtime's baton; outside a model they are plain `std::thread`
+//! spawns.
+
+use crate::rt::{self, panic_message};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned thread; see [`spawn`].
+pub struct JoinHandle<T> {
+    real: Option<std::thread::JoinHandle<T>>,
+    model: Option<ModelJoin<T>>,
+}
+
+struct ModelJoin<T> {
+    rt: Arc<rt::Rt>,
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a thread. Under the model it is registered with the scheduler
+/// (inheriting the spawner's clock — the spawn edge) and parks until its
+/// first scheduling turn.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(rtm) = rt::current() else {
+        return JoinHandle { real: Some(std::thread::spawn(f)), model: None };
+    };
+    rtm.schedule();
+    let parent = rt::my_tid();
+    let tid = rtm.register_thread(parent);
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let child_rt = Arc::clone(&rtm);
+    let handle = std::thread::Builder::new()
+        .name(format!("interleave-{tid}"))
+        .spawn(move || {
+            rt::set_current(Some(Arc::clone(&child_rt)), tid);
+            child_rt.wait_first(tid);
+            let out = catch_unwind(AssertUnwindSafe(f));
+            match out {
+                Ok(v) => {
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    child_rt.finish_thread(tid);
+                }
+                Err(payload) => {
+                    // First panic wins as the iteration's failure; aborts
+                    // from an already-failed iteration just unwind. Record
+                    // BEFORE releasing the baton via finish_thread, or the
+                    // main thread could complete the iteration first and
+                    // miss the failure.
+                    let already_failed = rt::is_abort(payload.as_ref());
+                    if !already_failed {
+                        let msg = panic_message(payload.as_ref());
+                        child_rt.record_failure(format!("thread {tid} panicked: {msg}"));
+                    }
+                    child_rt.finish_thread(tid);
+                }
+            }
+            rt::set_current(None, usize::MAX);
+        })
+        .expect("spawn model thread");
+    rtm.track_real_handle(handle);
+    JoinHandle { real: None, model: Some(ModelJoin { rt: rtm, tid, result }) }
+}
+
+impl<T> JoinHandle<T> {
+    /// Join the thread, returning its result. Under the model this is a
+    /// cooperative wait: the joiner keeps yielding its turns until the
+    /// child finishes, then absorbs the child's clock (the join edge).
+    /// Panics with the model failure if the child panicked.
+    pub fn join(mut self) -> T {
+        if let Some(m) = self.model.take() {
+            m.rt.join_thread(m.tid);
+            // One more scheduling point so a failure recorded by the
+            // child's final moments propagates to the joiner.
+            m.rt.schedule();
+            return m
+                .result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("joined thread produced no result");
+        }
+        match self.real.take().expect("join called twice").join() {
+            Ok(v) => v,
+            Err(payload) => panic!("joined thread panicked: {}", panic_message(payload.as_ref())),
+        }
+    }
+}
+
+/// Voluntarily give up the current scheduling turn (a pure scheduling
+/// point under the model, `std::thread::yield_now` otherwise).
+pub fn yield_now() {
+    if let Some(rtm) = rt::current() {
+        rtm.schedule();
+    } else {
+        std::thread::yield_now();
+    }
+}

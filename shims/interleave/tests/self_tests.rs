@@ -1,0 +1,223 @@
+//! Self-tests for the interleaving harness: the scheduler must be
+//! deterministic per seed, the weak-memory model must catch missing
+//! release/acquire edges, and correct synchronization must pass the full
+//! sweep.
+
+use interleave::{fence, model, AtomicBool, AtomicU64, Config, Data, Mutex, Ordering};
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config { seeds: 64, base_seed: 0, max_steps: 50_000 }
+}
+
+model! {
+    fn release_acquire_publish_passes() {
+        let ready = Arc::new(AtomicBool::new(false));
+        let payload = Arc::new(Data::named("payload", 0u32));
+        let (r2, p2) = (Arc::clone(&ready), Arc::clone(&payload));
+        let t = interleave::spawn(move || {
+            p2.set(42);
+            r2.store(true, Ordering::Release);
+        });
+        if ready.load(Ordering::Acquire) {
+            assert_eq!(payload.get(), 42);
+        }
+        t.join();
+        assert_eq!(payload.get(), 42);
+    }
+
+    fn fence_publish_passes() {
+        let ready = Arc::new(AtomicBool::new(false));
+        let payload = Arc::new(Data::named("payload", 0u32));
+        let (r2, p2) = (Arc::clone(&ready), Arc::clone(&payload));
+        let t = interleave::spawn(move || {
+            p2.set(7);
+            fence(Ordering::Release);
+            r2.store(true, Ordering::Relaxed);
+        });
+        if ready.load(Ordering::Relaxed) {
+            fence(Ordering::Acquire);
+            assert_eq!(payload.get(), 7);
+        }
+        t.join();
+    }
+
+    fn mutex_excludes_and_orders() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m2 = Arc::clone(&m);
+                interleave::spawn(move || {
+                    for _ in 0..2 {
+                        let mut g = m2.lock();
+                        *g += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*m.lock(), 4);
+    }
+
+    fn refcount_release_fence_passes() {
+        // The Arc-drop idiom: last decrementer frees, guarded by
+        // fetch_sub(Release) + fence(Acquire) on the zero path.
+        let refs = Arc::new(AtomicU64::new(2));
+        let body = Arc::new(Data::named("body", 1u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (r2, b2) = (Arc::clone(&refs), Arc::clone(&body));
+                interleave::spawn(move || {
+                    b2.with(|v| assert_eq!(*v, 1));
+                    if r2.fetch_sub(1, Ordering::Release) == 1 {
+                        fence(Ordering::Acquire);
+                        b2.set(0); // "free"
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(body.get(), 0);
+    }
+
+    fn cas_loop_terminates_despite_spurious_failures() {
+        let slot = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (1..=2u64)
+            .map(|id| {
+                let s = Arc::clone(&slot);
+                interleave::spawn(move || {
+                    let mut cur = s.load(Ordering::Relaxed);
+                    loop {
+                        match s.compare_exchange_weak(
+                            cur,
+                            cur + id,
+                            Ordering::AcqRel,
+                            Ordering::Acquire, // ORDER-free test code
+                        ) {
+                            Ok(_) => break,
+                            Err(now) => cur = now,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(slot.load(Ordering::Acquire), 3);
+    }
+
+    fn same_thread_coherence() {
+        let a = AtomicU64::new(0);
+        a.store(5, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 5); // own store never stale
+        a.store(6, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 6);
+    }
+}
+
+#[test]
+fn relaxed_publish_is_caught_as_race() {
+    let msg = interleave::fails(cfg(), || {
+        let ready = Arc::new(AtomicBool::new(false));
+        let payload = Arc::new(Data::named("payload", 0u32));
+        let (r2, p2) = (Arc::clone(&ready), Arc::clone(&payload));
+        let t = interleave::spawn(move || {
+            p2.set(42);
+            r2.store(true, Ordering::Relaxed); // missing Release
+        });
+        if ready.load(Ordering::Acquire) {
+            let _ = payload.get();
+        }
+        t.join();
+    });
+    assert!(msg.contains("data race"), "unexpected failure: {msg}");
+    assert!(msg.contains("payload"), "race should name the cell: {msg}");
+}
+
+#[test]
+fn relaxed_refcount_free_is_caught_as_race() {
+    let msg = interleave::fails(cfg(), || {
+        let refs = Arc::new(AtomicU64::new(2));
+        let body = Arc::new(Data::named("body", 1u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (r2, b2) = (Arc::clone(&refs), Arc::clone(&body));
+                interleave::spawn(move || {
+                    b2.with(|v| assert_eq!(*v, 1));
+                    if r2.fetch_sub(1, Ordering::Relaxed) == 1 {
+                        // missing Release on the decrement and Acquire on
+                        // the zero path: the "free" races the other
+                        // thread's read.
+                        b2.set(0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+    });
+    assert!(msg.contains("data race"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn same_seed_replays_identically() {
+    let buggy = || {
+        let ready = Arc::new(AtomicBool::new(false));
+        let payload = Arc::new(Data::named("payload", 0u32));
+        let (r2, p2) = (Arc::clone(&ready), Arc::clone(&payload));
+        let t = interleave::spawn(move || {
+            p2.set(1);
+            r2.store(true, Ordering::Relaxed);
+        });
+        if ready.load(Ordering::Acquire) {
+            let _ = payload.get();
+        }
+        t.join();
+    };
+    let a = interleave::fails(cfg(), buggy);
+    let b = interleave::fails(cfg(), buggy);
+    assert_eq!(a, b, "same seed sweep must reproduce the same failure");
+}
+
+#[test]
+fn lock_order_inversion_deadlocks() {
+    let msg = interleave::fails(cfg(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = interleave::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        t.join();
+    });
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn unjoined_thread_is_reported() {
+    let msg = interleave::fails(Config { seeds: 1, ..cfg() }, || {
+        let _ = interleave::spawn(|| ());
+        // returns without joining
+    });
+    assert!(msg.contains("unjoined"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn assertion_failures_surface_with_seed() {
+    let msg = interleave::fails(Config { seeds: 1, ..cfg() }, || {
+        let t = interleave::spawn(|| panic!("boom in child"));
+        t.join();
+    });
+    assert!(msg.contains("boom in child"), "unexpected failure: {msg}");
+}
